@@ -1,0 +1,29 @@
+"""Ablations beyond the paper: R-node compression, execution modes."""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_execution_modes, ablation_r_nodes
+
+from benchmarks.conftest import attach_rows
+
+
+def test_ablation_r_nodes(benchmark, bench_config):
+    table = benchmark.pedantic(
+        ablation_r_nodes, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # R-node compression never loses; it wins when recursion is deep
+    for row in rows:
+        assert row["with_R_bits"] <= row["without_R_bits"] + 8
+
+
+def test_ablation_execution_modes(benchmark, bench_config):
+    table = benchmark.pedantic(
+        ablation_execution_modes, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # both modes are linear-time; logged mode skips predecessor matching
+    for row in rows:
+        assert row["logged_mode_ms"] <= row["name_mode_ms"] * 2.5

@@ -1,0 +1,39 @@
+"""Extension: DRL vs general-purpose DAG reachability indexes."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures import baseline_comparison
+from repro.datasets import bioaid
+from repro.labeling.chains import ChainIndex
+from repro.labeling.grail import GrailIndex
+from repro.workflow.derivation import sample_run
+
+from benchmarks.conftest import attach_rows
+
+
+def test_baseline_table(benchmark, bench_config):
+    table = benchmark.pedantic(
+        baseline_comparison, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    for row in rows:
+        # DRL labels stay far below the naive linear labels ...
+        assert row["drl_max_bits"] < row["naive_max_bits"] / 4
+        # ... and below the chain index once forks widen the run
+        if row["run_size"] >= 2000:
+            assert row["drl_max_bits"] < row["chain_max_bits"]
+
+
+def test_grail_build_2k(benchmark):
+    spec = bioaid()
+    run = sample_run(spec, 2000, random.Random(41))
+    benchmark(lambda: GrailIndex(run.graph, traversals=3, rng=random.Random(1)))
+
+
+def test_chain_build_2k(benchmark):
+    spec = bioaid()
+    run = sample_run(spec, 2000, random.Random(41))
+    benchmark(lambda: ChainIndex(run.graph))

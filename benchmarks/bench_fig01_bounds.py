@@ -1,0 +1,48 @@
+"""Figure 1 and Theorem 1: the maximum-label-length bounds, measured."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.figures import fig01_bounds, thm1_lower_bound
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig01_bounds_table(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig01_bounds, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = {r["graph_class"]: r for r in table.as_dicts()}
+    n = rows["DAG (dynamic)"]["n"]
+    # Theta(n) rows
+    assert rows["tree (dynamic, unbounded depth)"]["max_label_bits"] >= n // 2
+    assert rows["DAG (dynamic)"]["max_label_bits"] == n - 1
+    # Theta(log n) rows stay within a constant factor of log2(n)
+    log_n = math.log2(n)
+    for key in (
+        "tree (dynamic, bounded depth)",
+        "run, non-recursive (dynamic)",
+        "run, linear recursive (dynamic)",
+    ):
+        assert rows[key]["max_label_bits"] <= 8 * log_n
+    # the recursive (nonlinear) row sits far above the logarithmic rows
+    assert (
+        rows["run, recursive (dynamic)"]["max_label_bits"]
+        > rows["run, linear recursive (dynamic)"]["max_label_bits"]
+    )
+
+
+def test_thm1_lower_bound_growth(benchmark, bench_config):
+    table = benchmark.pedantic(
+        thm1_lower_bound, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # linear-size labels: bits grow proportionally to the run size
+    first, last = rows[0], rows[-1]
+    size_ratio = last["run_size"] / first["run_size"]
+    bits_ratio = last["drl_one_r_bits"] / max(first["drl_one_r_bits"], 1)
+    assert bits_ratio >= size_ratio / 4  # clearly super-logarithmic
+    assert last["drl_one_r_bits"] > 6 * last["log2(n)_ref"]

@@ -1,0 +1,28 @@
+"""Figure 14: BioAID label length vs run size.
+
+The benchmarked operation is the full label-length experiment (sampled
+runs per size plus measurement); the regenerated series is attached to
+the benchmark's extra info.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig14_label_length
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig14_label_length(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig14_label_length, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    assert len(rows) >= 2
+    # logarithmic shape: doubling the run size costs only a few bits
+    for prev, cur in zip(rows, rows[1:]):
+        growth = cur["max_bits"] - prev["max_bits"]
+        assert growth < 15, f"label length not logarithmic: +{growth} bits"
+    # average stays below maximum
+    for row in rows:
+        assert row["avg_bits"] <= row["max_bits"]

@@ -1,0 +1,44 @@
+"""Figure 15: BioAID on-the-fly construction time (derivation vs execution)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures import fig15_construction_time
+from repro.datasets import bioaid
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig15_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig15_construction_time, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # linear total construction: time per vertex roughly flat; allow noise
+    per_vertex = [r["us_per_vertex"] for r in rows]
+    assert max(per_vertex) <= 40 * min(per_vertex)
+
+
+def test_derivation_labeling_2k(benchmark):
+    spec = bioaid()
+    scheme = DRL(spec, skeleton="tcl")
+    run = sample_run(spec, 2000, random.Random(15))
+    benchmark(lambda: scheme.label_derivation(run))
+
+
+def test_execution_labeling_2k(benchmark):
+    spec = bioaid()
+    scheme = DRL(spec, skeleton="tcl")
+    run = sample_run(spec, 2000, random.Random(15))
+    exe = execution_from_derivation(run)
+
+    def label_execution():
+        return DRLExecutionLabeler(scheme, mode="name").run(exe)
+
+    benchmark(label_execution)

@@ -1,0 +1,58 @@
+"""Figure 16: BioAID query time for DRL(TCL) vs DRL(BFS)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures import fig16_query_time
+from repro.datasets import bioaid
+from repro.labeling.drl import DRL
+from repro.workflow.derivation import sample_run
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig16_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig16_query_time, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # near-constant query time: largest run at most ~6x the smallest
+    for column in ("drl_tcl_us", "drl_bfs_us"):
+        series = [r[column] for r in rows]
+        assert max(series) <= 6 * min(series) + 2
+
+
+def _labels(skeleton: str):
+    spec = bioaid()
+    scheme = DRL(spec, skeleton=skeleton)
+    run = sample_run(spec, 2000, random.Random(16))
+    labels = scheme.label_derivation(run)
+    vids = sorted(run.graph.vertices())
+    rng = random.Random(0)
+    pairs = [
+        (labels[rng.choice(vids)], labels[rng.choice(vids)])
+        for _ in range(1000)
+    ]
+    return scheme, pairs
+
+
+def test_query_drl_tcl(benchmark):
+    scheme, pairs = _labels("tcl")
+
+    def run_queries():
+        for a, b in pairs:
+            scheme.query(a, b)
+
+    benchmark(run_queries)
+
+
+def test_query_drl_bfs(benchmark):
+    scheme, pairs = _labels("bfs")
+
+    def run_queries():
+        for a, b in pairs:
+            scheme.query(a, b)
+
+    benchmark(run_queries)

@@ -1,0 +1,19 @@
+"""Figure 17: max label length vs sub-workflow size (synthetic family)."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig17_varying_size
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig17_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig17_varying_size, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    assert [r["sub_workflow_size"] for r in rows] == [10, 20, 40, 80, 160]
+    # logarithmic growth in sub-workflow size: 16x size costs bounded bits
+    total_growth = rows[-1]["max_bits"] - rows[0]["max_bits"]
+    assert total_growth < 60

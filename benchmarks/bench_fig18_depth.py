@@ -1,0 +1,21 @@
+"""Figure 18: max label length vs nesting depth (synthetic family)."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig18_varying_depth
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig18_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig18_varying_depth, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    assert [r["nesting_depth"] for r in rows] == [5, 10, 15, 20, 25]
+    # linear growth in depth: strictly increasing by a roughly constant step
+    series = [r["max_bits"] for r in rows]
+    assert all(b > a for a, b in zip(series, series[1:]))
+    steps = [b - a for a, b in zip(series, series[1:])]
+    assert max(steps) <= 4 * min(steps) + 8

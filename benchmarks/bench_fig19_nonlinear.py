@@ -1,0 +1,21 @@
+"""Figure 19: linear vs nonlinear recursion label lengths."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig19_nonlinear
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig19_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig19_nonlinear, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # nonlinear recursion produces longer labels than linear recursion
+    for row in rows:
+        assert row["nonlinear_bits"] >= row["linear_bits"]
+    # yet stays practical: well below the naive n-1 bits
+    for row in rows:
+        assert row["nonlinear_bits"] < row["run_size"] / 4

@@ -1,0 +1,23 @@
+"""Figure 20: DRL (dynamic) vs SKL (static) maximum label length."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig20_drl_vs_skl_length
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig20_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig20_drl_vs_skl_length, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    assert len(rows) >= 2
+    # the slope comparison of Section 7.4: SKL pays ~3 bits per doubling,
+    # DRL clearly fewer -- so SKL's total growth exceeds DRL's
+    drl_growth = rows[-1]["drl_bits"] - rows[0]["drl_bits"]
+    skl_growth = rows[-1]["skl_bits"] - rows[0]["skl_bits"]
+    assert skl_growth > drl_growth
+    doublings = len(rows) - 1
+    assert skl_growth >= 2 * doublings  # slope ~3

@@ -1,0 +1,30 @@
+"""Figure 21: construction time, static SKL vs dynamic DRL."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.figures import fig21_construction_vs_skl
+from repro.datasets import bioaid
+from repro.labeling.skl import SKL
+from repro.workflow.derivation import sample_run
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig21_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig21_construction_vs_skl, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+    # all three schemes scale linearly; SKL builds the simplest labels
+    for row in rows:
+        assert row["skl_ms"] <= row["drl_execution_ms"] * 3
+
+
+def test_skl_labeling_2k(benchmark):
+    spec = bioaid(recursive=False)
+    skl = SKL(spec, skeleton="tcl")
+    run = sample_run(spec, 2000, random.Random(21))
+    benchmark(lambda: skl.label_run(run))

@@ -1,0 +1,66 @@
+"""Figure 22: query time for all four scheme/skeleton combinations."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig22_query_vs_skl
+
+from benchmarks.conftest import attach_rows
+
+
+def test_fig22_series(benchmark, bench_config):
+    table = benchmark.pedantic(
+        fig22_query_vs_skl, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = table.as_dicts()
+
+    def mean(column):
+        return sum(r[column] for r in rows) / len(rows)
+
+    # SKL(TCL) decodes a simpler label: never much slower than DRL(TCL)
+    assert mean("skl_tcl_us") <= mean("drl_tcl_us") * 2
+    # BFS skeletons cost more than TCL skeletons on average
+    assert mean("skl_bfs_us") >= mean("skl_tcl_us")
+
+
+def test_skeleton_hit_cost_gap(benchmark):
+    """The Section 7.4 order-of-magnitude claim, measured directly.
+
+    A query that falls through to the skeleton comparison makes SKL(BFS)
+    search the *global* specification while DRL(BFS) searches one small
+    sub-workflow graph; the cost ratio is the size ratio.
+    """
+    import random
+
+    from repro.datasets import bioaid
+    from repro.graphs.reachability import reaches
+    from repro.labeling.skl import GlobalSpecification
+    from repro.workflow.specification import START_KEY
+
+    spec = bioaid(recursive=False)
+    gs = GlobalSpecification(spec)
+    gs_vertices = sorted(gs.graph.vertices())
+    template = spec.graph(START_KEY).dag
+    t_vertices = sorted(template.vertices())
+    rng = random.Random(22)
+
+    def skeleton_hits():
+        for _ in range(200):
+            reaches(gs.graph, rng.choice(gs_vertices), rng.choice(gs_vertices))
+
+    import time
+
+    start = time.perf_counter()
+    for _ in range(200):
+        reaches(template, rng.choice(t_vertices), rng.choice(t_vertices))
+    template_cost = time.perf_counter() - start
+
+    gs_elapsed = benchmark.pedantic(
+        lambda: skeleton_hits(), rounds=3, iterations=1
+    )
+    start = time.perf_counter()
+    skeleton_hits()
+    gs_cost = time.perf_counter() - start
+    benchmark.extra_info["template_cost_200_queries_s"] = template_cost
+    benchmark.extra_info["global_spec_cost_200_queries_s"] = gs_cost
+    assert gs_cost > 3 * template_cost

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the core operations (per-op costs).
+
+These measure the primitives the paper's Theorem 3 bounds: per-vertex
+label construction, per-query predicate evaluation, skeleton
+construction, derivation, and serialization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import bioaid, running_example
+from repro.labeling.drl import DRL
+from repro.labeling.naive_dynamic import NaiveDynamicScheme
+from repro.labeling.serialize import LabelCodec
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+from repro.workflow.grammar import analyze_grammar
+
+
+def test_grammar_analysis(benchmark):
+    spec = bioaid()
+    benchmark(lambda: analyze_grammar(spec))
+
+
+def test_derivation_sampling_1k(benchmark):
+    spec = bioaid()
+
+    def sample():
+        return sample_run(spec, 1000, random.Random(1))
+
+    benchmark(sample)
+
+
+def test_drl_query_single(benchmark):
+    spec = bioaid()
+    scheme = DRL(spec, skeleton="tcl")
+    run = sample_run(spec, 2000, random.Random(2))
+    labels = scheme.label_derivation(run)
+    vids = sorted(run.graph.vertices())
+    a, b = labels[vids[3]], labels[vids[-3]]
+    benchmark(lambda: scheme.query(a, b))
+
+
+def test_naive_query_single(benchmark):
+    scheme = NaiveDynamicScheme()
+    for i in range(2000):
+        scheme.insert(i, preds=[i - 1] if i else [])
+    a, b = scheme.label(3), scheme.label(1997)
+    benchmark(lambda: scheme.query(a, b))
+
+
+def test_label_encode_decode(benchmark):
+    spec = running_example()
+    scheme = DRL(spec, skeleton="tcl")
+    run = sample_run(spec, 500, random.Random(3))
+    labels = scheme.label_derivation(run)
+    codec = LabelCodec(spec)
+    sample = [labels[v] for v in list(run.graph.vertices())[:50]]
+
+    def round_trip():
+        for label in sample:
+            payload, bits = codec.encode(label)
+            codec.decode(payload, bits)
+
+    benchmark(round_trip)
+
+
+def test_execution_generation_1k(benchmark):
+    spec = bioaid()
+    run = sample_run(spec, 1000, random.Random(4))
+    benchmark(lambda: execution_from_derivation(run, random.Random(5)))

@@ -1,0 +1,32 @@
+"""Table 2: preprocessing overhead of labeling the specification."""
+
+from __future__ import annotations
+
+from repro.bench.figures import tab2_spec_overhead
+from repro.datasets import bioaid
+from repro.labeling.skeleton import make_skeleton
+from repro.labeling.skl import SKL
+
+from benchmarks.conftest import attach_rows
+
+
+def test_tab2(benchmark, bench_config):
+    table = benchmark.pedantic(
+        tab2_spec_overhead, args=(bench_config,), rounds=1, iterations=1
+    )
+    attach_rows(benchmark, table)
+    rows = {r["scheme"]: r for r in table.as_dicts()}
+    # SKL labels the global specification: several times more bits
+    assert rows["SKL(TCL)"]["total_space_bits"] > 3 * rows["DRL(TCL)"][
+        "total_space_bits"
+    ]
+
+
+def test_drl_spec_labeling(benchmark):
+    spec = bioaid(recursive=False)
+    benchmark(lambda: make_skeleton(spec, "tcl"))
+
+
+def test_skl_spec_labeling(benchmark):
+    spec = bioaid(recursive=False)
+    benchmark(lambda: SKL(spec, skeleton="tcl"))

@@ -1,0 +1,30 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+The benchmarks default to a reduced run-size ladder (max ~4K vertices)
+so ``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_SCALE=1.0`` to sweep the paper's full 1K..32K ladder.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    scale = float(os.environ.get("REPRO_SCALE", "0.125"))
+    samples = int(os.environ.get("REPRO_SAMPLES", "1"))
+    queries = int(os.environ.get("REPRO_QUERIES", "5000"))
+    return BenchConfig(scale=scale, samples=samples, queries=queries)
+
+
+def attach_rows(benchmark, table) -> None:
+    """Record a driver's table in the benchmark report."""
+    benchmark.extra_info["experiment"] = table.id
+    benchmark.extra_info["title"] = table.title
+    benchmark.extra_info["columns"] = list(table.columns)
+    benchmark.extra_info["rows"] = [list(map(str, row)) for row in table.rows]

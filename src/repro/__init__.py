@@ -1,0 +1,139 @@
+"""repro -- dynamic reachability labeling for recursive workflow executions.
+
+A from-scratch reproduction of Bao, Davidson & Milo, *"Labeling Recursive
+Workflow Executions On-the-Fly"* (SIGMOD 2011): workflow specifications
+modeled as graph grammars, runs derived or executed dynamically, and the
+DRL labeling scheme that answers provenance reachability queries from two
+logarithmic-size labels in constant time -- plus every baseline and
+substrate the paper's evaluation uses.
+
+Quickstart::
+
+    import random
+    from repro import (
+        DRL, DRLExecutionLabeler, bioaid, execution_from_derivation,
+        sample_run,
+    )
+
+    spec = bioaid()
+    scheme = DRL(spec, skeleton="tcl")
+    run = sample_run(spec, target_size=1000, rng=random.Random(0))
+    execution = execution_from_derivation(run)
+
+    labeler = DRLExecutionLabeler(scheme, mode="name")
+    for insertion in execution:          # label on-the-fly
+        labeler.insert(insertion)
+
+    v, w = execution.insertions[0].vid, execution.insertions[-1].vid
+    scheme.query(labeler.label(v), labeler.label(w))   # v ~> w ?
+"""
+
+from repro.errors import (
+    CycleError,
+    DerivationError,
+    ExecutionError,
+    GraphError,
+    LabelingError,
+    NotTwoTerminalError,
+    ReproError,
+    SpecificationError,
+    UnsupportedWorkflowError,
+)
+from repro.graphs import (
+    NamedDAG,
+    TwoTerminalGraph,
+    insert_vertex,
+    parallel_composition,
+    random_two_terminal_dag,
+    reaches,
+    replace_vertex,
+    series_composition,
+)
+from repro.workflow import (
+    Derivation,
+    DerivationEngine,
+    DerivationPolicy,
+    Execution,
+    GrammarClass,
+    Insertion,
+    Specification,
+    analyze_grammar,
+    execution_from_derivation,
+    sample_run,
+)
+from repro.workflow.specification import make_spec
+from repro.parsetree import CanonicalParseTree, ExplicitParseTree, NodeKind
+from repro.labeling import (
+    BFSSkeleton,
+    DRL,
+    DRLDerivationLabeler,
+    DRLExecutionLabeler,
+    NaiveDynamicScheme,
+    SKL,
+    TCLSkeleton,
+)
+from repro.datasets import (
+    bioaid,
+    fig12_path_grammar,
+    running_example,
+    synthetic_spec,
+    theorem1_grammar,
+)
+from repro.provenance import ProvenanceStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NotTwoTerminalError",
+    "SpecificationError",
+    "DerivationError",
+    "ExecutionError",
+    "LabelingError",
+    "UnsupportedWorkflowError",
+    # graphs
+    "NamedDAG",
+    "TwoTerminalGraph",
+    "series_composition",
+    "parallel_composition",
+    "insert_vertex",
+    "replace_vertex",
+    "reaches",
+    "random_two_terminal_dag",
+    # workflow
+    "Specification",
+    "make_spec",
+    "GrammarClass",
+    "analyze_grammar",
+    "Derivation",
+    "DerivationEngine",
+    "DerivationPolicy",
+    "sample_run",
+    "Execution",
+    "Insertion",
+    "execution_from_derivation",
+    # parse trees
+    "ExplicitParseTree",
+    "CanonicalParseTree",
+    "NodeKind",
+    # labeling
+    "DRL",
+    "DRLDerivationLabeler",
+    "DRLExecutionLabeler",
+    "SKL",
+    "NaiveDynamicScheme",
+    "TCLSkeleton",
+    "BFSSkeleton",
+    # datasets
+    "running_example",
+    "theorem1_grammar",
+    "fig12_path_grammar",
+    "bioaid",
+    "synthetic_spec",
+    # provenance
+    "ProvenanceStore",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Shared benchmark utilities: configuration, timing, table formatting."""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.workflow.derivation import Derivation, sample_run
+from repro.workflow.specification import Specification
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Experiment scale knobs.
+
+    ``scale`` multiplies the largest run size of the 1K..32K ladder the
+    paper sweeps; ``samples`` is the number of sampled runs averaged per
+    configuration (the paper uses 10^3; the default here keeps the full
+    suite in minutes) and ``queries`` the number of sampled reachability
+    queries for timing (paper: 10^5).
+    """
+
+    scale: float = 1.0
+    samples: int = 3
+    queries: int = 20_000
+    seed: int = 2011  # SIGMOD'11
+
+    @property
+    def max_size(self) -> int:
+        return max(1000, int(32_000 * self.scale))
+
+
+def default_config() -> BenchConfig:
+    """Configuration from the REPRO_SCALE / REPRO_SAMPLES environment."""
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    samples = int(os.environ.get("REPRO_SAMPLES", "3"))
+    queries = int(os.environ.get("REPRO_QUERIES", "20000"))
+    return BenchConfig(scale=scale, samples=samples, queries=queries)
+
+
+def run_ladder(config: BenchConfig, start: int = 1000) -> List[int]:
+    """The run-size ladder: 1K, 2K, 4K, ... up to ``config.max_size``."""
+    sizes = []
+    size = start
+    while size <= config.max_size:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def sampled_runs(
+    spec: Specification, size: int, config: BenchConfig, tag: int = 0
+) -> List[Derivation]:
+    """``config.samples`` seeded runs of roughly ``size`` vertices."""
+    runs = []
+    for i in range(config.samples):
+        rng = random.Random((config.seed, size, tag, i).__hash__() & 0xFFFFFFFF)
+        runs.append(sample_run(spec, size, rng))
+    return runs
+
+
+def time_call(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once; return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def time_per_query(
+    query: Callable[[object, object], bool],
+    labels: Dict[int, object],
+    count: int,
+    seed: int = 0,
+) -> float:
+    """Average seconds per reachability query over random vertex pairs."""
+    rng = random.Random(seed)
+    vids = list(labels)
+    pairs = [
+        (labels[rng.choice(vids)], labels[rng.choice(vids)])
+        for _ in range(count)
+    ]
+    start = time.perf_counter()
+    for a, b in pairs:
+        query(a, b)
+    return (time.perf_counter() - start) / max(1, count)
+
+
+@dataclass
+class Table:
+    """One regenerated paper artifact: a titled table of rows."""
+
+    id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values: object) -> None:
+        """Append one row; arity must match the column list."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(values)} != column arity {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    header = [str(c) for c in table.columns]
+    body = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"## {table.id}: {table.title}"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if table.notes:
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro info SPEC                      # stats + grammar class
+    python -m repro derive SPEC -o EXEC [--size N] # sample a run, write log
+    python -m repro label SPEC EXEC -o LABELS      # label a log on-the-fly
+    python -m repro query SPEC LABELS A B          # reachability from labels
+    python -m repro normalize SPEC -o OUT          # Section 5.3 rewriting
+    python -m repro bench [EXPERIMENT...]          # Section 7 tables
+
+Specifications and execution logs are read/written as JSON or XML,
+chosen by file extension (``.json`` / ``.xml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from pathlib import Path
+from typing import List, Optional
+
+from repro.io import (
+    load_execution_json,
+    load_execution_xml,
+    load_labels,
+    load_specification_json,
+    load_specification_xml,
+    save_execution_json,
+    save_execution_xml,
+    save_labels,
+    save_specification_json,
+    save_specification_xml,
+)
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+from repro.workflow.grammar import analyze_grammar
+from repro.workflow.normalize import normalize_specification
+from repro.workflow.specification import Specification
+from repro.workflow.validation import naming_condition_violations
+
+
+def _load_spec(path: str) -> Specification:
+    if path.endswith(".xml"):
+        return load_specification_xml(path)
+    return load_specification_json(path)
+
+
+def _save_spec(spec: Specification, path: str) -> None:
+    if path.endswith(".xml"):
+        save_specification_xml(spec, path)
+    else:
+        save_specification_json(spec, path)
+
+
+def _load_execution(path: str):
+    if path.endswith(".xml"):
+        return load_execution_xml(path)
+    return load_execution_json(path)
+
+
+def _builtin_or_file(name: str) -> Specification:
+    """Resolve a spec argument: a bundled dataset name or a file path."""
+    from repro.datasets import bioaid, running_example, synthetic_spec
+
+    builtins = {
+        "running-example": running_example,
+        "bioaid": bioaid,
+        "bioaid-norec": lambda: bioaid(recursive=False),
+        "synthetic": synthetic_spec,
+    }
+    if name in builtins:
+        return builtins[name]()
+    if not Path(name).exists():
+        raise SystemExit(
+            f"spec {name!r} is neither a file nor one of {sorted(builtins)}"
+        )
+    return _load_spec(name)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_info(args) -> int:
+    spec = _builtin_or_file(args.spec)
+    info = analyze_grammar(spec)
+    print(f"name:            {spec.name}")
+    print(f"graphs:          {len(list(spec.graph_keys()))}")
+    print(f"composites:      {sorted(spec.composite_names)}")
+    print(f"loops:           {sorted(spec.loops)}")
+    print(f"forks:           {sorted(spec.forks)}")
+    print(f"max graph size:  {spec.max_graph_size}")
+    print(f"avg graph size:  {spec.average_graph_size:.2f}")
+    print(f"grammar class:   {info.grammar_class.value}")
+    print(f"parallel rec.:   {info.parallel_recursive}")
+    problems = naming_condition_violations(spec)
+    if problems:
+        print(f"naming conditions: {len(problems)} violation(s) "
+              "(use 'normalize' or logged mode)")
+        for problem in problems[:5]:
+            print(f"  - {problem}")
+    else:
+        print("naming conditions: satisfied (name-inference mode available)")
+    return 0
+
+
+def cmd_derive(args) -> int:
+    spec = _builtin_or_file(args.spec)
+    run = sample_run(spec, args.size, random.Random(args.seed))
+    rng = random.Random(args.seed + 1) if args.shuffle else None
+    execution = execution_from_derivation(run, rng)
+    if args.out.endswith(".xml"):
+        save_execution_xml(execution.insertions, args.out, spec.name)
+    else:
+        save_execution_json(execution.insertions, args.out, spec.name)
+    print(f"derived run of {run.run_size()} vertices -> {args.out}")
+    return 0
+
+
+def cmd_label(args) -> int:
+    spec = _builtin_or_file(args.spec)
+    insertions = _load_execution(args.execution)
+    scheme = DRL(spec, skeleton=args.skeleton)
+    labeler = DRLExecutionLabeler(scheme, mode=args.mode)
+    for insertion in insertions:
+        labeler.insert(insertion)
+    save_labels(labeler.labels, spec, args.out)
+    bits = [scheme.label_bits(l) for l in labeler.labels.values()]
+    print(
+        f"labeled {len(bits)} vertices -> {args.out} "
+        f"(max {max(bits)} bits, avg {sum(bits) / len(bits):.1f})"
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    spec = _builtin_or_file(args.spec)
+    labels = load_labels(spec, args.labels)
+    scheme = DRL(spec, skeleton=args.skeleton)
+    try:
+        label_a, label_b = labels[args.source], labels[args.target]
+    except KeyError as exc:
+        raise SystemExit(f"vertex {exc} has no stored label")
+    answer = scheme.query(label_a, label_b)
+    print(f"{args.source} ~> {args.target}: {answer}")
+    return 0 if answer else 1
+
+
+def cmd_normalize(args) -> int:
+    spec = _builtin_or_file(args.spec)
+    normalized, name_map = normalize_specification(spec)
+    _save_spec(normalized, args.out)
+    renamed = len(name_map.to_original)
+    print(f"normalized -> {args.out} ({renamed} names rewritten)")
+    for new, old in sorted(name_map.to_original.items())[:10]:
+        print(f"  {new} <- {old}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(["bench"] + args.experiments)
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic reachability labeling for workflow executions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="inspect a specification")
+    p.add_argument("spec", help="spec file (.json/.xml) or a builtin name")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("derive", help="sample a run, write its execution log")
+    p.add_argument("spec")
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("--size", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shuffle", action="store_true",
+                   help="random topological order instead of deterministic")
+    p.set_defaults(func=cmd_derive)
+
+    p = sub.add_parser("label", help="label an execution log on-the-fly")
+    p.add_argument("spec")
+    p.add_argument("execution")
+    p.add_argument("-o", "--out", required=True)
+    p.add_argument("--skeleton", choices=["tcl", "bfs"], default="tcl")
+    p.add_argument("--mode", choices=["name", "logged"], default="logged")
+    p.set_defaults(func=cmd_label)
+
+    p = sub.add_parser("query", help="answer reachability from stored labels")
+    p.add_argument("spec")
+    p.add_argument("labels")
+    p.add_argument("source", type=int)
+    p.add_argument("target", type=int)
+    p.add_argument("--skeleton", choices=["tcl", "bfs"], default="tcl")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("normalize", help="rewrite to the naming conditions")
+    p.add_argument("spec")
+    p.add_argument("-o", "--out", required=True)
+    p.set_defaults(func=cmd_normalize)
+
+    p = sub.add_parser("bench", help="regenerate the paper's tables")
+    p.add_argument("experiments", nargs="*")
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

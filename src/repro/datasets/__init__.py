@@ -1,0 +1,28 @@
+"""Workflow specifications used by tests, examples and benchmarks.
+
+* :mod:`repro.datasets.examples` -- the paper's pedagogical grammars: the
+  running example (Figure 2), the Theorem 1 lower-bound grammar
+  (Figure 6) and the series-recursive path grammar (Figure 12).
+* :mod:`repro.datasets.bioaid` -- a BioAID-like real-life specification
+  with the statistics the paper reports for the myExperiment BioAID
+  workflow (see DESIGN.md section 3 for the substitution rationale).
+* :mod:`repro.datasets.synthetic` -- the parameterized synthetic family
+  of Figure 13 (sub-workflow size, nesting depth, linear vs nonlinear
+  recursion).
+"""
+
+from repro.datasets.examples import (
+    fig12_path_grammar,
+    running_example,
+    theorem1_grammar,
+)
+from repro.datasets.bioaid import bioaid
+from repro.datasets.synthetic import synthetic_spec
+
+__all__ = [
+    "running_example",
+    "theorem1_grammar",
+    "fig12_path_grammar",
+    "bioaid",
+    "synthetic_spec",
+]

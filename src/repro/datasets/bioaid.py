@@ -1,0 +1,295 @@
+"""A BioAID-like real-life workflow specification.
+
+The paper evaluates on *BioAID*, a protein-discovery workflow from the
+myExperiment repository, reporting these structural statistics
+(Section 7.2): 11 sub-workflows, average sub-workflow size 10.5, nesting
+depth 2, 2 loop modules, 4 fork modules and one linear recursion of
+length 2.  The repository dump is not available offline, so this module
+synthesizes a specification with exactly those statistics; every
+experiment in the paper depends only on them (the paper itself simulates
+runs because realistic executions were unavailable).  See DESIGN.md,
+"Substitutions".
+
+``bioaid(recursive=False)`` applies the Section 7.4 footnote: the linear
+recursion is converted into a loop performing similar computations, which
+is the variant used for the DRL-vs-SKL comparison (SKL does not support
+recursion).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import Specification, make_spec
+
+
+def _graph(tag: str, inner: List[str], edges: List[Tuple[int, int]]) -> TwoTerminalGraph:
+    """A sub-workflow with unique source/sink dummy names.
+
+    Vertices: 0 = ``src_<tag>``, 1..n = ``inner``, n+1 = ``snk_<tag>``;
+    ``edges`` connect those indexes.
+    """
+    names = [f"src_{tag}"] + inner + [f"snk_{tag}"]
+    return TwoTerminalGraph.build(list(enumerate(names)), edges)
+
+
+def bioaid(recursive: bool = True) -> Specification:
+    """The BioAID-like specification.
+
+    With ``recursive=True`` (default) modules ``RefineQuery`` and
+    ``ExpandHits`` form a linear recursion of length 2 (RefineQuery ->
+    ExpandHits -> RefineQuery), terminated by RefineQuery's second,
+    non-recursive implementation.  With ``recursive=False`` the recursion
+    becomes a loop around RefineQuery, as in the paper's SKL comparison.
+    """
+    # ------------------------------------------------------------------
+    # start graph: the top-level pipeline (7 vertices)
+    # ------------------------------------------------------------------
+    g0 = _graph(
+        "run",
+        ["load_query", "CollectLoop", "Discover", "render", "publish"],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (1, 3)],
+    )
+
+    # ------------------------------------------------------------------
+    # eleven sub-workflows (average size tuned to ~10.5)
+    # ------------------------------------------------------------------
+    # 1. Discover: the main discovery pipeline (nesting level 1).
+    discover = _graph(
+        "disc",
+        [
+            "split_species",
+            "BlastFork",
+            "merge_blast",
+            "AnnotateFork",
+            "score_hits",
+            "RankLoop",
+            "format_out",
+            "audit_log",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+            (7, 9), (1, 8), (8, 9), (3, 5),
+        ],
+    )
+    # 2. CollectLoop body: iterative data collection.
+    collect_body = _graph(
+        "coll",
+        [
+            "fetch_batch",
+            "clean_batch",
+            "DedupFork",
+            "store_batch",
+            "check_quota",
+            "log_batch",
+            "SampleQc",
+            "merge_qc",
+            "raise_alerts",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 10),
+            (1, 7), (7, 8), (8, 9), (9, 10), (2, 6), (6, 9), (4, 9),
+        ],
+    )
+    # 3. BlastFork body: one parallel BLAST invocation.
+    blast_body = _graph(
+        "blast",
+        [
+            "stage_seq",
+            "mask_lowcomp",
+            "run_blast",
+            "parse_xml",
+            "filter_eval",
+            "extract_hits",
+            "hit_stats",
+            "archive_raw",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 9),
+            (2, 7), (7, 9), (3, 8), (8, 9), (1, 3),
+        ],
+    )
+    # 4. AnnotateFork body: one parallel annotation service call.
+    annotate_body = _graph(
+        "annot",
+        [
+            "pick_service",
+            "build_req",
+            "call_service",
+            "retry_guard",
+            "parse_resp",
+            "map_terms",
+            "attach_refs",
+            "validate_terms",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+            (7, 9), (3, 8), (8, 9), (2, 5),
+        ],
+    )
+    # 5. RankLoop body: one ranking refinement pass.
+    rank_body = _graph(
+        "rank",
+        [
+            "weigh_scores",
+            "tie_break",
+            "cutoff",
+            "RefineQuery",
+            "merge_ranks",
+            "emit_delta",
+            "check_conv",
+            "trace_rank",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+            (7, 9), (2, 8), (8, 9), (1, 4),
+        ],
+    )
+    # 6. DedupFork body: one parallel dedup shard.
+    dedup_body = _graph(
+        "dedup",
+        [
+            "hash_records",
+            "bucketize",
+            "scan_bucket",
+            "mark_dupes",
+            "drop_dupes",
+            "dedup_stats",
+            "verify_counts",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 8),
+            (2, 6), (6, 7), (7, 8), (3, 7),
+        ],
+    )
+    # 7. QcFork body: one parallel QC check.
+    qc_body = _graph(
+        "qc",
+        [
+            "pick_metric",
+            "compute_metric",
+            "threshold",
+            "flag_outliers",
+            "summarize_qc",
+            "plot_qc",
+            "export_qc",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 8),
+            (2, 6), (6, 7), (7, 8), (1, 4),
+        ],
+    )
+    # 8/9. RefineQuery: recursive implementation + terminating one.
+    refine_rec = _graph(
+        "refA",
+        [
+            "parse_hits",
+            "select_seeds",
+            "ExpandHits",
+            "fold_results",
+            "dedup_terms",
+            "score_refine",
+            "emit_refined",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+            (7, 8), (1, 5), (2, 4),
+        ],
+    )
+    refine_base = _graph(
+        "refB",
+        [
+            "freeze_query",
+            "normalize_terms",
+            "final_scores",
+            "emit_final",
+            "write_prov",
+            "close_refine",
+        ],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (1, 4), (2, 5)],
+    )
+    # 10. ExpandHits: closes the length-2 recursion back to RefineQuery.
+    expand_body = _graph(
+        "expand",
+        [
+            "collect_neighbors",
+            "fetch_homologs",
+            "RefineQuery",
+            "merge_expansion",
+            "prune_expansion",
+            "expansion_stats",
+            "expansion_log",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 8),
+            (2, 7), (7, 8), (1, 4),
+        ],
+    )
+    # 10'. Non-recursive ExpandHits used by the loop-converted variant.
+    expand_loop_body = _graph(
+        "expand",
+        [
+            "collect_neighbors",
+            "fetch_homologs",
+            "merge_expansion",
+            "prune_expansion",
+            "expansion_stats",
+            "rescore_terms",
+            "expansion_log",
+        ],
+        [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 8),
+            (2, 7), (7, 8), (1, 4),
+        ],
+    )
+    # 11. QcFork wrapper inside collection: a second fork usage.
+    qc_fork_host = _graph(
+        "qchost",
+        ["plan_qc", "QcFork", "join_qc", "report_qc", "qc_notes"],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 6), (1, 5), (5, 6), (3, 5)],
+    )
+
+    loops = ["CollectLoop", "RankLoop"]
+    forks = ["BlastFork", "AnnotateFork", "DedupFork", "QcFork"]
+
+    if recursive:
+        implementations = [
+            ("Discover", discover),
+            ("CollectLoop", collect_body),
+            ("BlastFork", blast_body),
+            ("AnnotateFork", annotate_body),
+            ("RankLoop", rank_body),
+            ("DedupFork", dedup_body),
+            ("QcFork", qc_body),
+            ("RefineQuery", refine_rec),
+            ("RefineQuery", refine_base),
+            ("ExpandHits", expand_body),
+            ("SampleQc", qc_fork_host),
+        ]
+        name = "bioaid"
+    else:
+        # Convert the recursion into a loop: RefineQuery iterates a body
+        # that performs the expansion inline (paper, Section 7.4 footnote).
+        implementations = [
+            ("Discover", discover),
+            ("CollectLoop", collect_body),
+            ("BlastFork", blast_body),
+            ("AnnotateFork", annotate_body),
+            ("RankLoop", rank_body),
+            ("DedupFork", dedup_body),
+            ("QcFork", qc_body),
+            ("RefineQuery", refine_rec),
+            ("ExpandHits", expand_loop_body),
+            ("SampleQc", qc_fork_host),
+        ]
+        loops = loops + ["RefineQuery"]
+        name = "bioaid-norec"
+
+    return make_spec(
+        start=g0,
+        implementations=implementations,
+        loops=loops,
+        forks=forks,
+        name=name,
+    )

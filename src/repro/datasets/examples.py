@@ -1,0 +1,98 @@
+"""The paper's pedagogical grammars, made executable.
+
+* :func:`running_example` -- the specification of Figure 2: a loop ``L``,
+  a fork ``F`` and a linear recursion between ``A`` and ``C``.
+* :func:`theorem1_grammar` -- Figure 6: the fixed grammar for which *any*
+  dynamic labeling scheme needs Omega(n)-bit labels (two parallel
+  recursive vertices plus the differential vertex ``a``).
+* :func:`fig12_path_grammar` -- Figure 12 / Example 15: a nonlinear (but
+  series-)recursive grammar whose runs are simple paths, showing that
+  some nonlinear workflows still admit compact execution-based schemes.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import Specification, make_spec
+
+
+def _chain(names):
+    """A path-shaped two-terminal graph over ``names`` (ids 0..n-1)."""
+    vertices = list(enumerate(names))
+    edges = [(i, i + 1) for i in range(len(names) - 1)]
+    return TwoTerminalGraph.build(vertices, edges)
+
+
+def running_example() -> Specification:
+    """The running example of Figures 2-5 and 8-9.
+
+    ``g0 = s0 -> L -> t0``; the loop ``L`` runs ``h1 = s1 -> F -> t1``;
+    the fork ``F`` runs ``h2 = s2 -> A -> t2``; ``A`` either recurses via
+    ``h3 = s3 -> B -> C -> t3`` (where ``C`` runs ``h6 = s6 -> A -> t6``)
+    or terminates via ``h4 = s4 -> t4``; ``B`` runs ``h5 = s5 -> t5``.
+    The grammar is linear recursive: ``h3``'s only recursive vertex is
+    ``C`` (Example 7).
+    """
+    g0 = _chain(["s0", "L", "t0"])
+    h1 = _chain(["s1", "F", "t1"])
+    h2 = _chain(["s2", "A", "t2"])
+    h3 = _chain(["s3", "B", "C", "t3"])
+    h4 = _chain(["s4", "t4"])
+    h5 = _chain(["s5", "t5"])
+    h6 = _chain(["s6", "A", "t6"])
+    return make_spec(
+        start=g0,
+        implementations=[
+            ("L", h1),
+            ("F", h2),
+            ("A", h3),
+            ("A", h4),
+            ("B", h5),
+            ("C", h6),
+        ],
+        loops=["L"],
+        forks=["F"],
+        name="running-example",
+    )
+
+
+def theorem1_grammar() -> Specification:
+    """The Figure 6 grammar of the Omega(n) lower bound (Theorem 1).
+
+    ``h1`` contains two *parallel* recursive vertices named ``A`` and a
+    differential vertex ``a`` that reaches exactly one of them; labels of
+    the ``a``-vertices must split the label domains of the two upcoming
+    subgraphs, which forces linear-size labels.  The grammar is parallel
+    recursive (Definition 13), so the bound also applies to the
+    execution-based problem (Theorem 5).
+    """
+    g0 = _chain(["s0", "A", "t0"])
+    # h1: s1 -> A ; s1 -> a -> A' ; both A's -> t1  (a reaches only A')
+    h1 = TwoTerminalGraph.build(
+        vertices=[(0, "s1"), (1, "A"), (2, "a"), (3, "A"), (4, "t1")],
+        edges=[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)],
+    )
+    h2 = _chain(["s2", "t2"])
+    return make_spec(
+        start=g0,
+        implementations=[("A", h1), ("A", h2)],
+        name="theorem1-lower-bound",
+    )
+
+
+def fig12_path_grammar() -> Specification:
+    """The Figure 12 grammar (Example 15): nonlinear yet path-shaped runs.
+
+    ``A`` derives either two chained copies of itself or a terminal pair,
+    so every run is a simple path.  The grammar is nonlinear recursive but
+    *not* parallel recursive -- the open case for execution-based
+    labeling; the naive "label by position" scheme is compact here.
+    """
+    g0 = _chain(["s0", "A", "t0"])
+    h1 = _chain(["s1", "A", "A", "t1"])
+    h2 = _chain(["s2", "t2"])
+    return make_spec(
+        start=g0,
+        implementations=[("A", h1), ("A", h2)],
+        name="fig12-path",
+    )

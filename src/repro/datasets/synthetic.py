@@ -1,0 +1,188 @@
+"""The synthetic workflow family of Figure 13.
+
+A chain of nested sub-workflows -- plain composites, then one loop module
+``LOOP``, one fork module ``FORK`` and one recursive module ``REC`` whose
+body either recurses (once for the linear family, twice in parallel for
+the nonlinear family) or terminates.  All sub-workflow bodies are random
+spanning two-terminal graphs of a fixed size.
+
+Parameters mirror Section 7.3's experiments:
+
+* ``sub_size``   -- the size of every sub-workflow graph (Figure 17);
+* ``depth``      -- the nesting depth of sub-workflows (Figure 18);
+* ``linear``     -- linear vs nonlinear recursion (Figure 19).
+
+The generated specification satisfies the Section 5.3 naming conditions,
+so the execution-based name-inference labeler works on it -- except for
+the nonlinear family, whose recursive body necessarily repeats the name
+``REC`` (use logged mode or the derivation-based labeler there).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import SpecificationError
+from repro.graphs.random_graphs import random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import Specification, make_spec
+
+
+def _body(
+    tag: str,
+    sub_size: int,
+    rng: random.Random,
+    composites: List[str],
+) -> TwoTerminalGraph:
+    """A random sub-workflow of ``sub_size`` vertices hosting ``composites``.
+
+    Internal vertices are renamed ``<tag>_v<i>``; the requested composite
+    names are planted on internal vertices.  For two composites the chosen
+    vertices are mutually unreachable (needed by the nonlinear family's
+    *parallel* recursion); the generator retries until such a pair exists.
+    """
+    if sub_size < len(composites) + 2:
+        raise SpecificationError(
+            f"sub-workflow size {sub_size} too small for {len(composites)} "
+            "composites plus two terminals"
+        )
+    for _ in range(200):
+        names = [f"src_{tag}"]
+        names += [f"{tag}_v{i}" for i in range(1, sub_size - 1)]
+        names += [f"snk_{tag}"]
+        graph = random_two_terminal_dag(sub_size, rng, names=names)
+        internal = list(range(1, sub_size - 1))
+        if not composites:
+            return graph
+        if len(composites) == 1:
+            spot = internal[rng.randrange(len(internal))]
+            graph.dag.rename_vertex(spot, composites[0])
+            return graph
+        # two composites: need a mutually unreachable internal pair
+        rng.shuffle(internal)
+        for i, u in enumerate(internal):
+            for v in internal[i + 1 :]:
+                if not reaches(graph.dag, u, v) and not reaches(graph.dag, v, u):
+                    graph.dag.rename_vertex(u, composites[0])
+                    graph.dag.rename_vertex(v, composites[1])
+                    return graph
+    raise SpecificationError(
+        "could not place parallel composites; increase sub_size"
+    )
+
+
+def layered_spec(
+    kinds: List[str],
+    sub_size: int = 8,
+    recursion: str = "none",
+    seed: int = 0,
+    alt_impls: int = 1,
+) -> Specification:
+    """A generalized Figure 13 chain with arbitrary level kinds.
+
+    ``kinds`` lists the intermediate composite levels in order, each
+    ``'plain'``, ``'loop'`` or ``'fork'``; ``recursion`` appends a final
+    recursive module: ``'none'``, ``'linear'`` (one recursive vertex) or
+    ``'parallel'`` (two mutually unreachable ones); ``alt_impls`` gives
+    every level that many alternative bodies ("or" semantics).  Used by
+    the property-based tests to cover many grammar shapes.
+    """
+    if recursion not in ("none", "linear", "parallel"):
+        raise SpecificationError(f"unknown recursion kind {recursion!r}")
+    rng = random.Random(seed)
+    loops: List[str] = []
+    forks: List[str] = []
+    level_names: List[str] = []
+    for i, kind in enumerate(kinds):
+        name = f"X{i + 1}"
+        level_names.append(name)
+        if kind == "loop":
+            loops.append(name)
+        elif kind == "fork":
+            forks.append(name)
+        elif kind != "plain":
+            raise SpecificationError(f"unknown level kind {kind!r}")
+    chain = list(level_names)
+    if recursion != "none":
+        chain.append("REC")
+    if not chain:
+        return make_spec(
+            start=_body("g0", sub_size, rng, []),
+            implementations=[],
+            name="layered(empty)",
+        )
+    implementations: List[Tuple[str, TwoTerminalGraph]] = []
+    alt = max(1, alt_impls)
+    g0 = _body("g0", sub_size, rng, [chain[0]])
+    for level, name in enumerate(chain[:-1]):
+        for variant in range(alt):
+            tag = f"h{level + 1}" if variant == 0 else f"h{level + 1}v{variant}"
+            implementations.append(
+                (name, _body(tag, sub_size, rng, [chain[level + 1]]))
+            )
+    last = chain[-1]
+    if recursion == "none":
+        for variant in range(alt):
+            tag = "hlast" if variant == 0 else f"hlastv{variant}"
+            implementations.append((last, _body(tag, sub_size, rng, [])))
+    else:
+        rec_refs = ["REC"] if recursion == "linear" else ["REC", "REC"]
+        implementations.append(("REC", _body("hrec", sub_size, rng, rec_refs)))
+        for variant in range(alt):
+            tag = "hbase" if variant == 0 else f"hbasev{variant}"
+            implementations.append(("REC", _body(tag, sub_size, rng, [])))
+    return make_spec(
+        start=g0,
+        implementations=implementations,
+        loops=loops,
+        forks=forks,
+        name=f"layered({','.join(kinds)};rec={recursion};alt={alt})",
+    )
+
+
+def synthetic_spec(
+    sub_size: int = 20,
+    depth: int = 5,
+    linear: bool = True,
+    seed: int = 7,
+) -> Specification:
+    """Build one member of the Figure 13 family.
+
+    ``depth`` counts nested sub-workflow levels: the chain is
+    ``g0 -> P1 -> ... -> Pk -> LOOP -> FORK -> REC`` with
+    ``k = depth - 4`` plain levels (``depth >= 4``).
+    """
+    if depth < 4:
+        raise SpecificationError("depth must be at least 4 (g0, L, F, R levels)")
+    rng = random.Random(seed)
+    plain_levels = depth - 4
+    implementations: List[Tuple[str, TwoTerminalGraph]] = []
+
+    chain = [f"P{i}" for i in range(1, plain_levels + 1)] + ["LOOP", "FORK", "REC"]
+    g0 = _body("g0", sub_size, rng, [chain[0]])
+    for level, name in enumerate(chain[:-1]):
+        tag = f"h{level + 1}"
+        implementations.append(
+            (name, _body(tag, sub_size, rng, [chain[level + 1]]))
+        )
+    # REC: a recursive body and a terminating body.
+    if linear:
+        rec_body = _body("hrec", sub_size, rng, ["REC"])
+    else:
+        rec_body = _body("hrec", sub_size, rng, ["REC", "REC"])
+    base_body = _body("hbase", sub_size, rng, [])
+    implementations.append(("REC", rec_body))
+    implementations.append(("REC", base_body))
+
+    return make_spec(
+        start=g0,
+        implementations=implementations,
+        loops=["LOOP"],
+        forks=["FORK"],
+        name=(
+            f"synthetic(size={sub_size}, depth={depth}, "
+            f"{'linear' if linear else 'nonlinear'})"
+        ),
+    )

@@ -1,0 +1,293 @@
+"""Core directed-graph container used throughout the library.
+
+The paper's graphs are directed acyclic graphs with no self-loops or
+multi-edges whose vertices carry a *name* (a module name chosen from a
+finite alphabet).  :class:`NamedDAG` stores exactly that: integer vertex
+identifiers, a name per vertex, and forward/backward adjacency sets.
+
+Acyclicity is a *validated* property rather than one enforced on every
+edge insertion (per-edge enforcement would make construction quadratic);
+callers that build graphs from untrusted input should call
+:meth:`NamedDAG.validate`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import CycleError, GraphError
+
+
+class IdAllocator:
+    """Allocates fresh integer vertex identifiers.
+
+    A single allocator is shared by everything that contributes vertices to
+    one evolving run graph, so identifiers stay globally unique across
+    instantiated sub-workflow copies.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def fresh(self) -> int:
+        """Return a new identifier, never returned before by this allocator."""
+        vid = self._next
+        self._next += 1
+        return vid
+
+    def fresh_many(self, count: int) -> List[int]:
+        """Return ``count`` new identifiers."""
+        return [self.fresh() for _ in range(count)]
+
+    @property
+    def high_water_mark(self) -> int:
+        """The next identifier that would be handed out."""
+        return self._next
+
+
+class NamedDAG:
+    """A mutable directed acyclic graph with named vertices.
+
+    Vertices are integers; each vertex has a string name (the module name in
+    workflow terms).  Self-loops are rejected eagerly; multi-edges collapse
+    (adjacency is a set).  Cycles are detected by :meth:`validate` /
+    :meth:`topological_order`.
+    """
+
+    __slots__ = ("_names", "_succ", "_pred")
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._succ: Dict[int, Set[int]] = {}
+        self._pred: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vid: int, name: str) -> int:
+        """Add vertex ``vid`` labeled ``name``.  Re-adding is an error."""
+        if vid in self._names:
+            raise GraphError(f"vertex {vid} already present")
+        self._names[vid] = name
+        self._succ[vid] = set()
+        self._pred[vid] = set()
+        return vid
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``(u, v)``.
+
+        Both endpoints must exist; self-loops are rejected.  Duplicate edges
+        are silently collapsed (the paper's graphs have no multi-edges).
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u} not allowed")
+        if u not in self._names:
+            raise GraphError(f"edge source {u} not in graph")
+        if v not in self._names:
+            raise GraphError(f"edge target {v} not in graph")
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def rename_vertex(self, vid: int, name: str) -> None:
+        """Change the name of an existing vertex."""
+        if vid not in self._names:
+            raise GraphError(f"vertex {vid} not in graph")
+        self._names[vid] = name
+
+    def remove_vertex(self, vid: int) -> None:
+        """Remove ``vid`` and every edge incident to it."""
+        if vid not in self._names:
+            raise GraphError(f"vertex {vid} not in graph")
+        for succ in self._succ[vid]:
+            self._pred[succ].discard(vid)
+        for pred in self._pred[vid]:
+            self._succ[pred].discard(vid)
+        del self._names[vid]
+        del self._succ[vid]
+        del self._pred[vid]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._names)
+
+    def name(self, vid: int) -> str:
+        """Return the name of vertex ``vid`` (``Name(v)`` in the paper)."""
+        try:
+            return self._names[vid]
+        except KeyError:
+            raise GraphError(f"vertex {vid} not in graph") from None
+
+    def vertices(self) -> Iterable[int]:
+        """Iterate over vertex identifiers."""
+        return self._names.keys()
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges as ``(u, v)`` pairs."""
+        for u, succs in self._succ.items():
+            for v in succs:
+                yield (u, v)
+
+    def edge_count(self) -> int:
+        """The number of directed edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True when the edge ``(u, v)`` is present."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, vid: int) -> Set[int]:
+        """Direct successors of ``vid`` (returned as a fresh set)."""
+        try:
+            return set(self._succ[vid])
+        except KeyError:
+            raise GraphError(f"vertex {vid} not in graph") from None
+
+    def predecessors(self, vid: int) -> Set[int]:
+        """Direct predecessors of ``vid`` (returned as a fresh set)."""
+        try:
+            return set(self._pred[vid])
+        except KeyError:
+            raise GraphError(f"vertex {vid} not in graph") from None
+
+    def out_degree(self, vid: int) -> int:
+        """Number of outgoing edges of ``vid``."""
+        return len(self._succ[vid])
+
+    def in_degree(self, vid: int) -> int:
+        """Number of incoming edges of ``vid``."""
+        return len(self._pred[vid])
+
+    def sources(self) -> List[int]:
+        """Vertices with no incoming edges."""
+        return [v for v in self._names if not self._pred[v]]
+
+    def sinks(self) -> List[int]:
+        """Vertices with no outgoing edges."""
+        return [v for v in self._names if not self._succ[v]]
+
+    def vertices_named(self, name: str) -> List[int]:
+        """All vertices labeled ``name``."""
+        return [v for v, n in self._names.items() if n == name]
+
+    # ------------------------------------------------------------------
+    # orderings and validation
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[int]:
+        """Return a topological order of the vertices (Kahn's algorithm).
+
+        Raises :class:`CycleError` if the graph contains a cycle.
+        """
+        indeg = {v: len(self._pred[v]) for v in self._names}
+        queue = deque(v for v, d in indeg.items() if d == 0)
+        order: List[int] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if len(order) != len(self._names):
+            raise CycleError("graph contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True when the graph has no directed cycle."""
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        Verifies adjacency symmetry (every forward edge has its backward
+        mirror) and acyclicity.
+        """
+        for u, succs in self._succ.items():
+            for v in succs:
+                if u not in self._pred[v]:
+                    raise GraphError(f"asymmetric adjacency for edge ({u}, {v})")
+        for v, preds in self._pred.items():
+            for u in preds:
+                if v not in self._succ[u]:
+                    raise GraphError(f"asymmetric adjacency for edge ({u}, {v})")
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "NamedDAG":
+        """Return an independent deep copy (same vertex identifiers)."""
+        other = NamedDAG()
+        other._names = dict(self._names)
+        other._succ = {v: set(s) for v, s in self._succ.items()}
+        other._pred = {v: set(p) for v, p in self._pred.items()}
+        return other
+
+    def relabeled(self, mapping: Dict[int, int]) -> "NamedDAG":
+        """Return a copy with vertex ids substituted through ``mapping``.
+
+        Every vertex must be a key of ``mapping`` and the mapped ids must be
+        pairwise distinct.
+        """
+        other = NamedDAG()
+        for v, name in self._names.items():
+            other.add_vertex(mapping[v], name)
+        for u, v in self.edges():
+            other.add_edge(mapping[u], mapping[v])
+        if len(other) != len(self):
+            raise GraphError("relabeling mapping is not injective")
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NamedDAG(|V|={len(self._names)}, |E|={self.edge_count()})"
+        )
+
+
+def induced_subgraph(graph: NamedDAG, keep: Iterable[int]) -> NamedDAG:
+    """Return the subgraph of ``graph`` induced by the vertex set ``keep``."""
+    keep_set = set(keep)
+    sub = NamedDAG()
+    for v in keep_set:
+        sub.add_vertex(v, graph.name(v))
+    for u, v in graph.edges():
+        if u in keep_set and v in keep_set:
+            sub.add_edge(u, v)
+    return sub
+
+
+def merge_disjoint(graphs: Iterable[NamedDAG]) -> NamedDAG:
+    """Union of vertex/edge sets of pairwise vertex-disjoint graphs."""
+    graph_list = list(graphs)
+    merged = NamedDAG()
+    for g in graph_list:
+        for v in g.vertices():
+            merged.add_vertex(v, g.name(v))
+    for g in graph_list:
+        for u, v in g.edges():
+            merged.add_edge(u, v)
+    return merged
+
+
+def find_unique(graph: NamedDAG, name: str) -> Optional[int]:
+    """Return the unique vertex named ``name`` or None; error if ambiguous."""
+    matches = graph.vertices_named(name)
+    if not matches:
+        return None
+    if len(matches) > 1:
+        raise GraphError(f"name {name!r} is ambiguous ({len(matches)} vertices)")
+    return matches[0]

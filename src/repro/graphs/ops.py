@@ -1,0 +1,107 @@
+"""The four graph operations of the paper (Definitions 1-4).
+
+* :func:`series_composition`  -- ``S(g1, ..., gn)`` (Definition 1)
+* :func:`parallel_composition` -- ``P(g1, ..., gn)`` (Definition 2)
+* :func:`insert_vertex`        -- ``g + (v, C)``     (Definition 3)
+* :func:`replace_vertex`       -- ``g[u / h]``       (Definition 4)
+
+Compositions require operand graphs with pairwise disjoint vertex sets and
+produce a *new* graph; insertion and replacement mutate ``g`` in place,
+which is what the dynamic labeling problems need (the run graph evolves,
+vertex identities persist).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.digraph import NamedDAG, merge_disjoint
+from repro.graphs.two_terminal import TwoTerminalGraph, check_disjoint
+
+
+def series_composition(graphs: Sequence[TwoTerminalGraph]) -> TwoTerminalGraph:
+    """Definition 1: chain ``g1 -> g2 -> ... -> gn`` through sink-source edges.
+
+    Takes the union of vertex and edge sets and adds the edge
+    ``(t(g_i), s(g_{i+1}))`` for consecutive operands.  The result is again
+    two-terminal with source ``s(g1)`` and sink ``t(gn)``.
+    """
+    if not graphs:
+        raise GraphError("series composition of zero graphs")
+    check_disjoint(graphs)
+    merged = merge_disjoint(g.dag for g in graphs)
+    for left, right in zip(graphs, graphs[1:]):
+        merged.add_edge(left.sink, right.source)
+    return TwoTerminalGraph(merged, graphs[0].source, graphs[-1].sink)
+
+
+def parallel_composition(graphs: Sequence[TwoTerminalGraph]) -> NamedDAG:
+    """Definition 2: the plain union of the operands' vertex and edge sets.
+
+    Note the result is *not* two-terminal (it has ``n`` sources and ``n``
+    sinks); the paper only ever uses it as the body of a vertex replacement,
+    where Definition 4 wires every source to the predecessors and every sink
+    to the successors of the replaced fork vertex.
+    """
+    if not graphs:
+        raise GraphError("parallel composition of zero graphs")
+    check_disjoint(graphs)
+    return merge_disjoint(g.dag for g in graphs)
+
+
+def insert_vertex(graph: NamedDAG, vid: int, name: str, preds: Iterable[int]) -> None:
+    """Definition 3: add ``vid`` with edges from every vertex in ``preds``.
+
+    This is the update primitive of the *execution-based* dynamic labeling
+    problem: a module execution is appended with edges from the already
+    executed vertices that produced its inputs.  Mutates ``graph``.
+    """
+    pred_list = list(preds)
+    for p in pred_list:
+        if p not in graph:
+            raise GraphError(f"insertion predecessor {p} not in graph")
+    graph.add_vertex(vid, name)
+    for p in pred_list:
+        graph.add_edge(p, vid)
+
+
+def replace_vertex(graph: NamedDAG, u: int, body: NamedDAG) -> None:
+    """Definition 4: ``g[u / h]`` -- substitute vertex ``u`` by the graph ``h``.
+
+    Deletes ``u`` (and its incident edges), adds ``h``, and wires every
+    predecessor of ``u`` to every *source* of ``h`` and every *sink* of
+    ``h`` to every successor of ``u``.  ``h`` may be a two-terminal graph's
+    DAG or a parallel composition with several sources/sinks (the fork
+    case).  Mutates ``graph``; ``body``'s vertex ids must be disjoint from
+    ``graph``'s.
+
+    This is the update primitive of the *derivation-based* dynamic labeling
+    problem.  Replacement preserves reachability among pre-existing vertices
+    (Remark 1 / Lemma 4.3), which is what makes persistent labels possible.
+    """
+    if u not in graph:
+        raise GraphError(f"replaced vertex {u} not in graph")
+    for v in body.vertices():
+        if v in graph:
+            raise GraphError(f"replacement body reuses vertex id {v}")
+    preds = graph.predecessors(u)
+    succs = graph.successors(u)
+    graph.remove_vertex(u)
+    for v in body.vertices():
+        graph.add_vertex(v, body.name(v))
+    body_sources = []
+    body_sinks = []
+    for v in body.vertices():
+        if not body.predecessors(v):
+            body_sources.append(v)
+        if not body.successors(v):
+            body_sinks.append(v)
+    for a, b in body.edges():
+        graph.add_edge(a, b)
+    for p in preds:
+        for s in body_sources:
+            graph.add_edge(p, s)
+    for t in body_sinks:
+        for q in succs:
+            graph.add_edge(t, q)

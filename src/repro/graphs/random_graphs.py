@@ -1,0 +1,108 @@
+"""Random two-terminal DAG generation for synthetic workloads.
+
+The synthetic workflows of Section 7.3 use "random two-terminal graphs of
+some fixed size" as sub-workflow bodies.  :func:`random_two_terminal_dag`
+produces such graphs with the *spanning* property (every vertex on a
+source-to-sink path), which the paper's loop-case reasoning assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.two_terminal import TwoTerminalGraph
+
+
+def random_two_terminal_dag(
+    size: int,
+    rng: random.Random,
+    names: Optional[Sequence[str]] = None,
+    extra_edge_prob: float = 0.15,
+) -> TwoTerminalGraph:
+    """Generate a random spanning two-terminal DAG with ``size`` vertices.
+
+    Construction: place the vertices on a random topological line with the
+    source first and the sink last; give every internal vertex one random
+    predecessor and one random successor consistent with the line (which
+    guarantees the spanning property), then sprinkle extra forward edges
+    with probability ``extra_edge_prob``.
+
+    ``names`` supplies the vertex names positionally (defaults to
+    ``v0..v{size-1}``); vertex ids are ``0..size-1`` in line order.
+    """
+    if size < 2:
+        raise GraphError("a two-terminal graph needs at least 2 vertices")
+    if names is None:
+        names = [f"v{i}" for i in range(size)]
+    if len(names) != size:
+        raise GraphError(f"expected {size} names, got {len(names)}")
+    dag = NamedDAG()
+    for vid in range(size):
+        dag.add_vertex(vid, names[vid])
+    # every internal vertex gets a predecessor earlier on the line ...
+    for vid in range(1, size):
+        pred = rng.randrange(0, vid)
+        dag.add_edge(pred, vid)
+    # ... and a successor later on the line (sink excluded).
+    for vid in range(0, size - 1):
+        if not dag.successors(vid):
+            succ = rng.randrange(vid + 1, size)
+            dag.add_edge(vid, succ)
+    # sprinkle extra forward edges.
+    if extra_edge_prob > 0:
+        for u in range(size - 1):
+            for v in range(u + 1, size):
+                if rng.random() < extra_edge_prob and not dag.has_edge(u, v):
+                    dag.add_edge(u, v)
+    # ensure single source / single sink: wire stray sources below 0,
+    # stray sinks above size-1.
+    for v in list(dag.vertices()):
+        if v != 0 and not dag.predecessors(v):
+            dag.add_edge(rng.randrange(0, v), v)
+        if v != size - 1 and not dag.successors(v):
+            dag.add_edge(v, rng.randrange(v + 1, size))
+    graph = TwoTerminalGraph(dag, 0, size - 1)
+    graph.validate()
+    return graph
+
+
+def random_chain(size: int, names: Optional[Sequence[str]] = None) -> TwoTerminalGraph:
+    """A deterministic path graph with ``size`` vertices (useful in tests)."""
+    if size < 1:
+        raise GraphError("chain needs at least one vertex")
+    if names is None:
+        names = [f"v{i}" for i in range(size)]
+    dag = NamedDAG()
+    for vid in range(size):
+        dag.add_vertex(vid, names[vid])
+    for vid in range(size - 1):
+        dag.add_edge(vid, vid + 1)
+    return TwoTerminalGraph(dag, 0, size - 1)
+
+
+def random_insertion_order(
+    graph: NamedDAG, rng: random.Random
+) -> List[int]:
+    """A uniformly-random-ish topological order of ``graph``.
+
+    Kahn's algorithm with random tie-breaking; used to turn derivations
+    into execution (insertion) sequences.
+    """
+    indeg = {v: graph.in_degree(v) for v in graph.vertices()}
+    ready = [v for v, d in indeg.items() if d == 0]
+    order: List[int] = []
+    while ready:
+        idx = rng.randrange(len(ready))
+        ready[idx], ready[-1] = ready[-1], ready[idx]
+        v = ready.pop()
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if len(order) != len(list(graph.vertices())):
+        raise GraphError("graph contains a cycle")
+    return order

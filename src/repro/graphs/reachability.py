@@ -1,0 +1,124 @@
+"""Reachability utilities: BFS search and bitset transitive closure.
+
+``v ;_g v'`` in the paper denotes "there is a path from v to v' in g".
+Throughout this library reachability is *reflexive*: every vertex reaches
+itself (paths of length zero), matching the reflexive-transitive closures
+used by the paper's grammar machinery and making the labeling predicates
+total.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set
+
+from repro.errors import GraphError
+from repro.graphs.digraph import NamedDAG
+
+
+def reaches(graph: NamedDAG, u: int, v: int) -> bool:
+    """True when there is a (possibly empty) path from ``u`` to ``v``.
+
+    Plain BFS; O(|V| + |E|).  This is the ground-truth oracle the labeling
+    schemes are tested against, and also the query procedure of the ``BFS``
+    skeleton scheme.
+    """
+    if u not in graph or v not in graph:
+        raise GraphError("reachability query on vertices not in graph")
+    if u == v:
+        return True
+    seen = {u}
+    queue = deque((u,))
+    while queue:
+        w = queue.popleft()
+        for succ in graph.successors(w):
+            if succ == v:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return False
+
+
+def descendants_of(graph: NamedDAG, u: int) -> Set[int]:
+    """All vertices reachable from ``u``, including ``u`` itself."""
+    seen = {u}
+    queue = deque((u,))
+    while queue:
+        w = queue.popleft()
+        for succ in graph.successors(w):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def ancestors_of(graph: NamedDAG, v: int) -> Set[int]:
+    """All vertices that reach ``v``, including ``v`` itself."""
+    seen = {v}
+    queue = deque((v,))
+    while queue:
+        w = queue.popleft()
+        for pred in graph.predecessors(w):
+            if pred not in seen:
+                seen.add(pred)
+                queue.append(pred)
+    return seen
+
+
+class TransitiveClosure:
+    """Materialized transitive closure of a DAG, stored as integer bitsets.
+
+    Vertices are ranked in topological order; the closure row of a vertex is
+    a Python integer whose bit ``r`` is set when the vertex with rank ``r``
+    reaches it.  Construction is O(|V| * |E| / wordsize); queries are O(1)
+    word operations.  This mirrors the TCL skeleton scheme of Section 3.2.
+    """
+
+    __slots__ = ("_rank", "_row")
+
+    def __init__(self, graph: NamedDAG) -> None:
+        order = graph.topological_order()
+        self._rank: Dict[int, int] = {v: i for i, v in enumerate(order)}
+        # _row[v] has bit rank(u) set iff u reaches v (u != v).
+        self._row: Dict[int, int] = {v: 0 for v in order}
+        for v in order:
+            mask = self._row[v] | (1 << self._rank[v])
+            for succ in graph.successors(v):
+                self._row[succ] |= mask
+
+    def reaches(self, u: int, v: int) -> bool:
+        """True when ``u`` reaches ``v`` (reflexive)."""
+        if u == v:
+            return u in self._rank
+        return bool(self._row[v] >> self._rank[u] & 1)
+
+    def rank(self, v: int) -> int:
+        """Topological rank of ``v`` used for the bitset rows."""
+        return self._rank[v]
+
+    def row_bits(self, v: int) -> int:
+        """Raw ancestor bitset of ``v`` (excluding ``v`` itself)."""
+        return self._row[v]
+
+    def __len__(self) -> int:
+        return len(self._rank)
+
+
+def closure_pairs(graph: NamedDAG) -> Set[tuple]:
+    """The full reachability relation as a set of ordered pairs.
+
+    Exponential in memory for large graphs; meant for tests on small graphs.
+    Includes the reflexive pairs ``(v, v)``.
+    """
+    pairs = set()
+    for u in graph.vertices():
+        for v in descendants_of(graph, u):
+            pairs.add((u, v))
+    return pairs
+
+
+def restrict_topological(graph: NamedDAG, subset: Iterable[int]) -> List[int]:
+    """Topological order of ``graph`` restricted to ``subset``."""
+    keep = set(subset)
+    return [v for v in graph.topological_order() if v in keep]

@@ -1,0 +1,155 @@
+"""Two-terminal graphs: single source, single sink (the set ``G_Sigma``).
+
+A two-terminal graph is the basic building block of workflow
+specifications and runs: the source distributes the initial data and the
+sink collects the final results.  The paper additionally relies (implicitly,
+e.g. in Lemma 4.2's loop case) on every vertex lying on some source-to-sink
+path; :meth:`TwoTerminalGraph.validate` enforces that *spanning* property
+and the workload generators always produce spanning graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import GraphError, NotTwoTerminalError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.reachability import ancestors_of, descendants_of
+
+
+class TwoTerminalGraph:
+    """A :class:`NamedDAG` together with its distinguished source and sink.
+
+    The wrapper is intentionally thin: the underlying DAG is exposed via
+    :attr:`dag` and most read operations delegate to it.  ``s(g)`` and
+    ``t(g)`` of the paper are :attr:`source` and :attr:`sink`.
+    """
+
+    __slots__ = ("dag", "source", "sink")
+
+    def __init__(self, dag: NamedDAG, source: int, sink: int) -> None:
+        if source not in dag:
+            raise NotTwoTerminalError(f"source {source} not in graph")
+        if sink not in dag:
+            raise NotTwoTerminalError(f"sink {sink} not in graph")
+        self.dag = dag
+        self.source = source
+        self.sink = sink
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dag(cls, dag: NamedDAG) -> "TwoTerminalGraph":
+        """Wrap ``dag``, inferring the unique source and sink.
+
+        Raises :class:`NotTwoTerminalError` when the DAG does not have
+        exactly one source and one sink.
+        """
+        sources = dag.sources()
+        sinks = dag.sinks()
+        if len(sources) != 1:
+            raise NotTwoTerminalError(f"expected 1 source, found {len(sources)}")
+        if len(sinks) != 1:
+            raise NotTwoTerminalError(f"expected 1 sink, found {len(sinks)}")
+        return cls(dag, sources[0], sinks[0])
+
+    @classmethod
+    def build(
+        cls,
+        vertices: Iterable[tuple],
+        edges: Iterable[tuple],
+        source: Optional[int] = None,
+        sink: Optional[int] = None,
+    ) -> "TwoTerminalGraph":
+        """Convenience constructor from ``(vid, name)`` and ``(u, v)`` lists."""
+        dag = NamedDAG()
+        for vid, name in vertices:
+            dag.add_vertex(vid, name)
+        for u, v in edges:
+            dag.add_edge(u, v)
+        if source is None or sink is None:
+            return cls.from_dag(dag)
+        return cls(dag, source, sink)
+
+    # ------------------------------------------------------------------
+    # delegation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.dag)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self.dag
+
+    def name(self, vid: int) -> str:
+        """Name of vertex ``vid``."""
+        return self.dag.name(vid)
+
+    def vertices(self) -> Iterable[int]:
+        """Vertex identifiers of the underlying DAG."""
+        return self.dag.vertices()
+
+    def edges(self):
+        """Directed edges of the underlying DAG."""
+        return self.dag.edges()
+
+    # ------------------------------------------------------------------
+    def validate(self, require_spanning: bool = True) -> None:
+        """Validate two-terminality (and, by default, the spanning property).
+
+        * the DAG invariants hold (acyclic, symmetric adjacency);
+        * ``source`` is the only vertex without predecessors and ``sink``
+          the only one without successors;
+        * when ``require_spanning``, every vertex is reachable from the
+          source and reaches the sink.
+        """
+        self.dag.validate()
+        sources = self.dag.sources()
+        sinks = self.dag.sinks()
+        if sources != [self.source] and set(sources) != {self.source}:
+            raise NotTwoTerminalError(
+                f"expected single source {self.source}, found {sources}"
+            )
+        if set(sinks) != {self.sink}:
+            raise NotTwoTerminalError(
+                f"expected single sink {self.sink}, found {sinks}"
+            )
+        if len(self.dag) == 1 and self.source != self.sink:
+            raise NotTwoTerminalError("singleton graph with distinct terminals")
+        if require_spanning:
+            from_source = descendants_of(self.dag, self.source)
+            to_sink = ancestors_of(self.dag, self.sink)
+            stray = set(self.dag.vertices()) - (from_source & to_sink)
+            if stray:
+                raise NotTwoTerminalError(
+                    f"vertices not on any source-sink path: {sorted(stray)}"
+                )
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "TwoTerminalGraph":
+        """Independent deep copy with the same vertex identifiers."""
+        return TwoTerminalGraph(self.dag.copy(), self.source, self.sink)
+
+    def relabeled(self, mapping: Dict[int, int]) -> "TwoTerminalGraph":
+        """Copy with vertex ids substituted through ``mapping``."""
+        return TwoTerminalGraph(
+            self.dag.relabeled(mapping), mapping[self.source], mapping[self.sink]
+        )
+
+    def names(self) -> List[str]:
+        """All vertex names (with multiplicity), in no particular order."""
+        return [self.dag.name(v) for v in self.dag.vertices()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TwoTerminalGraph(|V|={len(self.dag)}, source={self.source}, "
+            f"sink={self.sink})"
+        )
+
+
+def check_disjoint(graphs: Iterable[TwoTerminalGraph]) -> None:
+    """Raise :class:`GraphError` unless the graphs' vertex sets are disjoint."""
+    seen: set = set()
+    for g in graphs:
+        for v in g.vertices():
+            if v in seen:
+                raise GraphError(f"vertex {v} appears in more than one operand")
+            seen.add(v)

@@ -1,0 +1,114 @@
+"""Graphviz DOT export for specifications, runs and parse trees.
+
+Produces plain DOT text (no graphviz dependency) so users can render
+workflow structure with any graphviz installation:
+
+* :func:`specification_to_dot` -- one cluster per specification graph,
+  composite vertices boxed, loop/fork modules double-boxed;
+* :func:`run_to_dot` -- the run DAG, optionally colored by the module
+  executed;
+* :func:`parse_tree_to_dot` -- the explicit parse tree with its
+  ``L``/``F``/``R`` special nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graphs.digraph import NamedDAG
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind, ParseNode
+from repro.workflow.specification import Specification
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def specification_to_dot(spec: Specification) -> str:
+    """The whole specification as one DOT digraph with clusters."""
+    lines: List[str] = [f"digraph {_quote(spec.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [fontsize=10];")
+    for cluster_id, key in enumerate(spec.graph_keys()):
+        graph = spec.graph(key)
+        head = spec.head_of(key)
+        title = key if head is None else f"{key} (implements {head})"
+        lines.append(f"  subgraph cluster_{cluster_id} {{")
+        lines.append(f"    label={_quote(title)};")
+        for vid in sorted(graph.vertices()):
+            name = graph.name(vid)
+            node_id = f"{key}_{vid}".replace("#", "_")
+            if spec.is_loop(name) or spec.is_fork(name):
+                shape = "doubleoctagon"
+            elif spec.is_atomic(name):
+                shape = "ellipse"
+            else:
+                shape = "box"
+            lines.append(
+                f"    {_quote(node_id)} [label={_quote(name)}, shape={shape}];"
+            )
+        for u, v in sorted(graph.edges()):
+            a = f"{key}_{u}".replace("#", "_")
+            b = f"{key}_{v}".replace("#", "_")
+            lines.append(f"    {_quote(a)} -> {_quote(b)};")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_to_dot(
+    graph: NamedDAG,
+    title: str = "run",
+    highlight: Optional[List[int]] = None,
+) -> str:
+    """A run graph as DOT; ``highlight`` marks a vertex set (e.g. a
+    witness path) in a distinct style."""
+    marked = set(highlight or ())
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    for vid in sorted(graph.vertices()):
+        attrs = [f"label={_quote(f'{graph.name(vid)}:{vid}')}"]
+        if vid in marked:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="lightblue"')
+        lines.append(f"  v{vid} [{', '.join(attrs)}];")
+    for u, v in sorted(graph.edges()):
+        style = ' [penwidth=2]' if u in marked and v in marked else ""
+        lines.append(f"  v{u} -> v{v}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def parse_tree_to_dot(tree: ExplicitParseTree, title: str = "parse-tree") -> str:
+    """The explicit parse tree as DOT (special nodes shaped distinctly)."""
+    lines = [f"digraph {_quote(title)} {{"]
+    shapes = {
+        NodeKind.N: "box",
+        NodeKind.L: "circle",
+        NodeKind.F: "diamond",
+        NodeKind.R: "octagon",
+    }
+    counter = 0
+    ids = {}
+
+    def visit(node: ParseNode) -> None:
+        nonlocal counter
+        ids[node] = counter
+        if node.kind is NodeKind.N:
+            assert node.instance is not None
+            label = f"[{node.index}] {node.instance.key}"
+        else:
+            label = f"[{node.index}] {node.kind.value}"
+        lines.append(
+            f"  n{counter} [label={_quote(label)}, "
+            f"shape={shapes[node.kind]}];"
+        )
+        counter += 1
+        for child in node.children:
+            visit(child)
+            lines.append(f"  n{ids[node]} -> n{ids[child]};")
+
+    if tree.root is not None:
+        visit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Persisted label maps: the compact binary codec on disk.
+
+A label store is a JSON document mapping vertex ids to base64-encoded
+bitstrings produced by :class:`repro.labeling.serialize.LabelCodec`.
+This is what a provenance system would keep next to its execution log:
+labels are written once (they never change) and loaded back to answer
+queries without re-labeling the run.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Dict
+
+from repro.io.xmlio import FormatError
+from repro.labeling.drl import Label
+from repro.labeling.serialize import LabelCodec
+from repro.workflow.specification import Specification
+
+_FORMAT = "repro-labels"
+_VERSION = 1
+
+
+def save_labels(
+    labels: Dict[int, Label], spec: Specification, path
+) -> None:
+    """Encode and write a vertex -> label map."""
+    codec = LabelCodec(spec)
+    entries = {}
+    for vid, label in labels.items():
+        payload, bits = codec.encode(label)
+        entries[str(vid)] = {
+            "bits": bits,
+            "data": base64.b64encode(payload).decode("ascii"),
+        }
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "spec": spec.name,
+        "labels": entries,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def load_labels(spec: Specification, path) -> Dict[int, Label]:
+    """Read a vertex -> label map written by :func:`save_labels`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise FormatError(f"not a label store: {document.get('format')!r}")
+    codec = LabelCodec(spec)
+    labels: Dict[int, Label] = {}
+    for vid, entry in document.get("labels", {}).items():
+        payload = base64.b64decode(entry["data"])
+        labels[int(vid)] = codec.decode(payload, entry["bits"])
+    return labels

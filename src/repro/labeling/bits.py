@@ -1,0 +1,27 @@
+"""Bit accounting for reachability labels.
+
+The paper measures label quality in *bits*.  We account sizes the same
+way its analysis does (proof of Theorem 3): an index costs its binary
+length, a node type costs 2 bits, a skeleton label is stored as a pointer
+of ``log n_G`` bits into the (shared) specification labels, and each
+recursion flag costs 1 bit.
+"""
+
+from __future__ import annotations
+
+
+def uint_bits(value: int) -> int:
+    """Bits needed to write ``value`` in binary (at least 1).
+
+    ``uint_bits(0) == 1``, ``uint_bits(5) == 3``.
+    """
+    if value < 0:
+        raise ValueError("uint_bits expects a non-negative integer")
+    return max(1, value.bit_length())
+
+
+def pointer_bits(domain_size: int) -> int:
+    """Bits for a pointer addressing ``domain_size`` distinct items."""
+    if domain_size < 1:
+        raise ValueError("pointer domain must be non-empty")
+    return max(1, (domain_size - 1).bit_length())

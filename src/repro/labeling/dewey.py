@@ -1,0 +1,181 @@
+"""Dynamic Dewey labels with insert-anywhere sibling keys (ORDPATH/DDE family).
+
+The paper's prior work on dynamic trees ([10] prefix labels, [20]
+ORDPATH, [23] DDE) supports *insert-anywhere* tree growth without ever
+relabeling: new siblings can be placed before, after or **between**
+existing ones.  This module implements that capability with a clean
+invariant:
+
+* a node label is the tuple of its ancestors' *sibling keys*;
+* a sibling key is a pair ``(ordinal, tiebreak)``: an integer ordinal
+  (so plain appends cost O(log n) bits, like ORDPATH's odd ordinals)
+  plus a dyadic binary tiebreak in [0, 1) written with no trailing
+  zeros (so a fresh key strictly between any two neighbours always
+  exists, like ORDPATH's carets).
+
+Ancestry is component-prefix testing and document order is
+component-wise comparison, both label-only.  Like every dynamic tree
+scheme it has a Theta(n)-bit worst case (repeatedly inserting into the
+same gap), matching the "Trees (dynamic)" row of Figure 1; appends and
+balanced insertions stay logarithmic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LabelingError
+from repro.labeling.bits import uint_bits
+
+# a sibling key: (integer ordinal, dyadic tiebreak with no trailing zeros)
+SiblingKey = Tuple[int, str]
+DeweyLabel = Tuple[SiblingKey, ...]
+
+ROOT: DeweyLabel = ()
+
+
+def _frac_value(tiebreak: str) -> Fraction:
+    """Numeric value of the dyadic tiebreak part ('' = 0)."""
+    value = Fraction(0)
+    weight = Fraction(1, 2)
+    for char in tiebreak:
+        if char == "1":
+            value += weight
+        elif char != "0":
+            raise LabelingError(f"invalid tiebreak character {char!r}")
+        weight /= 2
+    return value
+
+
+def _frac_from_value(value: Fraction) -> str:
+    """Binary expansion of a dyadic fraction in (0, 1)."""
+    if not 0 < value < 1:
+        raise LabelingError(f"tiebreak value {value} outside (0, 1)")
+    digits: List[str] = []
+    remainder = value
+    while remainder:
+        remainder *= 2
+        if remainder >= 1:
+            digits.append("1")
+            remainder -= 1
+        else:
+            digits.append("0")
+    return "".join(digits)
+
+
+def key_value(key: SiblingKey) -> Fraction:
+    """Numeric value of a sibling key (ordinal + tiebreak)."""
+    ordinal, tiebreak = key
+    return ordinal + _frac_value(tiebreak)
+
+
+def key_between(
+    left: Optional[SiblingKey], right: Optional[SiblingKey]
+) -> SiblingKey:
+    """A fresh key strictly between two neighbours (None = open end)."""
+    if left is None and right is None:
+        return (0, "")
+    if right is None:
+        assert left is not None
+        return (left[0] + 1, "")
+    if left is None:
+        return (right[0] - 1, "")
+    if not key_value(left) < key_value(right):
+        raise LabelingError(f"no key fits between {left!r} and {right!r}")
+    k1, f1 = left
+    k2, _ = right
+    if k2 - k1 >= 2:
+        return (k1 + 1, "")
+    if k2 == k1 + 1:
+        # extend left's tiebreak toward 1: midpoint of (f1, 1)
+        return (k1, _frac_from_value((_frac_value(f1) + 1) / 2))
+    # same ordinal: midpoint of the two tiebreaks
+    mid = (key_value(left) + key_value(right)) / 2
+    return (k1, _frac_from_value(mid - k1))
+
+
+def is_ancestor(label_u: DeweyLabel, label_v: DeweyLabel) -> bool:
+    """Reflexive ancestor test: component-prefix."""
+    return label_v[: len(label_u)] == label_u
+
+
+def document_order(label_u: DeweyLabel, label_v: DeweyLabel) -> int:
+    """-1 / 0 / +1 in document (pre-)order.
+
+    Component tuples compare by (ordinal, tiebreak); the tiebreak's
+    lexicographic order equals its numeric order because it carries no
+    trailing zeros.  An ancestor precedes its descendants.
+    """
+    if label_u == label_v:
+        return 0
+    return -1 if label_u < label_v else 1
+
+
+def label_bits(label: DeweyLabel) -> int:
+    """Accounted size: ordinal + sign + tiebreak bits + delimiter."""
+    total = 0
+    for ordinal, tiebreak in label:
+        total += uint_bits(abs(ordinal)) + 1 + len(tiebreak) + 1
+    return total
+
+
+class DeweyTree:
+    """A growing ordered tree labeled with dynamic Dewey labels.
+
+    All mutators return the new node's label; existing labels are never
+    modified (the dynamic-labeling contract of Definition 8).
+    """
+
+    def __init__(self) -> None:
+        self._children: Dict[DeweyLabel, List[SiblingKey]] = {ROOT: []}
+
+    def _require(self, label: DeweyLabel) -> List[SiblingKey]:
+        try:
+            return self._children[label]
+        except KeyError:
+            raise LabelingError(f"unknown node {label!r}") from None
+
+    def _attach(self, parent: DeweyLabel, key: SiblingKey, index: int) -> DeweyLabel:
+        self._require(parent).insert(index, key)
+        label = parent + (key,)
+        self._children[label] = []
+        return label
+
+    # ------------------------------------------------------------------
+    def append_child(self, parent: DeweyLabel = ROOT) -> DeweyLabel:
+        """Add a new last child under ``parent``."""
+        keys = self._require(parent)
+        key = key_between(keys[-1] if keys else None, None)
+        return self._attach(parent, key, len(keys))
+
+    def prepend_child(self, parent: DeweyLabel = ROOT) -> DeweyLabel:
+        """Add a new first child under ``parent``."""
+        keys = self._require(parent)
+        key = key_between(None, keys[0] if keys else None)
+        return self._attach(parent, key, 0)
+
+    def insert_before(self, sibling: DeweyLabel) -> DeweyLabel:
+        """Insert a new node immediately before ``sibling``."""
+        parent, key = sibling[:-1], sibling[-1]
+        keys = self._require(parent)
+        index = keys.index(key)
+        left = keys[index - 1] if index > 0 else None
+        return self._attach(parent, key_between(left, key), index)
+
+    def insert_after(self, sibling: DeweyLabel) -> DeweyLabel:
+        """Insert a new node immediately after ``sibling``."""
+        parent, key = sibling[:-1], sibling[-1]
+        keys = self._require(parent)
+        index = keys.index(key)
+        right = keys[index + 1] if index + 1 < len(keys) else None
+        return self._attach(parent, key_between(key, right), index + 1)
+
+    # ------------------------------------------------------------------
+    def ordered_children(self, parent: DeweyLabel = ROOT) -> List[DeweyLabel]:
+        """Children of ``parent`` in sibling order."""
+        return [parent + (key,) for key in self._require(parent)]
+
+    def nodes(self) -> List[DeweyLabel]:
+        """All labels except the root sentinel, in document order."""
+        return sorted(label for label in self._children if label != ROOT)

@@ -1,0 +1,149 @@
+"""GRAIL-style randomized interval index for general DAGs.
+
+One of the alternative approaches the paper surveys for reachability
+over large DAGs (Yildirim, Chaoji & Zaki, PVLDB 2010 -- reference [24]):
+since compact *exact* labels are impossible for general DAGs (the
+Omega(n) bound of Section 3), GRAIL assigns each vertex ``k`` interval
+labels from random post-order traversals.  Containment of all ``k``
+intervals is a *necessary* condition for reachability, so a failed
+containment answers "unreachable" in O(k); positive candidates fall back
+to a depth-first search.
+
+Included as a baseline substrate: it shows what general-purpose indexes
+give up against DRL's specification-aware labels (no O(1) guarantee, a
+graph-sized fallback) and powers an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import LabelingError
+from repro.graphs.digraph import NamedDAG
+from repro.labeling.bits import uint_bits
+
+
+@dataclass(frozen=True)
+class GrailLabel:
+    """``k`` nested intervals: (low, post) per random traversal."""
+
+    intervals: Tuple[Tuple[int, int], ...]
+
+    @property
+    def bits(self) -> int:
+        """Accounted size of the label in bits."""
+        return sum(uint_bits(a) + uint_bits(b) for a, b in self.intervals)
+
+
+class GrailIndex:
+    """Randomized interval index over one static DAG.
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index (held for fallback searches).
+    traversals:
+        ``k``, the number of random post-order labelings (paper default 5).
+    rng:
+        Randomness source for the traversal orders.
+    """
+
+    def __init__(
+        self,
+        graph: NamedDAG,
+        traversals: int = 3,
+        rng: random.Random = None,
+    ) -> None:
+        if traversals < 1:
+            raise LabelingError("need at least one traversal")
+        self.graph = graph
+        self._rng = rng if rng is not None else random.Random(0)
+        per_vertex: Dict[int, List[Tuple[int, int]]] = {
+            v: [] for v in graph.vertices()
+        }
+        for _ in range(traversals):
+            for v, interval in self._one_traversal().items():
+                per_vertex[v].append(interval)
+        self._labels = {
+            v: GrailLabel(intervals=tuple(ivs)) for v, ivs in per_vertex.items()
+        }
+        # statistics: how often the containment filter is conclusive
+        self.fallback_searches = 0
+        self.queries = 0
+
+    def _one_traversal(self) -> Dict[int, Tuple[int, int]]:
+        """One randomized post-order labeling: (min descendant rank, rank)."""
+        order: Dict[int, Tuple[int, int]] = {}
+        counter = 0
+        visited = set()
+        roots = list(self.graph.sources())
+        self._rng.shuffle(roots)
+        for root in roots:
+            # iterative randomized DFS
+            stack: List[Tuple[int, bool]] = [(root, False)]
+            while stack:
+                node, done = stack.pop()
+                if done:
+                    counter += 1
+                    low = counter
+                    for succ in self.graph.successors(node):
+                        low = min(low, order[succ][0])
+                    order[node] = (low, counter)
+                    continue
+                if node in visited:
+                    continue
+                visited.add(node)
+                stack.append((node, True))
+                children = [
+                    s for s in self.graph.successors(node) if s not in visited
+                ]
+                self._rng.shuffle(children)
+                for child in children:
+                    stack.append((child, False))
+        return order
+
+    # ------------------------------------------------------------------
+    def label(self, vid: int) -> GrailLabel:
+        """The interval label of one vertex."""
+        try:
+            return self._labels[vid]
+        except KeyError:
+            raise LabelingError(f"vertex {vid} not indexed") from None
+
+    @staticmethod
+    def may_reach(label_u: GrailLabel, label_v: GrailLabel) -> bool:
+        """The containment filter: False answers are definitive."""
+        for (lu, pu), (lv, pv) in zip(label_u.intervals, label_v.intervals):
+            if not (lu <= lv and pv <= pu):
+                return False
+        return True
+
+    def reaches(self, u: int, v: int) -> bool:
+        """Exact reachability: filter first, guided DFS on candidates."""
+        self.queries += 1
+        if u == v:
+            return True
+        label_u, label_v = self.label(u), self.label(v)
+        if not self.may_reach(label_u, label_v):
+            return False
+        # guided DFS: prune every branch whose intervals exclude v
+        self.fallback_searches += 1
+        stack = [u]
+        seen = {u}
+        while stack:
+            node = stack.pop()
+            if node == v:
+                return True
+            for succ in self.graph.successors(node):
+                if succ in seen:
+                    continue
+                if self.may_reach(self.label(succ), label_v) or succ == v:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def total_bits(self) -> int:
+        """Total accounted index size in bits."""
+        return sum(label.bits for label in self._labels.values())

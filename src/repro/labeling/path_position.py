@@ -1,0 +1,107 @@
+"""The Example 15 scheme: position labels for path-shaped run languages.
+
+Section 6 shows the Omega(n) execution-based lower bound only for
+*parallel* recursive workflows and leaves series-only recursion open;
+Example 15 exhibits a nonlinear (series-)recursive grammar -- Figure 12
+-- whose runs are simple paths, where the trivial dynamic scheme "label
+the i-th inserted vertex with i" is compact and exact.
+
+:class:`PathPositionScheme` implements exactly that: O(log n)-bit labels,
+O(1) queries, fully dynamic -- but *only sound for specifications whose
+every run is a path* (checked structurally as insertions arrive).  It
+turns the paper's closing open-problem discussion into running code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ExecutionError, LabelingError, UnsupportedWorkflowError
+from repro.labeling.bits import uint_bits
+from repro.workflow.execution import Insertion
+from repro.workflow.grammar import GrammarInfo, analyze_grammar
+from repro.workflow.specification import Specification
+
+# a label is simply the insertion position (0-based)
+PositionLabel = int
+
+
+def runs_are_paths(spec: Specification, info: Optional[GrammarInfo] = None) -> bool:
+    """Sufficient structural check that every run of ``spec`` is a path.
+
+    True when every specification graph is itself a path (out-degree and
+    in-degree at most 1) and there are no fork modules: series and
+    single replacements of path bodies inside paths stay paths.
+    """
+    if spec.forks:
+        return False
+    for key in spec.graph_keys():
+        graph = spec.graph(key)
+        for v in graph.vertices():
+            if graph.dag.out_degree(v) > 1 or graph.dag.in_degree(v) > 1:
+                return False
+    return True
+
+
+class PathPositionScheme:
+    """Dynamic position labels for path-shaped runs (Example 15).
+
+    ``insert`` labels each vertex with its insertion position; on a path
+    the (unique) topological order *is* the reachability order, so
+    ``u ~> v  iff  position(u) <= position(v)``.  Insertions that reveal
+    a non-path structure raise immediately.
+    """
+
+    def __init__(self, spec: Specification, info: Optional[GrammarInfo] = None):
+        if not runs_are_paths(spec, info):
+            raise UnsupportedWorkflowError(
+                "PathPositionScheme needs a specification whose runs are "
+                "simple paths (no forks, path-shaped bodies)"
+            )
+        self.spec = spec
+        self._labels: Dict[int, PositionLabel] = {}
+        self._last_vid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def insert(self, vid: int, preds: Iterable[int]) -> PositionLabel:
+        """Label the next vertex of the path execution."""
+        if vid in self._labels:
+            raise ExecutionError(f"vertex {vid} inserted twice")
+        pred_list = list(preds)
+        if len(pred_list) > 1:
+            raise ExecutionError("run is not a path: vertex has two inputs")
+        if self._last_vid is None:
+            if pred_list:
+                raise ExecutionError("first vertex cannot have predecessors")
+        elif pred_list != [self._last_vid]:
+            raise ExecutionError(
+                "run is not a path: insertion does not extend the tail"
+            )
+        label = len(self._labels)
+        self._labels[vid] = label
+        self._last_vid = vid
+        return label
+
+    def insert_all(self, insertions: Iterable[Insertion]) -> Dict[int, PositionLabel]:
+        """Label a whole insertion stream; returns vid -> label."""
+        for ins in insertions:
+            self.insert(ins.vid, ins.preds)
+        return dict(self._labels)
+
+    def label(self, vid: int) -> PositionLabel:
+        """The position label of an inserted vertex."""
+        try:
+            return self._labels[vid]
+        except KeyError:
+            raise LabelingError(f"vertex {vid} has no label") from None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def query(label_u: PositionLabel, label_v: PositionLabel) -> bool:
+        """Reflexive reachability: earlier position reaches later."""
+        return label_u <= label_v
+
+    @staticmethod
+    def label_bits(label: PositionLabel) -> int:
+        """Size of one position label."""
+        return uint_bits(label)

@@ -1,0 +1,162 @@
+"""Binary serialization of DRL labels.
+
+The bit accounting of :meth:`DRL.label_bits` claims a label fits in so
+many bits; this module makes the claim concrete by actually encoding
+labels into a self-delimiting bitstring and decoding them back.  The
+wire format per entry:
+
+* ``index``    -- Elias-gamma coded (self-delimiting, ~2 log i bits);
+* ``kind``     -- 2 bits (N=0, L=1, F=2, R=3);
+* ``has_skl``  -- 1 bit, followed (when set) by a fixed-width graph-key
+  ordinal and vertex ordinal (the "pointer" into the shared skeleton
+  labels);
+* ``has_rec``  -- 1 bit, followed (when set) by the two recursion flags.
+
+The encoded size is within a small constant factor of the accounted
+size (gamma coding doubles the index bits to make them self-delimiting);
+round-tripping is exact, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import LabelingError
+from repro.labeling.bits import pointer_bits
+from repro.labeling.drl import Entry, Label, SkeletonRef
+from repro.parsetree.explicit import NodeKind
+from repro.workflow.specification import Specification
+
+_KIND_CODES = {NodeKind.N: 0, NodeKind.L: 1, NodeKind.F: 2, NodeKind.R: 3}
+_KIND_FROM_CODE = {v: k for k, v in _KIND_CODES.items()}
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write_bit(self, bit: int) -> None:
+        self._bits.append(1 if bit else 0)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Write ``value`` in ``width`` bits, most significant first."""
+        if value < 0 or value >= (1 << width):
+            raise LabelingError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append(value >> shift & 1)
+
+    def write_gamma(self, value: int) -> None:
+        """Elias-gamma code for ``value >= 0`` (coded as value + 1)."""
+        n = value + 1
+        width = n.bit_length()
+        for _ in range(width - 1):
+            self._bits.append(0)
+        self.write_uint(n, width)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for i in range(0, len(self._bits), 8):
+            byte = 0
+            for bit in self._bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            byte <<= max(0, 8 - len(self._bits[i : i + 8]))
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Sequential reader over a bit buffer."""
+
+    def __init__(self, data: bytes, bit_length: int) -> None:
+        self._data = data
+        self._length = bit_length
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        if self._pos >= self._length:
+            raise LabelingError("bitstring exhausted")
+        byte = self._data[self._pos // 8]
+        bit = byte >> (7 - self._pos % 8) & 1
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_gamma(self) -> int:
+        zeros = 0
+        while self.read_bit() == 0:
+            zeros += 1
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.read_bit()
+        return value - 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._length
+
+
+class LabelCodec:
+    """Encode/decode DRL labels for one specification."""
+
+    def __init__(self, spec: Specification) -> None:
+        self.spec = spec
+        self._keys: List[str] = list(spec.graph_keys())
+        self._key_ordinal: Dict[str, int] = {
+            key: i for i, key in enumerate(self._keys)
+        }
+        self._key_bits = pointer_bits(max(len(self._keys), 2))
+        self._vertex_bits = pointer_bits(max(spec.max_graph_size, 2))
+
+    # ------------------------------------------------------------------
+    def encode(self, label: Label) -> Tuple[bytes, int]:
+        """Encode a label; returns ``(payload, bit_length)``."""
+        writer = BitWriter()
+        writer.write_gamma(len(label))
+        for entry in label:
+            writer.write_gamma(entry.index)
+            writer.write_uint(_KIND_CODES[entry.kind], 2)
+            if entry.skl is None:
+                writer.write_bit(0)
+            else:
+                writer.write_bit(1)
+                writer.write_uint(self._key_ordinal[entry.skl.key], self._key_bits)
+                writer.write_uint(entry.skl.vertex, self._vertex_bits)
+            if entry.rec1 is None:
+                writer.write_bit(0)
+            else:
+                writer.write_bit(1)
+                writer.write_bit(1 if entry.rec1 else 0)
+                writer.write_bit(1 if entry.rec2 else 0)
+        return writer.to_bytes(), len(writer)
+
+    def decode(self, payload: bytes, bit_length: int) -> Label:
+        """Decode a label previously produced by :meth:`encode`."""
+        reader = BitReader(payload, bit_length)
+        count = reader.read_gamma()
+        entries = []
+        for _ in range(count):
+            index = reader.read_gamma()
+            kind = _KIND_FROM_CODE[reader.read_uint(2)]
+            skl = None
+            if reader.read_bit():
+                key = self._keys[reader.read_uint(self._key_bits)]
+                vertex = reader.read_uint(self._vertex_bits)
+                skl = SkeletonRef(key, vertex)
+            rec1 = rec2 = None
+            if reader.read_bit():
+                rec1 = bool(reader.read_bit())
+                rec2 = bool(reader.read_bit())
+            entries.append(
+                Entry(index=index, kind=kind, skl=skl, rec1=rec1, rec2=rec2)
+            )
+        return tuple(entries)

@@ -1,0 +1,139 @@
+"""Skeleton schemes: labeling the workflow specification (Section 5.1).
+
+A skeleton-based scheme first labels the small, fixed specification graphs
+``G(S) = {g0} + implementation graphs`` with *any* static scheme, then
+extends those skeleton labels to runs.  Two simple skeleton schemes are
+evaluated by the paper:
+
+* **TCL** -- precompute the transitive closure of every specification
+  graph; a vertex's label is its topological index plus the bitset of its
+  ancestors (exactly the Section 3.2 construction applied statically).
+  O(1) queries; ``i - 1`` bits for the i-th vertex.
+* **BFS** -- no labels at all; answer each query with a breadth-first
+  search over the specification graph.  Zero space, linear query time.
+
+Both expose the same interface, so the run-labeling schemes are
+parameterized by the skeleton scheme exactly like ``DRL(TCL)`` /
+``DRL(BFS)`` in Section 7.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping
+
+from repro.errors import LabelingError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.reachability import TransitiveClosure, reaches
+from repro.workflow.specification import GraphKey, Specification
+
+
+class SkeletonScheme(ABC):
+    """Interface shared by all skeleton schemes.
+
+    Implementations answer reachability between two vertices of one
+    specification graph in the *reflexive* sense (``u`` reaches ``u``).
+    ``total_bits`` and ``build_seconds`` feed Table 2 (preprocessing
+    overhead).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.build_seconds: float = 0.0
+
+    @abstractmethod
+    def reaches(self, key: GraphKey, u: int, v: int) -> bool:
+        """Does vertex ``u`` reach vertex ``v`` inside graph ``key``?"""
+
+    @abstractmethod
+    def total_bits(self) -> int:
+        """Total storage of all skeleton labels, in bits."""
+
+
+class _GraphTable:
+    """Shared bookkeeping: a named set of DAGs to answer queries over."""
+
+    def __init__(self, graphs: Mapping[GraphKey, NamedDAG]) -> None:
+        self._graphs = dict(graphs)
+
+    def graph(self, key: GraphKey) -> NamedDAG:
+        try:
+            return self._graphs[key]
+        except KeyError:
+            raise LabelingError(f"unknown skeleton graph {key!r}") from None
+
+    @property
+    def graphs(self) -> Dict[GraphKey, NamedDAG]:
+        return self._graphs
+
+
+class TCLSkeleton(SkeletonScheme):
+    """Transitive-closure skeleton labels (the paper's ``TCL``).
+
+    The label of the i-th vertex (in topological order) is the ``i-1``-bit
+    ancestor bitset of Section 3.2; a query is two O(1) word operations.
+    """
+
+    name = "TCL"
+
+    def __init__(self, graphs: Mapping[GraphKey, NamedDAG]) -> None:
+        super().__init__()
+        start = time.perf_counter()
+        self._table = _GraphTable(graphs)
+        self._closures: Dict[GraphKey, TransitiveClosure] = {
+            key: TransitiveClosure(g) for key, g in self._table.graphs.items()
+        }
+        self.build_seconds = time.perf_counter() - start
+
+    def reaches(self, key: GraphKey, u: int, v: int) -> bool:
+        try:
+            closure = self._closures[key]
+        except KeyError:
+            raise LabelingError(f"unknown skeleton graph {key!r}") from None
+        return closure.reaches(u, v)
+
+    def total_bits(self) -> int:
+        # The i-th vertex stores i-1 bits of ancestor bitset: n(n-1)/2 per
+        # graph (matching the paper's "even linear-size skeleton labels
+        # take negligible storage").
+        total = 0
+        for closure in self._closures.values():
+            n = len(closure)
+            total += n * (n - 1) // 2
+        return total
+
+
+class BFSSkeleton(SkeletonScheme):
+    """The label-free skeleton scheme (the paper's ``BFS``).
+
+    Stores nothing; every query walks the specification graph.
+    """
+
+    name = "BFS"
+
+    def __init__(self, graphs: Mapping[GraphKey, NamedDAG]) -> None:
+        super().__init__()
+        self._table = _GraphTable(graphs)
+
+    def reaches(self, key: GraphKey, u: int, v: int) -> bool:
+        return reaches(self._table.graph(key), u, v)
+
+    def total_bits(self) -> int:
+        return 0
+
+
+def spec_graph_table(spec: Specification) -> Dict[GraphKey, NamedDAG]:
+    """The DAGs of ``G(S)``, keyed like the specification's graphs."""
+    return {key: g.dag for key, g in spec.graphs_to_label().items()}
+
+
+def make_skeleton(spec: Specification, kind: str = "tcl") -> SkeletonScheme:
+    """Build a skeleton scheme over ``G(S)``; ``kind`` is 'tcl' or 'bfs'."""
+    table = spec_graph_table(spec)
+    if kind == "tcl":
+        return TCLSkeleton(table)
+    if kind == "bfs":
+        return BFSSkeleton(table)
+    raise LabelingError(f"unknown skeleton kind {kind!r}; expected 'tcl'|'bfs'")

@@ -1,0 +1,322 @@
+"""SKL: the skeleton-based *static* scheme (comparison baseline, Section 7.4).
+
+Reconstruction of "An optimal labeling scheme for workflow provenance
+using skeleton labels" [Bao, Davidson, Khanna, Roy -- SIGMOD 2010], with
+the properties this paper states and measures:
+
+* static: the entire run must be known before labeling starts;
+* non-recursive workflows only (loops and forks);
+* labels are **three indexes plus one skeleton label** over a **global
+  specification graph** (every composite module expanded in place), i.e.
+  ``3 log n + O(log n_G)`` bits;
+* O(1) queries with TCL skeletons, search-based queries with BFS.
+
+Construction (documented in DESIGN.md section 3): the nesting structure of
+a loop/fork run is series-parallel -- loops compose copies in series,
+forks in parallel, and everything inside one sub-workflow copy is decided
+by the specification.  Series-parallel orders have order dimension 2, so:
+
+* ``Q``   (loops = series, forks/plain = parallel) captures *loop-order*
+  reachability: ``v`` reaches ``v'`` across loop iterations iff
+  ``v <_Q v'``;
+* ``Q_F`` (forks = series, loops/plain = parallel) captures *fork
+  separation*: ``v`` and ``v'`` sit in different copies of one fork iff
+  they are comparable in ``Q_F``.
+
+A left-to-right DFS of the parse tree is a linear extension of both
+orders, so three integers per vertex -- ``t1`` (shared DFS), ``t2``
+(reversing parallel-in-Q children) and ``t3`` (reversing parallel-in-Q_F
+children) -- decide both tests; all remaining pairs reduce to a
+reachability query between the vertices' images in the global
+specification graph (correct by Lemma 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LabelingError, UnsupportedWorkflowError
+from repro.graphs.digraph import IdAllocator, NamedDAG
+from repro.graphs.reachability import TransitiveClosure, reaches
+from repro.labeling.bits import pointer_bits, uint_bits
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind, ParseNode
+from repro.parsetree.explicit import build_explicit_tree
+from repro.workflow.derivation import Derivation
+from repro.workflow.grammar import GrammarInfo, analyze_grammar
+from repro.workflow.specification import GraphKey, START_KEY, Specification
+
+# An occurrence path: ((composite template vid, impl key), ...) from the
+# start graph down to one sub-workflow occurrence of the global spec.
+OccurrencePath = Tuple[Tuple[int, GraphKey], ...]
+
+
+@dataclass(frozen=True)
+class SKLLabel:
+    """An SKL label: three traversal indexes + a global-spec pointer."""
+
+    t1: int
+    t2: int
+    t3: int
+    gs: int
+
+
+class GlobalSpecification:
+    """The global specification graph: every composite expanded in place.
+
+    Each composite occurrence is replaced by the union of *all* its
+    implementations wired in parallel between the occurrence's
+    predecessors and successors, so every possible run maps into it.
+    Non-recursive specifications only (otherwise the expansion is
+    infinite).
+    """
+
+    def __init__(self, spec: Specification, info: Optional[GrammarInfo] = None):
+        info = info if info is not None else analyze_grammar(spec)
+        if info.is_recursive:
+            raise UnsupportedWorkflowError(
+                "the global specification of a recursive workflow is infinite"
+            )
+        self.spec = spec
+        self.graph = NamedDAG()
+        self._alloc = IdAllocator()
+        # (occurrence path, atomic template vid) -> global-spec vertex
+        self._map: Dict[Tuple[OccurrencePath, int], int] = {}
+        self._instantiate(START_KEY, ())
+
+    def _instantiate(
+        self, key: GraphKey, path: OccurrencePath
+    ) -> Tuple[List[int], List[int]]:
+        """Expand one occurrence; returns its (sources, sinks) in the GS."""
+        template = self.spec.graph(key)
+        faces: Dict[int, Tuple[List[int], List[int]]] = {}
+        for tv in template.vertices():
+            name = template.name(tv)
+            if self.spec.is_atomic(name):
+                vid = self._alloc.fresh()
+                self.graph.add_vertex(vid, name)
+                self._map[(path, tv)] = vid
+                faces[tv] = ([vid], [vid])
+            else:
+                sources: List[int] = []
+                sinks: List[int] = []
+                for impl_key in self.spec.impl_keys(name):
+                    sub_path = path + ((tv, impl_key),)
+                    s, t = self._instantiate(impl_key, sub_path)
+                    sources.extend(s)
+                    sinks.extend(t)
+                faces[tv] = (sources, sinks)
+        for a, b in template.edges():
+            for out_vid in faces[a][1]:
+                for in_vid in faces[b][0]:
+                    self.graph.add_edge(out_vid, in_vid)
+        return faces[template.source][0], faces[template.sink][1]
+
+    def vertex_for(self, path: OccurrencePath, template_vid: int) -> int:
+        """GS vertex of an atomic template vertex at one occurrence."""
+        try:
+            return self._map[(path, template_vid)]
+        except KeyError:
+            raise LabelingError(
+                f"no global-spec vertex for occurrence {path!r}/{template_vid}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+class SKL:
+    """The static SKL scheme for one specification.
+
+    ``skeleton='tcl'`` precomputes the global spec's transitive closure
+    (fast queries, large preprocessing -- Table 2); ``skeleton='bfs'``
+    stores nothing and searches the global spec per query (Figure 22's
+    slow combination).
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        skeleton: str = "tcl",
+        info: Optional[GrammarInfo] = None,
+    ) -> None:
+        self.spec = spec
+        self.info = info if info is not None else analyze_grammar(spec)
+        if self.info.is_recursive:
+            raise UnsupportedWorkflowError(
+                "SKL supports only non-recursive workflows (loops and forks)"
+            )
+        start = time.perf_counter()
+        self.global_spec = GlobalSpecification(spec, self.info)
+        self.skeleton_kind = skeleton
+        self._closure: Optional[TransitiveClosure] = None
+        if skeleton == "tcl":
+            self._closure = TransitiveClosure(self.global_spec.graph)
+        elif skeleton != "bfs":
+            raise LabelingError(f"unknown skeleton kind {skeleton!r}")
+        self.build_seconds = time.perf_counter() - start
+        self._gs_pointer_bits = pointer_bits(max(len(self.global_spec), 2))
+
+    # ------------------------------------------------------------------
+    # preprocessing overhead (Table 2)
+    # ------------------------------------------------------------------
+    def skeleton_bits(self) -> int:
+        """Bits of the global-spec skeleton labels (0 for BFS)."""
+        if self._closure is None:
+            return 0
+        n = len(self._closure)
+        return n * (n - 1) // 2
+
+    def _gs_reaches(self, u: int, v: int) -> bool:
+        if self._closure is not None:
+            return self._closure.reaches(u, v)
+        return reaches(self.global_spec.graph, u, v)
+
+    # ------------------------------------------------------------------
+    # labeling a completed run
+    # ------------------------------------------------------------------
+    def label_run(self, derivation: Derivation) -> Dict[int, SKLLabel]:
+        """Label every vertex of a completed run; returns vid -> label."""
+        tree = build_explicit_tree(derivation, info=self.info, r_mode="linear")
+        assert tree.root is not None
+        occurrence: Dict[ParseNode, OccurrencePath] = {}
+        components: Dict[ParseNode, List[Tuple[str, object]]] = {}
+        self._prepare(tree, tree.root, (), occurrence, components)
+
+        t1 = self._traversal(tree.root, components, reverse_kinds=frozenset())
+        t2 = self._traversal(
+            tree.root, components, reverse_kinds=frozenset((NodeKind.F, NodeKind.N))
+        )
+        t3 = self._traversal(
+            tree.root, components, reverse_kinds=frozenset((NodeKind.L, NodeKind.N))
+        )
+
+        labels: Dict[int, SKLLabel] = {}
+        for node in tree.nodes():
+            if node.instance is None:
+                continue
+            template = self.spec.graph(node.instance.key)
+            path = occurrence[node]
+            for tv in template.vertices():
+                if not self.spec.is_atomic(template.name(tv)):
+                    continue
+                vid = node.instance.mapping[tv]
+                labels[vid] = SKLLabel(
+                    t1=t1[vid],
+                    t2=t2[vid],
+                    t3=t3[vid],
+                    gs=self.global_spec.vertex_for(path, tv),
+                )
+        return labels
+
+    def _prepare(
+        self,
+        tree: ExplicitParseTree,
+        node: ParseNode,
+        path: OccurrencePath,
+        occurrence: Dict[ParseNode, OccurrencePath],
+        components: Dict[ParseNode, List[Tuple[str, object]]],
+    ) -> None:
+        """Compute occurrence paths and the ordered component lists.
+
+        The components of an N node are its own atomic vertices (leaves)
+        and the structures expanded from its composite vertices, ordered
+        by template vertex id; the components of an L/F node are its copy
+        children in index order.  The order is arbitrary but fixed, which
+        is all the three traversals need.
+        """
+        if node.kind is NodeKind.N:
+            occurrence[node] = path
+            assert node.instance is not None
+            template = self.spec.graph(node.instance.key)
+            child_by_tv: Dict[int, ParseNode] = {}
+            for child in node.children:
+                if child.edge_composite is None:
+                    raise LabelingError("missing edge composite below N node")
+                _, tv = tree.context_of(child.edge_composite)
+                child_by_tv[tv] = child
+            comps: List[Tuple[str, object]] = []
+            for tv in sorted(template.vertices()):
+                if self.spec.is_atomic(template.name(tv)):
+                    comps.append(("leaf", node.instance.mapping[tv]))
+                else:
+                    child = child_by_tv.get(tv)
+                    if child is None:
+                        raise LabelingError(
+                            "composite vertex never expanded; run incomplete"
+                        )
+                    comps.append(("child", child))
+                    if child.kind is NodeKind.N:
+                        sub_path = path + ((tv, child.instance.key),)
+                        self._prepare(tree, child, sub_path, occurrence, components)
+                    else:
+                        # L/F node: all copies share the occurrence.
+                        occurrence[child] = path + ((tv, ""),)
+                        comps_lf: List[Tuple[str, object]] = []
+                        for copy in child.children:
+                            comps_lf.append(("child", copy))
+                            assert copy.instance is not None
+                            sub_path = path + ((tv, copy.instance.key),)
+                            self._prepare(
+                                tree, copy, sub_path, occurrence, components
+                            )
+                        components[child] = comps_lf
+            components[node] = comps
+        else:
+            raise LabelingError("special nodes are prepared by their parent")
+
+    def _traversal(
+        self,
+        root: ParseNode,
+        components: Dict[ParseNode, List[Tuple[str, object]]],
+        reverse_kinds: frozenset,
+    ) -> Dict[int, int]:
+        """One DFS order over run vertices, reversing selected node kinds."""
+        position: Dict[int, int] = {}
+        counter = 0
+        stack: List[object] = [root]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, int):
+                position[item] = counter
+                counter += 1
+                continue
+            node = item
+            comps = components[node]
+            if node.kind in reverse_kinds:
+                ordered = list(comps)
+            else:
+                ordered = list(reversed(comps))
+            # stack is LIFO: push in reverse of the desired visit order.
+            for tag, payload in ordered:
+                stack.append(payload)
+        return position
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, a: SKLLabel, b: SKLLabel) -> bool:
+        """Does ``a``'s vertex reach ``b``'s?  Reflexive, O(1) with TCL."""
+        if a == b:
+            return True
+        # fork separation: comparable in Q_F (either direction)
+        if (a.t1 < b.t1) == (a.t3 < b.t3):
+            return False
+        # loop order: comparable in Q
+        if a.t1 < b.t1 and a.t2 < b.t2:
+            return True
+        if b.t1 < a.t1 and b.t2 < a.t2:
+            return False
+        # same copy context at every level: global specification decides.
+        return self._gs_reaches(a.gs, b.gs)
+
+    # ------------------------------------------------------------------
+    def label_bits(self, label: SKLLabel) -> int:
+        """Size of one SKL label in bits (3 indexes + GS pointer)."""
+        return (
+            uint_bits(label.t1)
+            + uint_bits(label.t2)
+            + uint_bits(label.t3)
+            + self._gs_pointer_bits
+        )

@@ -1,0 +1,107 @@
+"""Static and dynamic tree labeling components.
+
+Two classic tree schemes referenced by the paper:
+
+* :class:`IntervalTreeLabeling` -- the interval-based static scheme of
+  Santoro & Khatib [22]: label = (pre-order rank, subtree end); ``u`` is
+  an ancestor of ``v`` iff its interval contains ``v``'s rank.  SKL labels
+  the run's parse tree this way.
+* :class:`PrefixLabeler` -- the prefix-based dynamic scheme of Kaplan,
+  Milo & Shabo [18] / Cohen, Kaplan & Milo [10]: label = the child-index
+  path from the root; ancestor iff prefix.  DRL's entry indexes are
+  exactly such a prefix label, which is why DRL behaves like a
+  prefix-based scheme on the explicit parse tree.
+
+Both are exposed as standalone utilities: they make the "Trees" rows of
+Figure 1 executable and are exercised by unit and property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import LabelingError
+from repro.labeling.bits import uint_bits
+
+
+class IntervalTreeLabeling:
+    """Static interval labels over an immutable rooted tree.
+
+    The tree is given as ``children[node] -> ordered children``; labels are
+    ``(pre, post)`` with ``pre`` the preorder rank and ``post`` the largest
+    preorder rank in the subtree.  2 * log(n) bits per label.
+    """
+
+    def __init__(
+        self, root: Hashable, children: Dict[Hashable, List[Hashable]]
+    ) -> None:
+        self._labels: Dict[Hashable, Tuple[int, int]] = {}
+        counter = 0
+        # iterative DFS assigning (pre, post)
+        stack: List[Tuple[Hashable, bool]] = [(root, False)]
+        pre_of: Dict[Hashable, int] = {}
+        while stack:
+            node, done = stack.pop()
+            if done:
+                last = counter - 1
+                self._labels[node] = (pre_of[node], last)
+                continue
+            pre_of[node] = counter
+            counter += 1
+            stack.append((node, True))
+            for child in reversed(children.get(node, [])):
+                stack.append((child, False))
+
+    def label(self, node: Hashable) -> Tuple[int, int]:
+        """The ``(pre, post)`` interval of ``node``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise LabelingError(f"node {node!r} not in tree") from None
+
+    @staticmethod
+    def is_ancestor(label_u: Tuple[int, int], label_v: Tuple[int, int]) -> bool:
+        """Is ``u`` an ancestor of ``v`` (reflexively)?"""
+        return label_u[0] <= label_v[0] <= label_u[1]
+
+    @staticmethod
+    def label_bits(label: Tuple[int, int]) -> int:
+        """Size of an interval label in bits."""
+        return uint_bits(label[0]) + uint_bits(label[1])
+
+
+class PrefixLabeler:
+    """Dynamic prefix labels: append-only trees, labels never change.
+
+    ``attach(parent)`` adds a new child and returns its label -- the tuple
+    of child indexes from the root.  Ancestor queries are prefix tests.
+    On a path-shaped tree built by always extending the last node the
+    labels degenerate to Theta(n) bits, witnessing the dynamic-tree lower
+    bound row of Figure 1; on bounded-depth trees they are O(log n).
+    """
+
+    ROOT: Tuple[int, ...] = ()
+
+    def __init__(self) -> None:
+        self._child_counts: Dict[Tuple[int, ...], int] = {self.ROOT: 0}
+
+    def attach(self, parent: Optional[Tuple[int, ...]] = None) -> Tuple[int, ...]:
+        """Add a child under ``parent`` (the root when None); return label."""
+        parent_label = self.ROOT if parent is None else parent
+        if parent_label not in self._child_counts:
+            raise LabelingError(f"unknown parent label {parent_label!r}")
+        index = self._child_counts[parent_label] + 1
+        self._child_counts[parent_label] = index
+        label = parent_label + (index,)
+        self._child_counts[label] = 0
+        return label
+
+    @staticmethod
+    def is_ancestor(label_u: Tuple[int, ...], label_v: Tuple[int, ...]) -> bool:
+        """Is ``u`` an ancestor of ``v`` (reflexively)?"""
+        return label_v[: len(label_u)] == label_u
+
+    @staticmethod
+    def label_bits(label: Tuple[int, ...]) -> int:
+        """Size of a prefix label in bits."""
+        return sum(uint_bits(i) for i in label)

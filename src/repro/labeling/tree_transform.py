@@ -1,0 +1,107 @@
+"""Tree-transform reachability labeling (Heinis & Alonso, SIGMOD 2008).
+
+Reference [13] of the paper: label a run by *transforming the DAG into a
+tree* -- duplicating every vertex once per incoming tree path -- and then
+applying the classic interval scheme [22] to the tree.  Each original
+vertex keeps the intervals of **all** its tree copies; ``u`` reaches
+``v`` iff some copy of ``v`` lies inside some interval of ``u``.
+
+The paper's criticism is exactly what this implementation exhibits: the
+transformed tree can be exponentially larger than the DAG (every diamond
+doubles the paths), so per-vertex labels degenerate to linear size and
+beyond.  A ``max_tree_size`` cap makes the blow-up observable without
+exhausting memory; construction fails cleanly when the cap is hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import LabelingError, UnsupportedWorkflowError
+from repro.graphs.digraph import NamedDAG
+from repro.labeling.bits import uint_bits
+
+# per-vertex label: the (pre, post) intervals of all tree copies
+TransformLabel = Tuple[Tuple[int, int], ...]
+
+
+class TreeTransformIndex:
+    """Static reachability labels via DAG-to-tree unfolding.
+
+    Parameters
+    ----------
+    graph:
+        The DAG to label (must have at least one source).
+    max_tree_size:
+        Abort with :class:`UnsupportedWorkflowError` when the unfolded
+        tree exceeds this many nodes -- the exponential-blow-up guard.
+    """
+
+    def __init__(self, graph: NamedDAG, max_tree_size: int = 200_000) -> None:
+        sources = graph.sources()
+        if not sources:
+            raise LabelingError("graph has no source to unfold from")
+        # iterative unfolding with interval assignment: each stack frame
+        # is (vertex, state); pre numbers are assigned on entry, post on
+        # exit, exactly the [22] scheme on the unfolded tree.
+        self.tree_size = 0
+        intervals: Dict[int, List[Tuple[int, int]]] = {
+            v: [] for v in graph.vertices()
+        }
+        counter = 0
+        for root in sorted(sources):
+            stack: List[Tuple[int, int]] = [(root, -1)]  # (vertex, pre)
+            pending: List[Tuple[int, int]] = []
+            # explicit DFS with enter/exit markers
+            work: List[Tuple[int, bool, int]] = [(root, False, 0)]
+            entry_pre: List[int] = []
+            while work:
+                vertex, done, _ = work.pop()
+                if done:
+                    pre = entry_pre.pop()
+                    intervals[vertex].append((pre, counter - 1))
+                    continue
+                self.tree_size += 1
+                if self.tree_size > max_tree_size:
+                    raise UnsupportedWorkflowError(
+                        f"unfolded tree exceeds {max_tree_size} nodes "
+                        "(the [13] exponential blow-up)"
+                    )
+                entry_pre.append(counter)
+                counter += 1
+                work.append((vertex, True, 0))
+                for succ in sorted(graph.successors(vertex), reverse=True):
+                    work.append((succ, False, 0))
+        self._labels: Dict[int, TransformLabel] = {
+            v: tuple(sorted(ivs)) for v, ivs in intervals.items()
+        }
+
+    # ------------------------------------------------------------------
+    def label(self, vid: int) -> TransformLabel:
+        """The interval set of one vertex."""
+        try:
+            return self._labels[vid]
+        except KeyError:
+            raise LabelingError(f"vertex {vid} not labeled") from None
+
+    @staticmethod
+    def query(label_u: TransformLabel, label_v: TransformLabel) -> bool:
+        """Does ``u`` reach ``v``?  Some copy of v inside some u interval."""
+        for pre_u, post_u in label_u:
+            for pre_v, _ in label_v:
+                if pre_u <= pre_v <= post_u:
+                    return True
+        return False
+
+    def reaches(self, u: int, v: int) -> bool:
+        """Convenience wrapper over vertex ids."""
+        return self.query(self.label(u), self.label(v))
+
+    # ------------------------------------------------------------------
+    def label_bits(self, label: TransformLabel) -> int:
+        """Accounted size: two counters per tree copy."""
+        return sum(uint_bits(a) + uint_bits(b) for a, b in label)
+
+    def max_copies(self) -> int:
+        """The largest number of tree copies any vertex received."""
+        return max(len(label) for label in self._labels.values())

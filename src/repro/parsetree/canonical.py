@@ -1,0 +1,97 @@
+"""Canonical parse trees (Section 4.2, Figure 8).
+
+The canonical parse tree has one node per derivation step: the root is the
+start graph and replacing a composite vertex ``u`` of a subgraph ``h1``
+with ``h2`` adds ``h2`` as a child of ``h1`` (the edge annotated with
+``u``).  For recursive grammars its depth is unbounded, which is exactly
+why the explicit parse tree flattens recursion chains under ``R`` nodes.
+
+This structure is not used by the labeling schemes; it exists to make the
+paper's exposition executable and to measure the depth blow-up in tests
+and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DerivationError
+from repro.workflow.derivation import Derivation, DerivationStep, Instance
+
+
+class CanonicalNode:
+    """One node of the canonical parse tree (one instantiated subgraph)."""
+
+    __slots__ = ("instance", "parent", "children", "edge_composite", "depth")
+
+    def __init__(
+        self,
+        instance: Instance,
+        parent: Optional["CanonicalNode"],
+        edge_composite: Optional[int],
+    ) -> None:
+        self.instance = instance
+        self.parent = parent
+        self.children: List["CanonicalNode"] = []
+        self.edge_composite = edge_composite
+        self.depth = 0 if parent is None else parent.depth + 1
+        if parent is not None:
+            parent.children.append(self)
+
+
+class CanonicalParseTree:
+    """Canonical parse tree built from a recorded derivation.
+
+    A replication step (loop/fork) contributes one child per copy, all
+    annotated on edges with the same replaced composite; this matches the
+    single-step application of the ``S(h,...,h)`` / ``P(h,...,h)``
+    productions.
+    """
+
+    def __init__(self, derivation: Derivation) -> None:
+        self.derivation = derivation
+        self.root = CanonicalNode(derivation.start_instance, None, None)
+        self._locate: Dict[int, Tuple[CanonicalNode, int]] = {}
+        self._register(self.root)
+        for step in derivation.steps:
+            self._apply(step)
+
+    def _register(self, node: CanonicalNode) -> None:
+        for tv, run_vid in node.instance.mapping.items():
+            self._locate[run_vid] = (node, tv)
+
+    def _apply(self, step: DerivationStep) -> None:
+        try:
+            context, _ = self._locate[step.target]
+        except KeyError:
+            raise DerivationError(
+                f"composite {step.target} expanded before its context exists"
+            ) from None
+        for inst in step.copies:
+            child = CanonicalNode(inst, context, step.target)
+            self._register(child)
+
+    # ------------------------------------------------------------------
+    def context_of(self, run_vid: int) -> Tuple[CanonicalNode, int]:
+        """Node whose instance contains the run vertex, plus template id."""
+        return self._locate[run_vid]
+
+    def depth(self) -> int:
+        """Maximum node depth (root = 0)."""
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            stack.extend(node.children)
+        return best
+
+    def size(self) -> int:
+        """Number of nodes."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count

@@ -1,0 +1,108 @@
+"""Reachability through the explicit parse tree (Lemma 4.2).
+
+Given the explicit parse tree of a run and two run vertices, reachability
+reduces to the *type* of the least common ancestor of their contexts:
+
+* ``L`` node  -- reachable iff the left branch comes first (series order);
+* ``F`` node  -- never reachable (parallel copies);
+* ``R`` node  -- reduce to a query between the left branch's origin and
+  the recursive vertex inside one small specification graph;
+* non-special -- reduce to a query between the two origins inside the
+  LCA's annotated specification graph.
+
+This module evaluates the reduction *directly on the tree* (no labels),
+providing an independent oracle against which the label-based predicate
+of Algorithm 4 is tested.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LabelingError
+from repro.graphs.reachability import reaches
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind, ParseNode
+from repro.workflow.specification import Specification
+
+
+def _child_toward(lca: ParseNode, node: ParseNode) -> ParseNode:
+    """The child of ``lca`` on the path down to ``node`` (node != lca)."""
+    current = node
+    while current.parent is not lca:
+        parent = current.parent
+        if parent is None:
+            raise LabelingError("node is not a descendant of the LCA")
+        current = parent
+    return current
+
+
+def _origin_template_vid(
+    tree: ExplicitParseTree, ancestor: ParseNode, run_vid: int
+) -> int:
+    """Template vertex of ``Ann(ancestor)`` from which ``run_vid`` derives.
+
+    The origin (Definition 12) with respect to a non-special ancestor: walk
+    up from the vertex's context until reaching ``ancestor``; the edge
+    taken out of ``ancestor`` carries the composite whose expansion leads
+    to the vertex.
+    """
+    context, template_vid = tree.context_of(run_vid)
+    if context is ancestor:
+        return template_vid
+    child = _child_toward(ancestor, context)
+    # Every child of a non-special node was created by expanding a
+    # composite of the ancestor's annotation; that composite is the origin.
+    if child.edge_composite is None:
+        raise LabelingError("missing edge annotation below non-special node")
+    ctx, tv = tree.context_of(child.edge_composite)
+    if ctx is not ancestor:
+        raise LabelingError("edge annotation context mismatch")
+    return tv
+
+
+def tree_reaches(
+    tree: ExplicitParseTree, spec: Specification, v: int, v_prime: int
+) -> bool:
+    """Decide ``v ;_g v'`` via Lemma 4.2 on the explicit parse tree."""
+    if v == v_prime:
+        return True
+    ctx_v, tv_v = tree.context_of(v)
+    ctx_w, tv_w = tree.context_of(v_prime)
+    lca = tree.lca(ctx_v, ctx_w)
+
+    if lca.kind is NodeKind.L:
+        y = _child_toward(lca, ctx_v)
+        z = _child_toward(lca, ctx_w)
+        return y.index < z.index
+
+    if lca.kind is NodeKind.F:
+        return False
+
+    if lca.kind is NodeKind.R:
+        y = _child_toward(lca, ctx_v)
+        z = _child_toward(lca, ctx_w)
+        if y.index == z.index:
+            raise LabelingError("LCA mismatch inside R chain")
+        left, left_vertex_run = (y, v) if y.index < z.index else (z, v_prime)
+        assert left.instance is not None
+        body = spec.graph(left.instance.key)
+        origin = _origin_template_vid(tree, left, left_vertex_run)
+        recursive = tree.info.designated_recursive.get(left.instance.key)
+        if recursive is None:
+            raise LabelingError("left R-chain element lacks a recursive vertex")
+        if y.index < z.index:
+            # v sits in the left element; v' derives from its recursive
+            # vertex: v ; v' iff origin(v) reaches the recursive vertex.
+            return reaches(body.dag, origin, recursive)
+        # v derives from the recursive vertex of the left element (which
+        # contains v'): v ; v' iff the recursive vertex reaches origin(v').
+        return reaches(body.dag, recursive, origin)
+
+    # Non-special LCA: compare origins inside the annotated spec graph.
+    assert lca.instance is not None
+    body = spec.graph(lca.instance.key)
+    u = _origin_template_vid(tree, lca, v)
+    u_prime = _origin_template_vid(tree, lca, v_prime)
+    if u == u_prime:
+        # Both derive from the same composite, so the LCA cannot be the
+        # deepest common context -- but reflexive closure still answers.
+        return True if v == v_prime else reaches(body.dag, u, u_prime)
+    return reaches(body.dag, u, u_prime)

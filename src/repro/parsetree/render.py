@@ -1,0 +1,57 @@
+"""ASCII rendering of explicit parse trees.
+
+Draws the structure of Figure 9 in text form: non-special nodes show
+their annotated specification graph, ``L``/``F`` nodes their copies, and
+``R`` nodes their flattened recursion chain.  Used by examples and
+helpful when debugging label construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind, ParseNode
+
+
+def _node_line(node: ParseNode, max_vertices: int) -> str:
+    if node.kind is NodeKind.N:
+        assert node.instance is not None
+        mapping = node.instance.mapping
+        shown = sorted(mapping.values())[:max_vertices]
+        suffix = "" if len(mapping) <= max_vertices else ", ..."
+        vertices = ", ".join(f"v{v}" for v in shown)
+        return f"[{node.index}] {node.instance.key} ({vertices}{suffix})"
+    return f"[{node.index}] <{node.kind.value}>"
+
+
+def render_tree(
+    tree: ExplicitParseTree,
+    max_depth: Optional[int] = None,
+    max_vertices: int = 6,
+) -> str:
+    """Render the tree with box-drawing connectors.
+
+    ``max_depth`` truncates deep trees; ``max_vertices`` limits the run
+    vertices listed per annotation.
+    """
+    if tree.root is None:
+        return "(empty parse tree)"
+    lines: List[str] = []
+
+    def walk(node: ParseNode, prefix: str, is_last: bool) -> None:
+        if node.parent is None:
+            lines.append(_node_line(node, max_vertices))
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + _node_line(node, max_vertices))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        if max_depth is not None and node.depth >= max_depth:
+            if node.children:
+                lines.append(child_prefix + f"`-- ... {len(node.children)} child(ren)")
+            return
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1)
+
+    walk(tree.root, "", True)
+    return "\n".join(lines)

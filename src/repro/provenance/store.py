@@ -1,0 +1,248 @@
+"""An on-the-fly provenance store over a running workflow.
+
+The store receives *module execution events* (one per atomic module run,
+with the run-graph predecessors that supplied its inputs), labels each
+event immediately with the execution-based DRL labeler, and registers the
+data items the module produced.  Because edges of the run graph carry the
+data flowing between modules, data-to-data provenance reduces to module
+reachability (Section 2.2), which the labels answer in O(1):
+
+* ``used(a, b)``        -- was data item ``a`` used (transitively) to
+  produce data item ``b``?
+* ``influenced(m, b)``  -- did module execution ``m`` contribute to ``b``?
+* ``depends(m1, m2)``   -- module-to-module reachability.
+
+All queries work over *partial* executions: a query involving items that
+already exist is answered even while the workflow keeps running, which is
+exactly the capability static schemes lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ExecutionError, LabelingError
+from repro.labeling.drl import DRL, Label
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.execution import Insertion, LogOrigin
+from repro.workflow.specification import Specification
+
+
+@dataclass(frozen=True)
+class ModuleRun:
+    """One recorded atomic module execution."""
+
+    vid: int
+    module: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One data item and the module execution that produced it.
+
+    ``producer`` is None for external inputs fed to the workflow's start
+    module by the environment.
+    """
+
+    name: str
+    producer: Optional[int]
+
+
+@dataclass
+class ProvenanceStore:
+    """Records a running workflow and answers provenance queries on-the-fly.
+
+    Parameters
+    ----------
+    spec:
+        The workflow specification the run follows.
+    skeleton:
+        Skeleton scheme for the specification graphs ('tcl' or 'bfs').
+    mode:
+        Structure-inference mode of the execution labeler: ``'name'``
+        (requires the Section 5.3 naming conditions) or ``'logged'``.
+    """
+
+    spec: Specification
+    skeleton: str = "tcl"
+    mode: str = "name"
+    _scheme: DRL = field(init=False, repr=False)
+    _labeler: DRLExecutionLabeler = field(init=False, repr=False)
+    _runs: Dict[int, ModuleRun] = field(init=False, default_factory=dict)
+    _items: Dict[str, DataItem] = field(init=False, default_factory=dict)
+    _preds: Dict[int, Tuple[int, ...]] = field(init=False, default_factory=dict)
+    _next_vid: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._scheme = DRL(self.spec, skeleton=self.skeleton)
+        self._labeler = DRLExecutionLabeler(self._scheme, mode=self.mode)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        module: str,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        vid: Optional[int] = None,
+        origin: Optional[LogOrigin] = None,
+    ) -> ModuleRun:
+        """Record one module execution and label it immediately.
+
+        ``inputs`` name existing data items (their producers become the
+        new vertex's predecessors); ``outputs`` register new data items
+        produced by this execution.  Returns the recorded event.
+        """
+        input_names = tuple(inputs)
+        output_names = tuple(outputs)
+        preds = set()
+        for item_name in input_names:
+            item = self._items.get(item_name)
+            if item is None:
+                raise ExecutionError(f"unknown input data item {item_name!r}")
+            if item.producer is not None:
+                preds.add(item.producer)
+        if vid is None:
+            vid = self._next_vid
+        self._next_vid = max(self._next_vid, vid + 1)
+        insertion = Insertion(
+            vid=vid, name=module, preds=frozenset(preds), origin=origin
+        )
+        self._labeler.insert(insertion)
+        run = ModuleRun(
+            vid=vid, module=module, inputs=input_names, outputs=output_names
+        )
+        self._runs[vid] = run
+        self._preds[vid] = tuple(sorted(preds))
+        for out_name in output_names:
+            if out_name in self._items:
+                raise ExecutionError(f"data item {out_name!r} already exists")
+            self._items[out_name] = DataItem(name=out_name, producer=vid)
+        return run
+
+    def add_external_input(self, name: str) -> DataItem:
+        """Register a data item supplied from outside the workflow."""
+        if name in self._items:
+            raise ExecutionError(f"data item {name!r} already exists")
+        item = DataItem(name=name, producer=None)
+        self._items[name] = item
+        return item
+
+    # ------------------------------------------------------------------
+    # queries (constant time, valid over partial executions)
+    # ------------------------------------------------------------------
+    def _label_of_vid(self, vid: int) -> Label:
+        return self._labeler.label(vid)
+
+    def depends(self, producer_vid: int, consumer_vid: int) -> bool:
+        """Module-to-module: did ``producer_vid`` feed ``consumer_vid``?"""
+        return self._scheme.query(
+            self._label_of_vid(producer_vid), self._label_of_vid(consumer_vid)
+        )
+
+    def used(self, item_a: str, item_b: str) -> bool:
+        """Was data item ``item_a`` used, transitively, to produce ``item_b``?
+
+        True when ``item_b``'s producing module is reachable from
+        ``item_a``'s producing module (external inputs feed the start
+        module, so they reach everything).
+        """
+        a = self._require_item(item_a)
+        b = self._require_item(item_b)
+        if b.producer is None:
+            return False  # external items are produced by nothing
+        if a.producer is None:
+            return True  # external inputs flow into the whole run
+        if a.producer == b.producer:
+            return False  # same module execution: outputs, not lineage
+        return self.depends(a.producer, b.producer)
+
+    def influenced(self, module_vid: int, item: str) -> bool:
+        """Did module execution ``module_vid`` contribute to data ``item``?"""
+        target = self._require_item(item)
+        if target.producer is None:
+            return False
+        return self.depends(module_vid, target.producer)
+
+    def _require_item(self, name: str) -> DataItem:
+        try:
+            return self._items[name]
+        except KeyError:
+            raise LabelingError(f"unknown data item {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # lineage witnesses
+    # ------------------------------------------------------------------
+    def witness_path(
+        self, producer_vid: int, consumer_vid: int
+    ) -> Optional[List[int]]:
+        """A concrete dependency chain from one module run to another.
+
+        Labels answer *whether* a dependency exists in O(1); when users
+        ask *how*, this walks the recorded predecessor edges backward
+        from ``consumer_vid`` (guided by label queries, so only vertices
+        on actual dependency paths are expanded).  Returns the vertex
+        chain producer -> ... -> consumer, or None when unreachable.
+        """
+        if producer_vid not in self._runs or consumer_vid not in self._runs:
+            raise LabelingError("unknown module execution id")
+        if not self.depends(producer_vid, consumer_vid):
+            return None
+        path = [consumer_vid]
+        current = consumer_vid
+        while current != producer_vid:
+            step = next(
+                (
+                    p
+                    for p in self._preds[current]
+                    if self.depends(producer_vid, p)
+                ),
+                None,
+            )
+            if step is None:
+                raise LabelingError(
+                    "inconsistent provenance: label says reachable but no "
+                    "predecessor chain found"
+                )
+            path.append(step)
+            current = step
+        path.reverse()
+        return path
+
+    def item_lineage(self, item_a: str, item_b: str) -> Optional[List[str]]:
+        """The chain of data items through which ``item_a`` flowed into
+        ``item_b`` (None when it did not)."""
+        a = self._require_item(item_a)
+        b = self._require_item(item_b)
+        if a.producer is None or b.producer is None:
+            return [item_a, item_b] if self.used(item_a, item_b) else None
+        vertices = self.witness_path(a.producer, b.producer)
+        if vertices is None:
+            return None
+        names: List[str] = [item_a]
+        for vid in vertices[1:]:
+            outputs = self._runs[vid].outputs
+            if outputs:
+                names.append(outputs[0])
+        if names[-1] != item_b:
+            names.append(item_b)
+        return names
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def module_runs(self) -> List[ModuleRun]:
+        """All recorded module executions, in recording order."""
+        return [self._runs[vid] for vid in sorted(self._runs)]
+
+    def data_items(self) -> List[DataItem]:
+        """All known data items."""
+        return list(self._items.values())
+
+    def label_bits(self, vid: int) -> int:
+        """Size in bits of the label of one module execution."""
+        return self._scheme.label_bits(self._label_of_vid(vid))

@@ -1,0 +1,368 @@
+"""Graph derivations: generating runs from a specification (Definition 9).
+
+A derivation starts from the start graph and repeatedly applies productions
+``g_{i} = g_{i-1}[u_i / h_i]`` until only atomic vertices remain.  The
+:class:`DerivationEngine` applies steps to a mutable run graph and records
+them as :class:`DerivationStep` objects, which are exactly the update
+stream consumed by the derivation-based dynamic labeling scheme.
+
+Loop and fork steps apply one production of the infinite family
+``A := S(h,...,h)`` / ``A := P(h,...,h)``: a single step instantiates all
+copies at once (the execution-based scheme later reveals copies one by
+one).
+
+:func:`random_derivation` / :func:`sample_run` drive the engine with a
+random policy to synthesize runs of a target size, mirroring Section 7's
+"simulate the execution by repeating loops, forks and recursion a random
+number of times".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DerivationError
+from repro.graphs.digraph import IdAllocator, NamedDAG, merge_disjoint
+from repro.graphs.ops import replace_vertex
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.grammar import GrammarInfo, analyze_grammar
+from repro.workflow.specification import GraphKey, START_KEY, Specification
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One instantiated copy of a specification graph inside a run.
+
+    ``mapping`` maps every template vertex id of ``spec.graph(key)`` to the
+    run vertex id it received.  Composite template vertices map to the
+    placeholder run vertex later replaced by a deeper step.
+    """
+
+    key: GraphKey
+    head: Optional[str]
+    mapping: Dict[int, int]
+
+    def run_vid(self, template_vid: int) -> int:
+        """Run vertex id assigned to template vertex ``template_vid``."""
+        return self.mapping[template_vid]
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One derivation step ``g[u / h]``.
+
+    ``copies`` has a single element for ordinary productions and ``l >= 1``
+    elements for loop (``mode='series'``) and fork (``mode='parallel'``)
+    productions.
+    """
+
+    target: int
+    head: str
+    impl_key: GraphKey
+    mode: str  # 'single' | 'series' | 'parallel'
+    copies: Tuple[Instance, ...]
+
+
+@dataclass
+class Derivation:
+    """A complete derivation: the recorded inputs of Definition 9."""
+
+    spec: Specification
+    start_instance: Instance
+    steps: List[DerivationStep] = field(default_factory=list)
+    graph: NamedDAG = field(default_factory=NamedDAG)
+
+    def run_size(self) -> int:
+        """Number of vertices of the derived run graph."""
+        return len(self.graph)
+
+    def all_instances(self) -> List[Instance]:
+        """The start instance followed by every step's copies, in order."""
+        out = [self.start_instance]
+        for step in self.steps:
+            out.extend(step.copies)
+        return out
+
+
+class DerivationEngine:
+    """Applies derivation steps to a mutable run graph.
+
+    The engine owns the id allocator so every instantiated copy receives
+    globally fresh vertex ids, keeps the set of *pending* composite
+    vertices, and records each step.  The evolving :attr:`graph` is a valid
+    intermediate graph of the derivation at every point.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        info: Optional[GrammarInfo] = None,
+        allocator: Optional[IdAllocator] = None,
+    ) -> None:
+        self.spec = spec
+        self.info = info if info is not None else analyze_grammar(spec)
+        self.allocator = allocator if allocator is not None else IdAllocator()
+        self.graph = NamedDAG()
+        self.pending: Dict[int, str] = {}
+        self._started = False
+        self.derivation: Optional[Derivation] = None
+
+    # ------------------------------------------------------------------
+    def _instantiate(self, key: GraphKey) -> Tuple[Instance, TwoTerminalGraph]:
+        """Create a fresh copy of spec graph ``key`` with new run ids."""
+        template = self.spec.graph(key)
+        mapping = {tv: self.allocator.fresh() for tv in template.vertices()}
+        copy = template.relabeled(mapping)
+        return Instance(key=key, head=self.spec.head_of(key), mapping=mapping), copy
+
+    def _register_pending(self, instance: Instance) -> None:
+        template = self.spec.graph(instance.key)
+        for tv in template.vertices():
+            name = template.name(tv)
+            if not self.spec.is_atomic(name):
+                self.pending[instance.mapping[tv]] = name
+
+    # ------------------------------------------------------------------
+    def begin(self) -> Instance:
+        """Instantiate the start graph; returns its :class:`Instance`."""
+        if self._started:
+            raise DerivationError("derivation already started")
+        self._started = True
+        instance, copy = self._instantiate(START_KEY)
+        for v in copy.vertices():
+            self.graph.add_vertex(v, copy.name(v))
+        for a, b in copy.edges():
+            self.graph.add_edge(a, b)
+        self._register_pending(instance)
+        self.derivation = Derivation(
+            spec=self.spec, start_instance=instance, graph=self.graph
+        )
+        return instance
+
+    def expand(
+        self, target: int, impl_key: GraphKey, copies: int = 1
+    ) -> DerivationStep:
+        """Apply one production to the pending composite vertex ``target``.
+
+        ``copies`` larger than one selects the series (loop) or parallel
+        (fork) family production; it must be 1 for ordinary composites.
+        """
+        if self.derivation is None:
+            raise DerivationError("call begin() before expand()")
+        head = self.pending.get(target)
+        if head is None:
+            raise DerivationError(f"vertex {target} is not a pending composite")
+        if self.spec.head_of(impl_key) != head:
+            raise DerivationError(
+                f"graph {impl_key!r} does not implement {head!r}"
+            )
+        if copies < 1:
+            raise DerivationError("copies must be >= 1")
+        is_loop = self.spec.is_loop(head)
+        is_fork = self.spec.is_fork(head)
+        if copies > 1 and not (is_loop or is_fork):
+            raise DerivationError(
+                f"{head!r} is neither loop nor fork; copies must be 1"
+            )
+
+        instances: List[Instance] = []
+        bodies: List[TwoTerminalGraph] = []
+        for _ in range(copies):
+            inst, copy = self._instantiate(impl_key)
+            instances.append(inst)
+            bodies.append(copy)
+
+        if is_loop:
+            mode = "series"
+        elif is_fork:
+            mode = "parallel"
+        else:
+            mode = "single"
+
+        body = merge_disjoint(b.dag for b in bodies)
+        if mode == "series":
+            for left, right in zip(bodies, bodies[1:]):
+                body.add_edge(left.sink, right.source)
+
+        replace_vertex(self.graph, target, body)
+        del self.pending[target]
+        for inst in instances:
+            self._register_pending(inst)
+
+        step = DerivationStep(
+            target=target,
+            head=head,
+            impl_key=impl_key,
+            mode=mode,
+            copies=tuple(instances),
+        )
+        self.derivation.steps.append(step)
+        return step
+
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """True when no composite vertices remain."""
+        return self._started and not self.pending
+
+    def finish(self) -> Derivation:
+        """Return the recorded derivation; the run must be complete."""
+        if self.derivation is None or not self.is_complete():
+            raise DerivationError("derivation is not complete")
+        return self.derivation
+
+
+@dataclass
+class DerivationPolicy:
+    """Random-generation knobs for :func:`random_derivation`.
+
+    ``mean_extra_copies`` controls the geometric distribution of loop/fork
+    replication counts (expected copies = 1 + mean_extra_copies);
+    ``target_size`` caps growth: once the run graph reaches it, recursion
+    escapes and replication stops.
+    """
+
+    rng: random.Random
+    target_size: int = 200
+    mean_extra_copies: float = 1.5
+    max_copies: int = 64
+    recursion_continue_prob: float = 0.6
+    shuffle_order: bool = False
+    max_steps: int = 2_000_000
+
+
+def _geometric_copies(policy: DerivationPolicy) -> int:
+    """1 + Geometric-ish number of extra copies."""
+    mean = max(policy.mean_extra_copies, 0.0)
+    if mean <= 0:
+        return 1
+    p = 1.0 / (1.0 + mean)
+    copies = 1
+    while copies < policy.max_copies and policy.rng.random() > p:
+        copies += 1
+    return copies
+
+
+def random_derivation(
+    spec: Specification,
+    policy: DerivationPolicy,
+    info: Optional[GrammarInfo] = None,
+) -> Derivation:
+    """Sample one complete derivation under ``policy``.
+
+    Implementation choices are uniform while under budget; once the run
+    graph reaches ``policy.target_size`` the engine switches to escape
+    implementations (non-recursive, productive) and single copies so the
+    derivation terminates.
+    """
+    engine = DerivationEngine(spec, info=info)
+    engine.begin()
+    rng = policy.rng
+    steps = 0
+    while engine.pending:
+        steps += 1
+        if steps > policy.max_steps:
+            raise DerivationError("derivation exceeded max_steps; check policy")
+        targets = list(engine.pending)
+        if policy.shuffle_order:
+            target = targets[rng.randrange(len(targets))]
+        else:
+            target = min(targets)
+        head = engine.pending[target]
+        over_budget = len(engine.graph) >= policy.target_size
+        impl_keys = spec.impl_keys(head)
+        if over_budget:
+            impl_key = engine.info.escape_impl[head]
+            copies = 1
+        else:
+            rec_keys = [
+                k for k in impl_keys if engine.info.recursive_vertices.get(k)
+            ]
+            nonrec_keys = [k for k in impl_keys if k not in rec_keys]
+            if rec_keys and nonrec_keys:
+                if rng.random() < policy.recursion_continue_prob:
+                    impl_key = rec_keys[rng.randrange(len(rec_keys))]
+                else:
+                    impl_key = nonrec_keys[rng.randrange(len(nonrec_keys))]
+            else:
+                impl_key = impl_keys[rng.randrange(len(impl_keys))]
+            if spec.is_loop(head) or spec.is_fork(head):
+                copies = _geometric_copies(policy)
+            else:
+                copies = 1
+        engine.expand(target, impl_key, copies)
+    return engine.finish()
+
+
+def sample_run(
+    spec: Specification,
+    target_size: int,
+    rng: random.Random,
+    tolerance: float = 0.3,
+    attempts: int = 10,
+    info: Optional[GrammarInfo] = None,
+) -> Derivation:
+    """Sample a derivation whose run size is close to ``target_size``.
+
+    Retries with a multiplicatively adapted replication mean until the run
+    size is within ``tolerance`` of the target, returning the closest
+    attempt otherwise.  Deterministic given ``rng``'s state.
+    """
+    if info is None:
+        info = analyze_grammar(spec)
+    mean_extra = 2.0
+    best: Optional[Derivation] = None
+    best_gap = float("inf")
+    for _ in range(max(1, attempts)):
+        policy = DerivationPolicy(
+            rng=rng,
+            target_size=target_size,
+            mean_extra_copies=mean_extra,
+        )
+        derivation = random_derivation(spec, policy, info=info)
+        size = derivation.run_size()
+        gap = abs(size - target_size) / target_size
+        if gap < best_gap:
+            best, best_gap = derivation, gap
+        if gap <= tolerance:
+            return derivation
+        ratio = target_size / max(size, 1)
+        mean_extra = min(max(mean_extra * ratio, 0.1), 48.0)
+    assert best is not None
+    return best
+
+
+def replay_prefix(
+    spec: Specification,
+    derivation: Derivation,
+    upto: int,
+) -> NamedDAG:
+    """Materialize the intermediate graph after ``upto`` steps.
+
+    Re-applies the recorded steps with the recorded vertex ids; used by
+    tests to check that labels answer queries correctly on every
+    intermediate graph (Definition 9's requirement).
+    """
+    graph = NamedDAG()
+    start_template = spec.graph(START_KEY)
+    inst = derivation.start_instance
+    for tv in start_template.vertices():
+        graph.add_vertex(inst.mapping[tv], start_template.name(tv))
+    for a, b in start_template.edges():
+        graph.add_edge(inst.mapping[a], inst.mapping[b])
+    for step in derivation.steps[:upto]:
+        template = spec.graph(step.impl_key)
+        body = NamedDAG()
+        for copy in step.copies:
+            for tv in template.vertices():
+                body.add_vertex(copy.mapping[tv], template.name(tv))
+            for a, b in template.edges():
+                body.add_edge(copy.mapping[a], copy.mapping[b])
+        if step.mode == "series":
+            for left, right in zip(step.copies, step.copies[1:]):
+                body.add_edge(
+                    left.mapping[template.sink], right.mapping[template.source]
+                )
+        replace_vertex(graph, step.target, body)
+    return graph

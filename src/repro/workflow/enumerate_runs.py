@@ -1,0 +1,101 @@
+"""Bounded enumeration of the run language L(G) (Definition 7).
+
+Systematically explores the derivation choice space -- which
+implementation each composite picks and how many copies each loop/fork
+replicates -- up to caps, yielding complete derivations.  Used by tests
+to check properties *exhaustively* over every small member of the
+language rather than over sampled runs, and handy for understanding a
+specification's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.workflow.derivation import Derivation, DerivationEngine
+from repro.workflow.grammar import GrammarInfo, analyze_grammar
+from repro.workflow.specification import Specification
+
+# one branch decision: (impl key, copies)
+Choice = Tuple[str, int]
+
+
+def _choices_for(
+    spec: Specification, head: str, max_copies: int
+) -> List[Choice]:
+    options: List[Choice] = []
+    replicates = spec.is_loop(head) or spec.is_fork(head)
+    for impl_key in spec.impl_keys(head):
+        if replicates:
+            for copies in range(1, max_copies + 1):
+                options.append((impl_key, copies))
+        else:
+            options.append((impl_key, 1))
+    return options
+
+
+def enumerate_runs(
+    spec: Specification,
+    max_size: int = 60,
+    max_copies: int = 2,
+    max_runs: Optional[int] = None,
+    info: Optional[GrammarInfo] = None,
+) -> Iterator[Derivation]:
+    """Yield every complete derivation within the caps.
+
+    ``max_size`` bounds the run graph's vertex count (branches exceeding
+    it are pruned, which also terminates recursion); ``max_copies``
+    bounds loop/fork replication; ``max_runs`` truncates the stream.
+
+    Enumeration is depth-first over the per-step choice sequence, with
+    composites expanded smallest-vertex-id-first so each choice sequence
+    maps to exactly one derivation.
+    """
+    if info is None:
+        info = analyze_grammar(spec)
+    produced = 0
+
+    def replay(choices: List[Choice]) -> Tuple[DerivationEngine, bool]:
+        """Apply a choice prefix; returns (engine, within_bounds)."""
+        engine = DerivationEngine(spec, info=info)
+        engine.begin()
+        for impl_key, copies in choices:
+            if not engine.pending:
+                break
+            target = min(engine.pending)
+            engine.expand(target, impl_key, copies)
+            if len(engine.graph) > max_size:
+                return engine, False
+        return engine, len(engine.graph) <= max_size
+
+    # depth-first search over choice sequences
+    stack: List[List[Choice]] = [[]]
+    while stack:
+        prefix = stack.pop()
+        engine, ok = replay(prefix)
+        if not ok:
+            continue
+        if not engine.pending:
+            yield engine.finish()
+            produced += 1
+            if max_runs is not None and produced >= max_runs:
+                return
+            continue
+        head = engine.pending[min(engine.pending)]
+        for choice in reversed(_choices_for(spec, head, max_copies)):
+            stack.append(prefix + [choice])
+
+
+def count_runs(
+    spec: Specification,
+    max_size: int = 60,
+    max_copies: int = 2,
+    cap: int = 10_000,
+) -> int:
+    """Number of distinct bounded runs (up to ``cap``)."""
+    count = 0
+    for _ in enumerate_runs(spec, max_size=max_size, max_copies=max_copies):
+        count += 1
+        if count >= cap:
+            break
+    return count

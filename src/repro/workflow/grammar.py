@@ -1,0 +1,266 @@
+"""Workflow grammar analysis (Definitions 6, 10 and 13).
+
+The workflow grammar of a specification has one production ``A := h`` per
+implementation pair plus the infinite families ``A := S(h,...,h)`` (loops)
+and ``A := P(h,...,h)`` (forks).  This module derives everything the
+labeling schemes need from the *finite* specification:
+
+* the ``induces`` relation between names (``A |-> B`` when some body of A
+  contains a vertex named B) and its reflexive-transitive closure;
+* the *recursive vertices* of each production body (vertices whose name
+  induces the head);
+* the grammar class: non-recursive, linear recursive (Definition 10), or
+  nonlinear -- with the parallel-recursive subclass (Definition 13);
+* productivity (which names can derive an all-atomic graph), used by the
+  derivation engine to terminate recursions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Mapping, Optional, Set
+
+from repro.errors import SpecificationError
+from repro.graphs.reachability import reaches
+from repro.workflow.specification import GraphKey, START_KEY, Specification
+
+
+class GrammarClass(Enum):
+    """Coarse classification used to pick a labeling strategy."""
+
+    NON_RECURSIVE = "non-recursive"
+    LINEAR_RECURSIVE = "linear-recursive"
+    NONLINEAR_RECURSIVE = "nonlinear-recursive"
+
+
+@dataclass(frozen=True)
+class GrammarInfo:
+    """Precomputed grammar facts for one specification.
+
+    ``recursive_vertices[key]`` lists the recursive vertices of the body
+    identified by graph key ``key`` (empty for the start graph, whose
+    vertices are never recursive -- it is not a production body).
+    ``designated_recursive[key]`` is the single recursive vertex compressed
+    by an R node: for linear grammars it is *the* recursive vertex; for
+    nonlinear grammars run in "one-R" mode it is the smallest-id one
+    (Section 6's optimization), and the remaining recursive vertices are
+    treated non-recursively.
+    """
+
+    grammar_class: GrammarClass
+    parallel_recursive: bool
+    induces: Mapping[str, FrozenSet[str]]
+    recursive_vertices: Mapping[GraphKey, FrozenSet[int]]
+    designated_recursive: Mapping[GraphKey, Optional[int]]
+    productive: FrozenSet[str]
+    escape_impl: Mapping[str, GraphKey]
+
+    @property
+    def is_recursive(self) -> bool:
+        """True when some production has at least one recursive vertex."""
+        return self.grammar_class is not GrammarClass.NON_RECURSIVE
+
+    @property
+    def is_linear(self) -> bool:
+        """True for non-recursive or linear recursive grammars."""
+        return self.grammar_class is not GrammarClass.NONLINEAR_RECURSIVE
+
+    def is_recursive_vertex(self, key: GraphKey, vid: int) -> bool:
+        """True when ``vid`` is a recursive vertex of body ``key``."""
+        return vid in self.recursive_vertices.get(key, frozenset())
+
+    def is_designated(self, key: GraphKey, vid: int) -> bool:
+        """True when ``vid`` is the R-compressed recursive vertex of ``key``."""
+        return self.designated_recursive.get(key) == vid
+
+
+def direct_induces(spec: Specification) -> Dict[str, Set[str]]:
+    """The relation ``A |->_G B`` restricted to composite heads.
+
+    Only base productions ``A := h`` matter: the series/parallel families
+    replicate the same body and therefore mention the same names.
+    """
+    rel: Dict[str, Set[str]] = {head: set() for head in spec.composite_names}
+    for key in spec.graph_keys():
+        head = spec.head_of(key)
+        if head is None:
+            continue
+        rel[head].update(spec.graph(key).names())
+    return rel
+
+
+def induces_closure(spec: Specification) -> Dict[str, FrozenSet[str]]:
+    """Reflexive-transitive closure ``|->*`` of the induces relation.
+
+    Returned per composite name; atomic names induce only themselves and
+    are omitted (they have no productions).
+    """
+    direct = direct_induces(spec)
+    closure: Dict[str, Set[str]] = {a: {a} | direct[a] for a in direct}
+    changed = True
+    while changed:
+        changed = False
+        for a in closure:
+            additions: Set[str] = set()
+            for b in closure[a]:
+                if b in direct:
+                    additions |= closure[b]
+            if not additions <= closure[a]:
+                closure[a] |= additions
+                changed = True
+    return {a: frozenset(s) for a, s in closure.items()}
+
+
+def _recursive_vertices(
+    spec: Specification, closure: Mapping[str, FrozenSet[str]]
+) -> Dict[GraphKey, FrozenSet[int]]:
+    """Recursive vertices of every production body.
+
+    A vertex ``u`` of body ``h`` in production ``A := h`` is recursive when
+    ``Name(u)`` induces ``A``.
+    """
+    out: Dict[GraphKey, FrozenSet[int]] = {START_KEY: frozenset()}
+    for key in spec.graph_keys():
+        head = spec.head_of(key)
+        if head is None:
+            continue
+        graph = spec.graph(key)
+        rec = frozenset(
+            v
+            for v in graph.vertices()
+            if head in closure.get(graph.name(v), frozenset())
+        )
+        out[key] = rec
+    return out
+
+
+def _productive_names(spec: Specification) -> FrozenSet[str]:
+    """Names that can derive an all-atomic graph (fixpoint computation)."""
+    productive: Set[str] = set(spec.atomic_names)
+    changed = True
+    while changed:
+        changed = False
+        for head in spec.composite_names:
+            if head in productive:
+                continue
+            for key in spec.impl_keys(head):
+                body = spec.graph(key)
+                if all(name in productive for name in body.names()):
+                    productive.add(head)
+                    changed = True
+                    break
+    return frozenset(productive)
+
+
+def _escape_impls(
+    spec: Specification,
+    recursive_vertices: Mapping[GraphKey, FrozenSet[int]],
+    productive: FrozenSet[str],
+) -> Dict[str, GraphKey]:
+    """Pick, per composite, an implementation that makes progress toward
+    termination.
+
+    Preference order: a body whose composite occurrences all avoid the head
+    (non-recursive body), else any body with all-productive names.  Used by
+    the derivation engine when the size budget is exhausted.
+    """
+    escapes: Dict[str, GraphKey] = {}
+    for head in spec.composite_names:
+        best: Optional[GraphKey] = None
+        for key in spec.impl_keys(head):
+            body = spec.graph(key)
+            if any(name not in productive for name in body.names()):
+                continue
+            if not recursive_vertices[key]:
+                best = key
+                break
+            if best is None:
+                best = key
+        if best is None:
+            raise SpecificationError(
+                f"composite {head!r} has no productive implementation"
+            )
+        escapes[head] = best
+    return escapes
+
+
+def analyze_grammar(spec: Specification) -> GrammarInfo:
+    """Compute the full :class:`GrammarInfo` for a specification.
+
+    Classification (with ``rec(key)`` the recursive vertices of body
+    ``key``):
+
+    * some ``rec(key)`` nonempty -> recursive;
+    * Definition 10 quantifies over the infinite production set, so a loop
+      or fork body with ``k`` recursive vertices yields productions with
+      ``2k`` of them: linear recursion additionally requires loop/fork
+      bodies to have *no* recursive vertices (this is Lemma 5.1);
+    * parallel recursive (Definition 13): two recursive vertices mutually
+      unreachable in some body -- including the ``P(h, h)`` fork copies.
+    """
+    closure = induces_closure(spec)
+    rec_vertices = _recursive_vertices(spec, closure)
+    productive = _productive_names(spec)
+    missing = spec.composite_names - productive
+    if missing:
+        raise SpecificationError(
+            f"unproductive composite names (cannot terminate): {sorted(missing)}"
+        )
+
+    recursive = any(rec_vertices[key] for key in rec_vertices)
+    linear = True
+    parallel = False
+    for key in spec.graph_keys():
+        head = spec.head_of(key)
+        if head is None:
+            continue
+        rec = rec_vertices[key]
+        if not rec:
+            continue
+        body = spec.graph(key)
+        if head in spec.loops:
+            # A := S(h, h) has two copies of each recursive vertex; copy 1
+            # reaches copy 2 through the sink-source chain, so the grammar
+            # is nonlinear but the duplicated vertices are series-related.
+            linear = False
+        elif head in spec.forks:
+            # A := P(h, h): the two copies are mutually unreachable.
+            linear = False
+            parallel = True
+        elif len(rec) > 1:
+            linear = False
+            rec_list = sorted(rec)
+            for i, u1 in enumerate(rec_list):
+                for u2 in rec_list[i + 1 :]:
+                    if not reaches(body.dag, u1, u2) and not reaches(
+                        body.dag, u2, u1
+                    ):
+                        parallel = True
+
+    if not recursive:
+        grammar_class = GrammarClass.NON_RECURSIVE
+    elif linear:
+        grammar_class = GrammarClass.LINEAR_RECURSIVE
+    else:
+        grammar_class = GrammarClass.NONLINEAR_RECURSIVE
+
+    designated: Dict[GraphKey, Optional[int]] = {}
+    for key, rec in rec_vertices.items():
+        head = spec.head_of(key)
+        if head is None or head in spec.loops or head in spec.forks or not rec:
+            # Loop/fork bodies are never R-compressed: their replicated
+            # copies would share one designated vertex ambiguously.
+            designated[key] = None
+        else:
+            designated[key] = min(rec)
+
+    return GrammarInfo(
+        grammar_class=grammar_class,
+        parallel_recursive=parallel,
+        induces=closure,
+        recursive_vertices=rec_vertices,
+        designated_recursive=designated,
+        productive=productive,
+        escape_impl=_escape_impls(spec, rec_vertices, productive),
+    )

@@ -1,0 +1,187 @@
+"""The Theorem 4 construction: a differential production for nonlinear
+recursive grammars (Figures 10 and 11).
+
+Theorem 4 proves that *no* nonlinear recursive workflow admits a compact
+derivation-based dynamic scheme, by constructing from any production
+with two recursive vertices a new derived production ``A := h*``
+containing a *differential vertex* ``w`` that reaches exactly one of two
+recursive vertices named ``A`` -- the gadget that forces label domains
+to split (as in Theorem 1's counting argument).
+
+This module makes the construction executable:
+
+1. find a production ``A := h`` with two recursive vertices;
+2. expand each recursive vertex along the ``induces`` chain until it is
+   literally named ``A`` (yielding ``A := h'``);
+3. replace one of the two ``A``-vertices with a fresh copy of ``h'``;
+   the copy's source (parallel case, Fig 10) or sink (series case,
+   Fig 11) is the differential vertex.
+
+The result is returned as a :class:`DifferentialProduction` whose
+defining property -- ``w`` reaches exactly one of the two recursive
+vertices -- is asserted by the tests for every nonlinear grammar in the
+test-suite's strategy space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnsupportedWorkflowError
+from repro.graphs.digraph import IdAllocator, NamedDAG
+from repro.graphs.ops import replace_vertex
+from repro.graphs.reachability import reaches
+from repro.workflow.grammar import GrammarInfo, analyze_grammar, direct_induces
+from repro.workflow.specification import GraphKey, Specification
+
+
+@dataclass(frozen=True)
+class DifferentialProduction:
+    """The Theorem 4 gadget ``A := h*``.
+
+    ``graph`` is the derived production body; ``recursive_a`` and
+    ``recursive_b`` are its two recursive vertices (both named ``head``)
+    and ``differential`` is the vertex reaching exactly one of them.
+    ``case`` is ``'parallel'`` (Figure 10) or ``'series'`` (Figure 11).
+    """
+
+    head: str
+    graph: NamedDAG
+    recursive_a: int
+    recursive_b: int
+    differential: int
+    case: str
+
+
+def _induces_path(spec: Specification, start: str, goal: str) -> List[str]:
+    """Shortest chain start -> ... -> goal in the direct-induces relation."""
+    rel = direct_induces(spec)
+    parent: Dict[str, Optional[str]] = {start: None}
+    queue = deque((start,))
+    while queue:
+        name = queue.popleft()
+        if name == goal:
+            path = [name]
+            while parent[name] is not None:
+                name = parent[name]
+                path.append(name)
+            path.reverse()
+            return path
+        for succ in rel.get(name, ()):  # only composites have entries
+            if succ not in parent and succ in rel:
+                parent[succ] = name
+                queue.append(succ)
+    raise UnsupportedWorkflowError(f"{start!r} does not induce {goal!r}")
+
+
+def _expand_until_named(
+    spec: Specification,
+    body: NamedDAG,
+    vertex: int,
+    goal: str,
+    alloc: IdAllocator,
+) -> int:
+    """Apply productions inside ``body`` until ``vertex`` becomes a
+    vertex named ``goal``; returns its id."""
+    current = vertex
+    while body.name(current) != goal:
+        name = body.name(current)
+        path = _induces_path(spec, name, goal)
+        next_name = path[1] if len(path) > 1 else goal
+        # choose an implementation of `name` that mentions next_name
+        impl_key = next(
+            key
+            for key in spec.impl_keys(name)
+            if next_name in spec.graph(key).names()
+        )
+        mapping, fragment = _instantiate(spec, impl_key, alloc)
+        replace_vertex(body, current, fragment)
+        template = spec.graph(impl_key)
+        current = next(
+            mapping[tv]
+            for tv in template.vertices()
+            if template.name(tv) == next_name
+        )
+    return current
+
+
+def _instantiate(
+    spec: Specification, key: GraphKey, alloc: IdAllocator
+) -> Tuple[Dict[int, int], NamedDAG]:
+    template = spec.graph(key)
+    mapping = {tv: alloc.fresh() for tv in template.vertices()}
+    return mapping, template.dag.relabeled(mapping)
+
+
+def differential_production(
+    spec: Specification, info: Optional[GrammarInfo] = None
+) -> DifferentialProduction:
+    """Build the Theorem 4 production ``A := h*`` for a nonlinear grammar.
+
+    Raises :class:`UnsupportedWorkflowError` for linear recursive or
+    non-recursive grammars (Theorem 4 does not apply to them).
+    """
+    if info is None:
+        info = analyze_grammar(spec)
+    if info.is_linear:
+        raise UnsupportedWorkflowError(
+            "Theorem 4 applies only to nonlinear recursive grammars"
+        )
+    # step 1: a production with two recursive vertices
+    head: Optional[str] = None
+    body_key: Optional[GraphKey] = None
+    for key, rec in info.recursive_vertices.items():
+        candidate_head = spec.head_of(key)
+        if candidate_head is None or len(rec) < 2:
+            continue
+        if candidate_head in spec.loops or candidate_head in spec.forks:
+            continue  # replicated copies handled via the plain case below
+        head, body_key = candidate_head, key
+        break
+    if head is None or body_key is None:
+        raise UnsupportedWorkflowError(
+            "no plain production with two recursive vertices; the "
+            "nonlinearity comes from a recursive loop/fork body"
+        )
+
+    alloc = IdAllocator()
+    mapping, body = _instantiate(spec, body_key, alloc)
+    rec_vertices = sorted(
+        mapping[tv] for tv in info.recursive_vertices[body_key]
+    )[:2]
+    # step 2: expand both recursive vertices until they are named `head`
+    u1 = _expand_until_named(spec, body, rec_vertices[0], head, alloc)
+    u2 = _expand_until_named(spec, body, rec_vertices[1], head, alloc)
+
+    # step 3: the h' -> h* replacement of the proof
+    if not reaches(body, u1, u2) and not reaches(body, u2, u1):
+        case = "parallel"  # Figure 10
+    else:
+        case = "series"  # Figure 11
+        if reaches(body, u2, u1):
+            u1, u2 = u2, u1  # ensure u1 ~> u2
+    # replace u1 with a fresh copy of h' (the body built so far)
+    copy_mapping = {v: alloc.fresh() for v in body.vertices()}
+    h_prime_copy = body.relabeled(copy_mapping)
+    u1_prime = copy_mapping[u1]
+    copy_sources = [v for v in h_prime_copy.vertices() if not h_prime_copy.predecessors(v)]
+    copy_sinks = [v for v in h_prime_copy.vertices() if not h_prime_copy.successors(v)]
+    replace_vertex(body, u1, h_prime_copy)
+    # The recursive pair of h* is (u1', u2): the copy's u1 and the outer
+    # u2.  In the parallel case w = the copy's source reaches u1' but not
+    # u2; in the series case w = the copy's sink reaches u2 (through
+    # u1's former successors) but not u1'.
+    if case == "parallel":
+        differential = copy_sources[0]
+    else:
+        differential = copy_sinks[0]
+    return DifferentialProduction(
+        head=head,
+        graph=body,
+        recursive_a=u1_prime,
+        recursive_b=u2,
+        differential=differential,
+        case=case,
+    )

@@ -1,0 +1,211 @@
+"""Specification normalization for name-based execution inference.
+
+Section 5.3 assumes two naming conditions (distinct vertex names per
+graph; globally unique atomic source/sink names) and notes that *"any
+specification can be modified to satisfy the above two conditions by
+renaming module names and introducing new dummy modules."*  This module
+implements that rewriting:
+
+* duplicate **atomic** names inside one graph are suffixed (``x~2``);
+* duplicate **composite** names inside one graph are *aliased*: a fresh
+  composite name (``A~2``) is introduced that shares all of ``A``'s
+  implementations, so the generated language is unchanged up to the
+  renaming;
+* non-atomic or non-unique terminals are fixed by wrapping each offending
+  graph with fresh *dummy* source/sink modules (``src~<graph>`` /
+  ``snk~<graph>``), which only forward data.
+
+The result is a new :class:`Specification` together with a
+:class:`NameMap` translating normalized names back to the originals, so
+provenance answers can be reported in the user's vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import GraphKey, Specification, make_spec
+from repro.workflow.validation import naming_condition_violations
+
+_SEP = "~"
+
+
+@dataclass
+class NameMap:
+    """Translation between normalized and original module names."""
+
+    to_original: Dict[str, str] = field(default_factory=dict)
+
+    def original(self, name: str) -> str:
+        """The pre-normalization name (identity for untouched names)."""
+        return self.to_original.get(name, name)
+
+    def record(self, new: str, old: str) -> None:
+        self.to_original[new] = old
+
+
+class _Renamer:
+    """Allocates fresh names, remembering the originals."""
+
+    def __init__(self, taken: Set[str], name_map: NameMap) -> None:
+        self._taken = set(taken)
+        self._map = name_map
+
+    def fresh(self, base: str) -> str:
+        suffix = 2
+        candidate = f"{base}{_SEP}{suffix}"
+        while candidate in self._taken:
+            suffix += 1
+            candidate = f"{base}{_SEP}{suffix}"
+        self._taken.add(candidate)
+        self._map.record(candidate, base)
+        return candidate
+
+    def fresh_terminal(self, base: str) -> str:
+        if base not in self._taken:
+            self._taken.add(base)
+            return base
+        return self.fresh(base)
+
+
+def _dedupe_names(
+    graph: TwoTerminalGraph,
+    spec: Specification,
+    renamer: _Renamer,
+    aliases: Dict[str, List[str]],
+) -> TwoTerminalGraph:
+    """Enforce condition 1 on one graph (distinct vertex names)."""
+    result = graph.copy()
+    seen: Counter = Counter()
+    for vid in sorted(result.vertices()):
+        name = result.name(vid)
+        seen[name] += 1
+        if seen[name] == 1:
+            continue
+        if spec.is_atomic(name):
+            result.dag.rename_vertex(vid, renamer.fresh(name))
+        else:
+            alias_list = aliases.setdefault(name, [])
+            position = seen[name] - 2  # 0-based alias index
+            while len(alias_list) <= position:
+                alias_list.append(renamer.fresh(name))
+            result.dag.rename_vertex(vid, alias_list[position])
+    return result
+
+
+def _wrap_terminals(
+    graph: TwoTerminalGraph,
+    tag: str,
+    spec: Specification,
+    renamer: _Renamer,
+    terminal_names: Counter,
+) -> TwoTerminalGraph:
+    """Enforce condition 2 by adding dummy source/sink modules if needed.
+
+    A terminal needs wrapping when its name is composite or occurs more
+    than once across the whole specification.
+    """
+    dag = graph.dag
+    source, sink = graph.source, graph.sink
+
+    def needs_dummy(vid: int) -> bool:
+        name = dag.name(vid)
+        return not spec.is_atomic(name) or terminal_names[name] > 1
+
+    result = dag.copy()
+    next_vid = max(result.vertices()) + 1
+    if needs_dummy(source):
+        dummy = next_vid
+        next_vid += 1
+        result.add_vertex(dummy, renamer.fresh_terminal(f"src{_SEP}{tag}"))
+        result.add_edge(dummy, source)
+        source = dummy
+    if needs_dummy(sink):
+        dummy = next_vid
+        next_vid += 1
+        result.add_vertex(dummy, renamer.fresh_terminal(f"snk{_SEP}{tag}"))
+        result.add_edge(sink, dummy)
+        sink = dummy
+    return TwoTerminalGraph(result, source, sink)
+
+
+def normalize_specification(
+    spec: Specification,
+) -> Tuple[Specification, NameMap]:
+    """Rewrite ``spec`` to satisfy the Section 5.3 naming conditions.
+
+    Returns the normalized specification and the name map back to the
+    original module names.  If the input already satisfies the
+    conditions it is returned unchanged (with an empty map).
+    """
+    if not naming_condition_violations(spec):
+        return spec, NameMap()
+
+    name_map = NameMap()
+    taken: Set[str] = set(spec.names)
+    renamer = _Renamer(taken, name_map)
+    aliases: Dict[str, List[str]] = {}
+
+    # pass 1: dedupe vertex names inside every graph (condition 1).
+    graphs: Dict[GraphKey, TwoTerminalGraph] = {}
+    for key in spec.graph_keys():
+        graphs[key] = _dedupe_names(spec.graph(key), spec, renamer, aliases)
+
+    # pass 2: per-graph unique atomic terminals (condition 2).  Terminal
+    # multiplicity is computed over the *deduped* graphs.
+    terminal_names: Counter = Counter()
+    occurrence: Counter = Counter()
+    for key, graph in graphs.items():
+        occurrence.update(graph.names())
+    for key, graph in graphs.items():
+        terminal_names[graph.name(graph.source)] = occurrence[
+            graph.name(graph.source)
+        ]
+        terminal_names[graph.name(graph.sink)] = occurrence[
+            graph.name(graph.sink)
+        ]
+    wrapped: Dict[GraphKey, TwoTerminalGraph] = {}
+    for key, graph in graphs.items():
+        tag = key.replace("#", "_")
+        wrapped[key] = _wrap_terminals(graph, tag, spec, renamer, terminal_names)
+
+    # assemble: each alias gets deep copies of the original
+    # implementations with fresh terminal names, so condition 2 keeps
+    # holding (one graph per source/sink name).
+    implementations: List[Tuple[str, TwoTerminalGraph]] = []
+    for key in spec.graph_keys():
+        head = spec.head_of(key)
+        if head is None:
+            continue
+        implementations.append((head, wrapped[key]))
+    for head, alias_list in aliases.items():
+        for alias in alias_list:
+            for key in spec.impl_keys(head):
+                original = wrapped[key]
+                clone = original.copy()
+                src_name = clone.name(clone.source)
+                snk_name = clone.name(clone.sink)
+                clone.dag.rename_vertex(clone.source, renamer.fresh(src_name))
+                clone.dag.rename_vertex(clone.sink, renamer.fresh(snk_name))
+                implementations.append((alias, clone))
+
+    loops = set(spec.loops)
+    forks = set(spec.forks)
+    for head, alias_list in aliases.items():
+        if head in spec.loops:
+            loops.update(alias_list)
+        if head in spec.forks:
+            forks.update(alias_list)
+
+    normalized = make_spec(
+        start=wrapped["g0"],
+        implementations=implementations,
+        loops=sorted(loops),
+        forks=sorted(forks),
+        name=f"{spec.name}{_SEP}normalized",
+        validate=True,
+    )
+    return normalized, name_map

@@ -1,0 +1,181 @@
+"""Workflow specifications (Definition 5).
+
+A specification is a system ``S = (Sigma, Delta, Delta_L, Delta_F, I, g0)``:
+a finite name alphabet, the atomic names, the loop and fork names, a set of
+implementation pairs ``(A, h)`` and a start graph.  Here the alphabet is
+implicit (the union of all names that occur); atomic names are those with
+no implementation.
+
+Every specification graph (the start graph plus each implementation graph)
+is identified by a stable :class:`GraphKey`, used by skeleton labeling
+schemes to reference "the label of vertex u of graph h" without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.graphs.two_terminal import TwoTerminalGraph
+
+# A stable identifier for one specification graph: "g0" for the start
+# graph, or "<head>#<i>" for the i-th implementation of composite <head>.
+GraphKey = str
+
+START_KEY: GraphKey = "g0"
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A workflow specification (Definition 5).
+
+    Parameters
+    ----------
+    start:
+        The start graph ``g0``.
+    implementations:
+        The set ``I`` as a sequence of ``(A, h)`` pairs.  A composite name
+        may have several implementations ("or" semantics).
+    loops / forks:
+        The loop names ``Delta_L`` and fork names ``Delta_F``; must be
+        disjoint subsets of the composite names.
+    """
+
+    start: TwoTerminalGraph
+    implementations: Tuple[Tuple[str, TwoTerminalGraph], ...]
+    loops: FrozenSet[str] = frozenset()
+    forks: FrozenSet[str] = frozenset()
+    name: str = "spec"
+    _impl_index: Dict[str, List[GraphKey]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _graphs: Dict[GraphKey, TwoTerminalGraph] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _heads: Dict[GraphKey, Optional[str]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        counters: Dict[str, int] = {}
+        self._graphs[START_KEY] = self.start
+        self._heads[START_KEY] = None
+        for head, graph in self.implementations:
+            idx = counters.get(head, 0)
+            counters[head] = idx + 1
+            key = f"{head}#{idx}"
+            self._graphs[key] = graph
+            self._heads[key] = head
+            self._impl_index.setdefault(head, []).append(key)
+
+    # ------------------------------------------------------------------
+    # name sets
+    # ------------------------------------------------------------------
+    @property
+    def composite_names(self) -> FrozenSet[str]:
+        """Names with at least one implementation (``Sigma \\ Delta``)."""
+        return frozenset(self._impl_index)
+
+    @property
+    def atomic_names(self) -> FrozenSet[str]:
+        """Names occurring in some graph but having no implementation."""
+        occurring = set()
+        for graph in self._graphs.values():
+            occurring.update(graph.names())
+        return frozenset(occurring - self.composite_names)
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        """The full alphabet ``Sigma``."""
+        return self.atomic_names | self.composite_names
+
+    def is_atomic(self, name: str) -> bool:
+        """True when ``name`` has no implementation."""
+        return name not in self._impl_index
+
+    def is_loop(self, name: str) -> bool:
+        """True when ``name`` is a loop name."""
+        return name in self.loops
+
+    def is_fork(self, name: str) -> bool:
+        """True when ``name`` is a fork name."""
+        return name in self.forks
+
+    # ------------------------------------------------------------------
+    # graph access
+    # ------------------------------------------------------------------
+    def graph_keys(self) -> Iterator[GraphKey]:
+        """All graph keys: the start graph first, then implementations."""
+        return iter(self._graphs)
+
+    def graph(self, key: GraphKey) -> TwoTerminalGraph:
+        """The specification graph identified by ``key``."""
+        try:
+            return self._graphs[key]
+        except KeyError:
+            raise SpecificationError(f"unknown graph key {key!r}") from None
+
+    def head_of(self, key: GraphKey) -> Optional[str]:
+        """The composite name ``key`` implements (None for the start graph)."""
+        return self._heads[key]
+
+    def impl_keys(self, head: str) -> List[GraphKey]:
+        """Graph keys of all implementations of composite ``head``."""
+        try:
+            return list(self._impl_index[head])
+        except KeyError:
+            raise SpecificationError(f"{head!r} has no implementations") from None
+
+    def graphs_to_label(self) -> Mapping[GraphKey, TwoTerminalGraph]:
+        """The set ``G(S)`` of Section 5.1: start graph + implementations."""
+        return dict(self._graphs)
+
+    # ------------------------------------------------------------------
+    # statistics used by the experiments
+    # ------------------------------------------------------------------
+    @property
+    def max_graph_size(self) -> int:
+        """``n_G``: the maximum size of a specification graph (Table 1)."""
+        return max(len(g) for g in self._graphs.values())
+
+    @property
+    def average_graph_size(self) -> float:
+        """Average specification-graph size (reported for BioAID: 10.5)."""
+        sizes = [len(g) for g in self._graphs.values()]
+        return sum(sizes) / len(sizes)
+
+    def stats(self) -> Dict[str, object]:
+        """Summary statistics for reporting."""
+        return {
+            "name": self.name,
+            "graphs": len(self._graphs),
+            "composites": len(self.composite_names),
+            "loops": len(self.loops),
+            "forks": len(self.forks),
+            "max_graph_size": self.max_graph_size,
+            "avg_graph_size": round(self.average_graph_size, 2),
+        }
+
+
+def make_spec(
+    start: TwoTerminalGraph,
+    implementations: Sequence[Tuple[str, TwoTerminalGraph]],
+    loops: Sequence[str] = (),
+    forks: Sequence[str] = (),
+    name: str = "spec",
+    validate: bool = True,
+) -> Specification:
+    """Build and (by default) validate a :class:`Specification`."""
+    spec = Specification(
+        start=start,
+        implementations=tuple(implementations),
+        loops=frozenset(loops),
+        forks=frozenset(forks),
+        name=name,
+    )
+    if validate:
+        from repro.workflow.validation import validate_specification
+
+        validate_specification(spec)
+    return spec

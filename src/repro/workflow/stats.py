@@ -1,0 +1,112 @@
+"""Run and parse-tree statistics for reporting.
+
+Summaries of what a derivation actually did -- how often each module
+ran, how many copies each loop/fork produced, how deep recursions went.
+Used by the bench harness notes, the examples and by users profiling
+their own workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind, build_explicit_tree
+from repro.workflow.derivation import Derivation
+from repro.workflow.grammar import GrammarInfo, analyze_grammar
+
+
+@dataclass
+class RunStats:
+    """Structural statistics of one workflow run."""
+
+    run_size: int
+    edge_count: int
+    module_counts: Dict[str, int]
+    loop_iterations: Dict[str, List[int]]
+    fork_widths: Dict[str, List[int]]
+    recursion_chain_lengths: List[int]
+    tree_nodes: int
+    tree_depth: int
+    tree_depth_bound: int
+    max_outdegree: int
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"run: {self.run_size} vertices, {self.edge_count} edges",
+            f"parse tree: {self.tree_nodes} nodes, depth "
+            f"{self.tree_depth}/{self.tree_depth_bound} (bound), "
+            f"max outdegree {self.max_outdegree}",
+        ]
+        for head, iterations in sorted(self.loop_iterations.items()):
+            if iterations:
+                lines.append(
+                    f"loop {head}: {len(iterations)} activation(s), "
+                    f"iterations {min(iterations)}..{max(iterations)}"
+                )
+        for head, widths in sorted(self.fork_widths.items()):
+            if widths:
+                lines.append(
+                    f"fork {head}: {len(widths)} activation(s), "
+                    f"widths {min(widths)}..{max(widths)}"
+                )
+        if self.recursion_chain_lengths:
+            lines.append(
+                f"recursion chains: {len(self.recursion_chain_lengths)}, "
+                f"lengths {min(self.recursion_chain_lengths)}.."
+                f"{max(self.recursion_chain_lengths)}"
+            )
+        top = Counter(self.module_counts).most_common(5)
+        lines.append(
+            "top modules: "
+            + ", ".join(f"{name} x{count}" for name, count in top)
+        )
+        return "\n".join(lines)
+
+
+def run_stats(
+    derivation: Derivation,
+    info: Optional[GrammarInfo] = None,
+    tree: Optional[ExplicitParseTree] = None,
+) -> RunStats:
+    """Compute :class:`RunStats` for a completed derivation."""
+    spec = derivation.spec
+    if info is None:
+        info = analyze_grammar(spec)
+    if tree is None:
+        r_mode = "linear" if info.is_linear else "one_r"
+        tree = build_explicit_tree(derivation, info=info, r_mode=r_mode)
+
+    graph = derivation.graph
+    module_counts: Counter = Counter(
+        graph.name(v) for v in graph.vertices()
+    )
+
+    loop_iterations: Dict[str, List[int]] = {h: [] for h in spec.loops}
+    fork_widths: Dict[str, List[int]] = {h: [] for h in spec.forks}
+    for step in derivation.steps:
+        if step.mode == "series":
+            loop_iterations[step.head].append(len(step.copies))
+        elif step.mode == "parallel":
+            fork_widths[step.head].append(len(step.copies))
+
+    chain_lengths = [
+        len(node.children)
+        for node in tree.nodes()
+        if node.kind is NodeKind.R
+    ]
+
+    return RunStats(
+        run_size=len(graph),
+        edge_count=graph.edge_count(),
+        module_counts=dict(module_counts),
+        loop_iterations=loop_iterations,
+        fork_widths=fork_widths,
+        recursion_chain_lengths=chain_lengths,
+        tree_nodes=tree.node_count,
+        tree_depth=tree.depth(),
+        tree_depth_bound=tree.depth_bound(),
+        max_outdegree=tree.max_outdegree,
+    )

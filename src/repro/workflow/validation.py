@@ -1,0 +1,102 @@
+"""Specification validation, including Section 5.3's naming conditions.
+
+Two levels:
+
+* :func:`validate_specification` -- structural sanity required by every
+  scheme: graphs are spanning two-terminal DAGs, loop/fork names are
+  disjoint composite names, every composite is productive.
+* :func:`check_naming_conditions` -- the two extra conditions that the
+  *name-inference* execution-based scheme relies on (Section 5.3):
+
+  1. all vertices of each specification graph have distinct names;
+  2. the source and sink of every graph have unique atomic names that do
+     not occur in any other specification graph.
+
+  Any specification can be rewritten to satisfy them (the paper notes this
+  can be done by renaming and adding dummy modules); scientific-workflow
+  systems that log a run-to-specification mapping can skip them entirely
+  (use the *logged* execution mode instead).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.errors import SpecificationError
+from repro.workflow.specification import Specification
+
+
+def validate_specification(spec: Specification) -> None:
+    """Raise :class:`SpecificationError` when the specification is invalid."""
+    composites = spec.composite_names
+    overlap = spec.loops & spec.forks
+    if overlap:
+        raise SpecificationError(f"names both loop and fork: {sorted(overlap)}")
+    unknown = (spec.loops | spec.forks) - composites
+    if unknown:
+        raise SpecificationError(
+            f"loop/fork names without implementations: {sorted(unknown)}"
+        )
+    for key in spec.graph_keys():
+        graph = spec.graph(key)
+        try:
+            graph.validate(require_spanning=True)
+        except Exception as exc:
+            raise SpecificationError(f"graph {key!r} invalid: {exc}") from exc
+        head = spec.head_of(key)
+        if head is not None and graph.name(graph.source) in composites:
+            raise SpecificationError(
+                f"graph {key!r}: source must be atomic (dummy module)"
+            )
+        if head is not None and graph.name(graph.sink) in composites:
+            raise SpecificationError(
+                f"graph {key!r}: sink must be atomic (dummy module)"
+            )
+    # Productivity is checked by grammar analysis; trigger it here so an
+    # unproductive spec fails fast.
+    from repro.workflow.grammar import analyze_grammar
+
+    analyze_grammar(spec)
+
+
+def naming_condition_violations(spec: Specification) -> List[str]:
+    """Return human-readable violations of the Section 5.3 conditions."""
+    problems: List[str] = []
+    for key in spec.graph_keys():
+        graph = spec.graph(key)
+        dupes = [n for n, c in Counter(graph.names()).items() if c > 1]
+        if dupes:
+            problems.append(
+                f"graph {key!r}: duplicate vertex names {sorted(dupes)}"
+            )
+    # terminal names must be globally unique and atomic
+    terminal_names: Counter = Counter()
+    for key in spec.graph_keys():
+        graph = spec.graph(key)
+        terminal_names[graph.name(graph.source)] += 1
+        terminal_names[graph.name(graph.sink)] += 1
+    occurrences: Counter = Counter()
+    for key in spec.graph_keys():
+        occurrences.update(spec.graph(key).names())
+    for key in spec.graph_keys():
+        graph = spec.graph(key)
+        for term, role in ((graph.source, "source"), (graph.sink, "sink")):
+            name = graph.name(term)
+            if not spec.is_atomic(name):
+                problems.append(f"graph {key!r}: {role} name {name!r} not atomic")
+            if occurrences[name] > 1:
+                problems.append(
+                    f"graph {key!r}: {role} name {name!r} occurs "
+                    f"{occurrences[name]} times across the specification"
+                )
+    return problems
+
+
+def check_naming_conditions(spec: Specification) -> None:
+    """Raise unless the Section 5.3 naming conditions hold."""
+    problems = naming_condition_violations(spec)
+    if problems:
+        raise SpecificationError(
+            "naming conditions violated:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,76 @@
+"""Shared fixtures and ground-truth helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.datasets import bioaid, running_example, synthetic_spec, theorem1_grammar
+from repro.graphs.reachability import reaches
+from repro.workflow.derivation import sample_run
+
+
+@pytest.fixture(scope="session")
+def running_spec():
+    """The paper's running example (Figure 2)."""
+    return running_example()
+
+
+@pytest.fixture(scope="session")
+def bioaid_spec():
+    """The BioAID-like specification (recursive variant)."""
+    return bioaid()
+
+
+@pytest.fixture(scope="session")
+def bioaid_norec_spec():
+    """BioAID with the recursion converted to a loop (Section 7.4)."""
+    return bioaid(recursive=False)
+
+
+@pytest.fixture(scope="session")
+def theorem1_spec():
+    """The Figure 6 lower-bound grammar."""
+    return theorem1_grammar()
+
+
+@pytest.fixture(scope="session")
+def synthetic_linear_spec():
+    """A small member of the Figure 13 synthetic family."""
+    return synthetic_spec(sub_size=10, depth=5, linear=True, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+def assert_labels_correct(graph, labels, query, sample=None, rng=None):
+    """Compare a labeling against BFS ground truth on ``graph``.
+
+    ``query(label_a, label_b)`` must equal ``a ;_graph b`` for all sampled
+    pairs (all pairs when ``sample`` is None).
+    """
+    vertices = sorted(graph.vertices())
+    if sample is None:
+        pairs = itertools.product(vertices, vertices)
+    else:
+        rng = rng or random.Random(1)
+        pairs = (
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(sample)
+        )
+    for a, b in pairs:
+        expected = reaches(graph, a, b)
+        actual = query(labels[a], labels[b])
+        assert actual == expected, (
+            f"query({a}:{graph.name(a)} -> {b}:{graph.name(b)}): "
+            f"labels say {actual}, graph says {expected}"
+        )
+
+
+def small_run(spec, size, seed):
+    """A seeded run of roughly ``size`` vertices for ``spec``."""
+    return sample_run(spec, size, random.Random(seed))

@@ -1,0 +1,142 @@
+"""Tests for the benchmark harness and a smoke pass over the drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_DRIVERS,
+    fig01_bounds,
+    tab2_spec_overhead,
+)
+from repro.bench.harness import (
+    BenchConfig,
+    Table,
+    default_config,
+    format_table,
+    run_ladder,
+    sampled_runs,
+    time_call,
+    time_per_query,
+)
+from repro.datasets import running_example
+
+TINY = BenchConfig(scale=0.05, samples=1, queries=200)
+
+
+class TestConfig:
+    def test_default_config_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_SAMPLES", "7")
+        monkeypatch.setenv("REPRO_QUERIES", "123")
+        config = default_config()
+        assert config.scale == 0.5
+        assert config.samples == 7
+        assert config.queries == 123
+
+    def test_run_ladder_doubles(self):
+        config = BenchConfig(scale=0.25)  # max 8000
+        assert run_ladder(config) == [1000, 2000, 4000, 8000]
+
+    def test_run_ladder_minimum(self):
+        config = BenchConfig(scale=0.001)
+        assert run_ladder(config) == [1000]
+
+
+class TestHelpers:
+    def test_sampled_runs_deterministic(self, running_spec):
+        a = sampled_runs(running_spec, 150, TINY, tag=1)
+        b = sampled_runs(running_spec, 150, TINY, tag=1)
+        assert [r.run_size() for r in a] == [r.run_size() for r in b]
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda: 42)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_time_per_query_runs_queries(self):
+        calls = []
+        labels = {1: "a", 2: "b"}
+        time_per_query(lambda a, b: calls.append((a, b)), labels, count=10)
+        assert len(calls) == 10
+
+
+class TestTable:
+    def test_add_and_as_dicts(self):
+        table = Table(id="t", title="demo", columns=["a", "b"])
+        table.add(1, 2.5)
+        assert table.as_dicts() == [{"a": 1, "b": 2.5}]
+
+    def test_arity_mismatch_rejected(self):
+        table = Table(id="t", title="demo", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_format_table_contains_everything(self):
+        table = Table(
+            id="t", title="demo", columns=["name", "value"], notes="hello"
+        )
+        table.add("row1", 3.14159)
+        text = format_table(table)
+        assert "## t: demo" in text
+        assert "row1" in text
+        assert "3.14" in text
+        assert "note: hello" in text
+
+
+class TestBenchCli:
+    def test_unknown_experiment_exits_2(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["bench", "fig99"]) == 2
+
+    def test_selected_experiment_runs(self, capsys, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_SAMPLES", "1")
+        monkeypatch.setenv("REPRO_QUERIES", "200")
+        assert main(["bench", "tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "tab2" in out
+
+    def test_output_file_written(self, capsys, monkeypatch, tmp_path):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_SAMPLES", "1")
+        monkeypatch.setenv("REPRO_QUERIES", "200")
+        path = tmp_path / "out.md"
+        assert main(["bench", "--output", str(path), "tab2"]) == 0
+        assert "tab2" in path.read_text()
+
+    def test_output_without_path_exits_2(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["bench", "--output"]) == 2
+
+
+class TestDriverSmoke:
+    """Every driver runs end-to-end at tiny scale and yields rows."""
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig01", "thm1", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "fig22", "tab2",
+        }
+        assert expected <= set(ALL_DRIVERS)
+
+    def test_tab2_rows(self):
+        table = tab2_spec_overhead(TINY)
+        schemes = [row[0] for row in table.rows]
+        assert schemes == ["DRL(TCL)", "SKL(TCL)"]
+
+    def test_fig01_rows(self):
+        table = fig01_bounds(TINY)
+        assert len(table.rows) == 6
+
+    @pytest.mark.parametrize("name", ["fig14", "fig16", "fig20", "abl-r"])
+    def test_driver_produces_rows(self, name):
+        table = ALL_DRIVERS[name](TINY)
+        assert table.rows
+        assert table.id == name or table.id.startswith("abl")

@@ -1,0 +1,136 @@
+"""Tests for the bundled specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    bioaid,
+    fig12_path_grammar,
+    running_example,
+    synthetic_spec,
+    theorem1_grammar,
+)
+from repro.errors import SpecificationError
+from repro.workflow.grammar import GrammarClass, analyze_grammar
+from repro.workflow.validation import validate_specification
+
+from tests.conftest import small_run
+
+
+class TestRunningExample:
+    def test_structure_matches_figure_2(self, running_spec):
+        assert running_spec.composite_names == {"L", "F", "A", "B", "C"}
+        assert running_spec.loops == frozenset({"L"})
+        assert running_spec.forks == frozenset({"F"})
+        assert len(running_spec.impl_keys("A")) == 2
+
+    def test_runs_derivable(self, running_spec):
+        run = small_run(running_spec, 100, seed=1)
+        assert run.run_size() > 10
+
+
+class TestBioaid:
+    def test_statistics_match_paper(self, bioaid_spec):
+        """Section 7.2: 11 sub-workflows, avg size ~10.5, 2 loops, 4 forks,
+        one linear recursion of length 2."""
+        stats = bioaid_spec.stats()
+        assert stats["graphs"] == 12  # g0 + 11 sub-workflows
+        assert stats["loops"] == 2
+        assert stats["forks"] == 4
+        assert 8.0 <= bioaid_spec.average_graph_size <= 12.0
+
+    def test_recursion_length_two(self, bioaid_spec):
+        info = analyze_grammar(bioaid_spec)
+        closure = info.induces
+        assert "RefineQuery" in closure["ExpandHits"]
+        assert "ExpandHits" in closure["RefineQuery"]
+        assert info.grammar_class is GrammarClass.LINEAR_RECURSIVE
+
+    def test_norec_variant_is_loop_converted(self, bioaid_norec_spec):
+        info = analyze_grammar(bioaid_norec_spec)
+        assert info.grammar_class is GrammarClass.NON_RECURSIVE
+        assert bioaid_norec_spec.is_loop("RefineQuery")
+
+    def test_both_variants_validate(self):
+        validate_specification(bioaid())
+        validate_specification(bioaid(recursive=False))
+
+    def test_runs_scale(self, bioaid_spec):
+        run = small_run(bioaid_spec, 1000, seed=2)
+        assert run.run_size() >= 500
+
+
+class TestTheorem1Grammar:
+    def test_differential_vertex_reaches_one_recursive_vertex(
+        self, theorem1_spec
+    ):
+        from repro.graphs.reachability import reaches
+
+        h1 = theorem1_spec.graph("A#0")
+        a_vertices = [v for v in h1.vertices() if h1.name(v) == "a"]
+        rec_vertices = [v for v in h1.vertices() if h1.name(v) == "A"]
+        assert len(a_vertices) == 1
+        assert len(rec_vertices) == 2
+        reached = [
+            v for v in rec_vertices if reaches(h1.dag, a_vertices[0], v)
+        ]
+        assert len(reached) == 1  # "exactly one of the two A's"
+
+    def test_parallel_recursive(self, theorem1_spec):
+        info = analyze_grammar(theorem1_spec)
+        assert info.parallel_recursive
+
+
+class TestFig12Grammar:
+    def test_runs_are_simple_paths(self):
+        spec = fig12_path_grammar()
+        run = small_run(spec, 100, seed=3)
+        g = run.graph
+        for v in g.vertices():
+            assert g.out_degree(v) <= 1
+            assert g.in_degree(v) <= 1
+
+    def test_series_recursive_not_parallel(self):
+        info = analyze_grammar(fig12_path_grammar())
+        assert info.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        assert not info.parallel_recursive
+
+
+class TestSyntheticFamily:
+    @pytest.mark.parametrize("sub_size", [10, 20, 40])
+    def test_sub_workflow_sizes(self, sub_size):
+        spec = synthetic_spec(sub_size=sub_size, depth=5)
+        for key in spec.graph_keys():
+            assert len(spec.graph(key)) == sub_size
+
+    @pytest.mark.parametrize("depth", [4, 5, 8])
+    def test_depth_controls_graph_count(self, depth):
+        spec = synthetic_spec(sub_size=10, depth=depth)
+        # g0 + (depth-4 plain) + loop body + fork body + 2 REC bodies
+        assert len(list(spec.graph_keys())) == depth + 1
+
+    def test_linear_flag(self):
+        linear = analyze_grammar(synthetic_spec(10, 5, linear=True))
+        nonlinear = analyze_grammar(synthetic_spec(10, 5, linear=False))
+        assert linear.grammar_class is GrammarClass.LINEAR_RECURSIVE
+        assert nonlinear.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+
+    def test_depth_minimum_enforced(self):
+        with pytest.raises(SpecificationError):
+            synthetic_spec(sub_size=10, depth=3)
+
+    def test_size_minimum_enforced(self):
+        with pytest.raises(SpecificationError):
+            synthetic_spec(sub_size=3, depth=5, linear=False)
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_spec(10, 5, seed=42)
+        b = synthetic_spec(10, 5, seed=42)
+        for key in a.graph_keys():
+            assert sorted(a.graph(key).edges()) == sorted(b.graph(key).edges())
+
+    def test_runs_derivable(self):
+        spec = synthetic_spec(10, 6)
+        run = small_run(spec, 300, seed=4)
+        assert run.run_size() > 100

@@ -1,0 +1,172 @@
+"""Edge cases across the pipeline: degenerate specs, tiny runs, limits."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.reachability import reaches
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.derivation import DerivationEngine, DerivationPolicy, random_derivation
+from repro.workflow.execution import execution_from_derivation
+from repro.workflow.grammar import GrammarClass, analyze_grammar
+from repro.workflow.specification import make_spec
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+@pytest.fixture()
+def composite_free_spec():
+    """A specification whose start graph is already all-atomic."""
+    return make_spec(chain(["s", "a", "b", "t"]), [], name="trivial")
+
+
+@pytest.fixture()
+def single_module_spec():
+    """One plain composite with a two-vertex body."""
+    return make_spec(
+        chain(["s", "X", "t"]), [("X", chain(["sx", "tx"]))], name="single"
+    )
+
+
+class TestCompositeFreeSpec:
+    def test_classified_non_recursive(self, composite_free_spec):
+        info = analyze_grammar(composite_free_spec)
+        assert info.grammar_class is GrammarClass.NON_RECURSIVE
+
+    def test_run_is_the_start_graph(self, composite_free_spec):
+        policy = DerivationPolicy(rng=random.Random(0), target_size=10)
+        run = random_derivation(composite_free_spec, policy)
+        assert run.run_size() == 4
+        assert not run.steps
+
+    def test_drl_labels_the_start_graph(self, composite_free_spec):
+        policy = DerivationPolicy(rng=random.Random(0), target_size=10)
+        run = random_derivation(composite_free_spec, policy)
+        scheme = DRL(composite_free_spec)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        for a in g.vertices():
+            for b in g.vertices():
+                assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_execution_labeling_works(self, composite_free_spec):
+        policy = DerivationPolicy(rng=random.Random(0), target_size=10)
+        run = random_derivation(composite_free_spec, policy)
+        scheme = DRL(composite_free_spec)
+        labeler = DRLExecutionLabeler(scheme, mode="name")
+        labels = labeler.run(execution_from_derivation(run))
+        assert len(labels) == 4
+
+
+class TestSingleModuleSpec:
+    def test_one_step_derivation(self, single_module_spec):
+        eng = DerivationEngine(single_module_spec)
+        eng.begin()
+        target = next(iter(eng.pending))
+        eng.expand(target, "X#0")
+        run = eng.finish()
+        assert run.run_size() == 4  # s, sx, tx, t
+        scheme = DRL(single_module_spec)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        for a in g.vertices():
+            for b in g.vertices():
+                assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+
+class TestMinimalBodies:
+    def test_two_vertex_loop_body(self):
+        spec = make_spec(
+            chain(["s", "LP", "t"]),
+            [("LP", chain(["sl", "tl"]))],
+            loops=["LP"],
+            name="tiny-loop",
+        )
+        eng = DerivationEngine(spec)
+        eng.begin()
+        target = next(iter(eng.pending))
+        eng.expand(target, "LP#0", copies=5)
+        run = eng.finish()
+        scheme = DRL(spec)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        for a in g.vertices():
+            for b in g.vertices():
+                assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_two_vertex_fork_body(self):
+        spec = make_spec(
+            chain(["s", "FK", "t"]),
+            [("FK", chain(["sf", "tf"]))],
+            forks=["FK"],
+            name="tiny-fork",
+        )
+        eng = DerivationEngine(spec)
+        eng.begin()
+        target = next(iter(eng.pending))
+        eng.expand(target, "FK#0", copies=4)
+        run = eng.finish()
+        scheme = DRL(spec)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        for a in g.vertices():
+            for b in g.vertices():
+                assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_single_copy_loop_and_fork(self):
+        # copies=1 still builds the special node with one child
+        spec = make_spec(
+            chain(["s", "LP", "FK", "t"]),
+            [("LP", chain(["sl", "tl"])), ("FK", chain(["sf", "tf"]))],
+            loops=["LP"],
+            forks=["FK"],
+            name="single-copies",
+        )
+        eng = DerivationEngine(spec)
+        eng.begin()
+        for target in sorted(eng.pending):
+            head = eng.pending[target]
+            eng.expand(target, f"{head}#0", copies=1)
+        run = eng.finish()
+        scheme = DRL(spec)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        for a in g.vertices():
+            for b in g.vertices():
+                assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+        # execution path too
+        labeler = DRLExecutionLabeler(scheme, mode="name")
+        exe_labels = labeler.run(execution_from_derivation(run))
+        assert exe_labels == {v: labels[v] for v in exe_labels}
+
+
+class TestImmediateRecursionSpec:
+    def test_direct_self_recursion(self):
+        # A := s A t | s t : A directly induces itself, linear
+        spec = make_spec(
+            chain(["s", "A", "t"]),
+            [("A", chain(["sa", "A", "ta"])), ("A", chain(["sb", "tb"]))],
+            name="self-rec",
+        )
+        info = analyze_grammar(spec)
+        assert info.grammar_class is GrammarClass.LINEAR_RECURSIVE
+        policy = DerivationPolicy(
+            rng=random.Random(1), target_size=80, recursion_continue_prob=0.8
+        )
+        run = random_derivation(spec, policy, info=info)
+        scheme = DRL(spec, info=info)
+        labels = scheme.label_derivation(run)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(2)
+        for _ in range(3000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)

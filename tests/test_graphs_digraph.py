@@ -1,0 +1,244 @@
+"""Unit tests for the core DAG container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graphs.digraph import (
+    IdAllocator,
+    NamedDAG,
+    find_unique,
+    induced_subgraph,
+    merge_disjoint,
+)
+
+
+def diamond() -> NamedDAG:
+    """a -> b, a -> c, b -> d, c -> d."""
+    g = NamedDAG()
+    for vid, name in enumerate("abcd"):
+        g.add_vertex(vid, name)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestIdAllocator:
+    def test_fresh_ids_are_sequential_and_unique(self):
+        alloc = IdAllocator()
+        ids = [alloc.fresh() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_fresh_many(self):
+        alloc = IdAllocator(start=10)
+        assert alloc.fresh_many(3) == [10, 11, 12]
+        assert alloc.high_water_mark == 13
+
+    def test_custom_start(self):
+        assert IdAllocator(start=100).fresh() == 100
+
+
+class TestConstruction:
+    def test_add_vertex_and_name(self):
+        g = NamedDAG()
+        g.add_vertex(7, "mod")
+        assert 7 in g
+        assert g.name(7) == "mod"
+
+    def test_duplicate_vertex_rejected(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            g.add_vertex(1, "b")
+
+    def test_self_loop_rejected(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_edge_endpoints_must_exist(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            g.add_edge(2, 1)
+
+    def test_multi_edge_collapses(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        g.add_vertex(2, "b")
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.edge_count() == 1
+
+    def test_name_of_missing_vertex(self):
+        g = NamedDAG()
+        with pytest.raises(GraphError):
+            g.name(3)
+
+    def test_rename_vertex(self):
+        g = NamedDAG()
+        g.add_vertex(1, "old")
+        g.rename_vertex(1, "new")
+        assert g.name(1) == "new"
+
+    def test_rename_missing_vertex(self):
+        g = NamedDAG()
+        with pytest.raises(GraphError):
+            g.rename_vertex(1, "x")
+
+
+class TestRemoval:
+    def test_remove_vertex_drops_incident_edges(self):
+        g = diamond()
+        g.remove_vertex(1)
+        assert 1 not in g
+        assert g.successors(0) == {2}
+        assert g.predecessors(3) == {2}
+
+    def test_remove_missing_vertex(self):
+        g = NamedDAG()
+        with pytest.raises(GraphError):
+            g.remove_vertex(9)
+
+
+class TestInspection:
+    def test_len_iter_edges(self):
+        g = diamond()
+        assert len(g) == 4
+        assert sorted(g) == [0, 1, 2, 3]
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+        assert g.edge_count() == 4
+
+    def test_degrees(self):
+        g = diamond()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(3) == 2
+        assert g.in_degree(0) == 0
+
+    def test_sources_sinks(self):
+        g = diamond()
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+
+    def test_has_edge(self):
+        g = diamond()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_vertices_named(self):
+        g = NamedDAG()
+        g.add_vertex(1, "x")
+        g.add_vertex(2, "x")
+        g.add_vertex(3, "y")
+        assert sorted(g.vertices_named("x")) == [1, 2]
+
+    def test_successors_of_missing_vertex(self):
+        with pytest.raises(GraphError):
+            NamedDAG().successors(0)
+
+
+class TestTopologicalOrder:
+    def test_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_cycle_detected(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        g.add_vertex(2, "b")
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        with pytest.raises(CycleError):
+            g.topological_order()
+        assert not g.is_acyclic()
+
+    def test_validate_passes_on_dag(self):
+        diamond().validate()
+
+    def test_validate_detects_cycle(self):
+        g = NamedDAG()
+        g.add_vertex(1, "a")
+        g.add_vertex(2, "b")
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        with pytest.raises(CycleError):
+            g.validate()
+
+
+class TestCopying:
+    def test_copy_is_independent(self):
+        g = diamond()
+        h = g.copy()
+        h.remove_vertex(3)
+        assert 3 in g
+        assert 3 not in h
+
+    def test_relabeled(self):
+        g = diamond()
+        h = g.relabeled({0: 10, 1: 11, 2: 12, 3: 13})
+        assert sorted(h.vertices()) == [10, 11, 12, 13]
+        assert h.has_edge(10, 11)
+        assert h.name(13) == "d"
+
+    def test_relabeled_rejects_non_injective(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.relabeled({0: 5, 1: 5, 2: 6, 3: 7})
+
+
+class TestHelpers:
+    def test_induced_subgraph(self):
+        g = diamond()
+        sub = induced_subgraph(g, [0, 1, 3])
+        assert sorted(sub.vertices()) == [0, 1, 3]
+        assert sorted(sub.edges()) == [(0, 1), (1, 3)]
+
+    def test_merge_disjoint(self):
+        g1 = NamedDAG()
+        g1.add_vertex(0, "a")
+        g1.add_vertex(1, "b")
+        g1.add_edge(0, 1)
+        g2 = NamedDAG()
+        g2.add_vertex(2, "c")
+        merged = merge_disjoint([g1, g2])
+        assert len(merged) == 3
+        assert merged.has_edge(0, 1)
+
+    def test_merge_disjoint_accepts_generator(self):
+        # regression: a generator argument must not lose the edge pass
+        g1 = NamedDAG()
+        g1.add_vertex(0, "a")
+        g1.add_vertex(1, "b")
+        g1.add_edge(0, 1)
+        merged = merge_disjoint(g for g in [g1])
+        assert merged.edge_count() == 1
+
+    def test_merge_disjoint_rejects_overlap(self):
+        g1 = NamedDAG()
+        g1.add_vertex(0, "a")
+        g2 = NamedDAG()
+        g2.add_vertex(0, "b")
+        with pytest.raises(GraphError):
+            merge_disjoint([g1, g2])
+
+    def test_find_unique(self):
+        g = diamond()
+        assert find_unique(g, "b") == 1
+        assert find_unique(g, "zz") is None
+
+    def test_find_unique_ambiguous(self):
+        g = NamedDAG()
+        g.add_vertex(1, "x")
+        g.add_vertex(2, "x")
+        with pytest.raises(GraphError):
+            find_unique(g, "x")

@@ -1,0 +1,167 @@
+"""Tests for the four graph operations (Definitions 1-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.ops import (
+    insert_vertex,
+    parallel_composition,
+    replace_vertex,
+    series_composition,
+)
+from repro.graphs.reachability import closure_pairs, reaches
+from repro.graphs.two_terminal import TwoTerminalGraph
+
+
+def chain(names, offset=0):
+    vertices = [(offset + i, n) for i, n in enumerate(names)]
+    edges = [(offset + i, offset + i + 1) for i in range(len(names) - 1)]
+    return TwoTerminalGraph.build(vertices, edges)
+
+
+class TestSeriesComposition:
+    def test_links_sinks_to_sources(self):
+        a = chain(["s1", "t1"])
+        b = chain(["s2", "t2"], offset=10)
+        combined = series_composition([a, b])
+        assert combined.source == 0
+        assert combined.sink == 11
+        assert combined.dag.has_edge(1, 10)
+
+    def test_every_left_vertex_reaches_every_right_vertex(self):
+        a = chain(["s1", "m1", "t1"])
+        b = chain(["s2", "m2", "t2"], offset=10)
+        combined = series_composition([a, b])
+        for u in a.vertices():
+            for v in b.vertices():
+                assert reaches(combined.dag, u, v)
+                assert not reaches(combined.dag, v, u)
+
+    def test_three_way_series(self):
+        parts = [chain(["s", "t"], offset=10 * i) for i in range(3)]
+        combined = series_composition(parts)
+        assert reaches(combined.dag, 0, 21)
+        combined.validate()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(GraphError):
+            series_composition([])
+
+    def test_overlapping_ids_rejected(self):
+        with pytest.raises(GraphError):
+            series_composition([chain(["s", "t"]), chain(["s", "t"])])
+
+
+class TestParallelComposition:
+    def test_no_cross_edges(self):
+        a = chain(["s1", "t1"])
+        b = chain(["s2", "t2"], offset=10)
+        merged = parallel_composition([a, b])
+        for u in a.vertices():
+            for v in b.vertices():
+                assert not reaches(merged, u, v)
+                assert not reaches(merged, v, u)
+
+    def test_union_of_vertices(self):
+        a = chain(["s1", "t1"])
+        b = chain(["s2", "t2"], offset=10)
+        merged = parallel_composition([a, b])
+        assert len(merged) == 4
+        assert merged.edge_count() == 2
+
+    def test_empty_parallel_rejected(self):
+        with pytest.raises(GraphError):
+            parallel_composition([])
+
+
+class TestInsertVertex:
+    def test_insertion_adds_edges_from_predecessors(self):
+        g = NamedDAG()
+        g.add_vertex(0, "a")
+        g.add_vertex(1, "b")
+        insert_vertex(g, 2, "c", preds=[0, 1])
+        assert g.predecessors(2) == {0, 1}
+
+    def test_insertion_with_no_predecessors(self):
+        g = NamedDAG()
+        insert_vertex(g, 0, "root", preds=[])
+        assert g.in_degree(0) == 0
+
+    def test_unknown_predecessor_rejected(self):
+        g = NamedDAG()
+        with pytest.raises(GraphError):
+            insert_vertex(g, 0, "a", preds=[99])
+
+    def test_insertion_preserves_existing_reachability(self):
+        g = NamedDAG()
+        g.add_vertex(0, "a")
+        g.add_vertex(1, "b")
+        g.add_edge(0, 1)
+        before = closure_pairs(g)
+        insert_vertex(g, 2, "c", preds=[1])
+        after = closure_pairs(g)
+        assert before <= after  # Remark 1: old pairs never change
+
+
+class TestReplaceVertex:
+    def base_graph(self):
+        g = NamedDAG()
+        for vid, name in enumerate(["s", "U", "t"]):
+            g.add_vertex(vid, name)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        return g
+
+    def test_two_terminal_body(self):
+        g = self.base_graph()
+        body = chain(["x", "y"], offset=10).dag
+        replace_vertex(g, 1, body)
+        assert 1 not in g
+        assert g.has_edge(0, 10)
+        assert g.has_edge(11, 2)
+        assert reaches(g, 0, 2)
+
+    def test_parallel_body_wires_all_sources_and_sinks(self):
+        g = self.base_graph()
+        body = parallel_composition(
+            [chain(["x1", "y1"], offset=10), chain(["x2", "y2"], offset=20)]
+        )
+        replace_vertex(g, 1, body)
+        assert g.successors(0) == {10, 20}
+        assert g.predecessors(2) == {11, 21}
+
+    def test_replacement_preserves_reachability_of_others(self):
+        g = self.base_graph()
+        g.add_vertex(3, "side")
+        g.add_edge(0, 3)
+        g.add_edge(3, 2)
+        before = {
+            (u, v)
+            for (u, v) in closure_pairs(g)
+            if u != 1 and v != 1
+        }
+        replace_vertex(g, 1, chain(["x"], offset=10).dag)
+        after = closure_pairs(g)
+        assert before <= after  # Lemma 4.3
+
+    def test_missing_target_rejected(self):
+        g = self.base_graph()
+        with pytest.raises(GraphError):
+            replace_vertex(g, 9, chain(["x"], offset=10).dag)
+
+    def test_id_collision_rejected(self):
+        g = self.base_graph()
+        with pytest.raises(GraphError):
+            replace_vertex(g, 1, chain(["x"], offset=0).dag)
+
+    def test_replacing_source_vertex(self):
+        g = NamedDAG()
+        g.add_vertex(0, "U")
+        g.add_vertex(1, "t")
+        g.add_edge(0, 1)
+        replace_vertex(g, 0, chain(["x", "y"], offset=10).dag)
+        assert g.sources() == [10]
+        assert reaches(g, 10, 1)

@@ -1,0 +1,80 @@
+"""Tests for the random graph and insertion-order generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.random_graphs import (
+    random_chain,
+    random_insertion_order,
+    random_two_terminal_dag,
+)
+
+
+class TestRandomTwoTerminal:
+    def test_size_and_terminals(self):
+        g = random_two_terminal_dag(12, random.Random(1))
+        assert len(g) == 12
+        assert g.source == 0
+        assert g.sink == 11
+
+    def test_always_valid_and_spanning(self):
+        for seed in range(25):
+            g = random_two_terminal_dag(10, random.Random(seed))
+            g.validate(require_spanning=True)
+
+    def test_custom_names(self):
+        names = [f"n{i}" for i in range(6)]
+        g = random_two_terminal_dag(6, random.Random(2), names=names)
+        assert sorted(g.names()) == sorted(names)
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            random_two_terminal_dag(5, random.Random(0), names=["a"])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            random_two_terminal_dag(1, random.Random(0))
+
+    def test_deterministic_given_seed(self):
+        g1 = random_two_terminal_dag(10, random.Random(7))
+        g2 = random_two_terminal_dag(10, random.Random(7))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_extra_edges_increase_density(self):
+        sparse = random_two_terminal_dag(30, random.Random(3), extra_edge_prob=0.0)
+        dense = random_two_terminal_dag(30, random.Random(3), extra_edge_prob=0.5)
+        assert dense.dag.edge_count() > sparse.dag.edge_count()
+
+
+class TestRandomChain:
+    def test_chain_shape(self):
+        g = random_chain(4)
+        assert list(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_chain_needs_vertex(self):
+        with pytest.raises(GraphError):
+            random_chain(0)
+
+
+class TestRandomInsertionOrder:
+    def test_order_is_topological(self):
+        g = random_two_terminal_dag(20, random.Random(5)).dag
+        order = random_insertion_order(g, random.Random(6))
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_order_covers_all_vertices(self):
+        g = random_two_terminal_dag(15, random.Random(8)).dag
+        order = random_insertion_order(g, random.Random(9))
+        assert sorted(order) == sorted(g.vertices())
+
+    def test_different_seeds_differ(self):
+        g = random_two_terminal_dag(25, random.Random(10)).dag
+        a = random_insertion_order(g, random.Random(1))
+        b = random_insertion_order(g, random.Random(2))
+        assert a != b  # overwhelmingly likely for 25 vertices

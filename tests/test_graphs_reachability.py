@@ -1,0 +1,104 @@
+"""Tests for BFS reachability and the bitset transitive closure."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.random_graphs import random_two_terminal_dag
+from repro.graphs.reachability import (
+    TransitiveClosure,
+    ancestors_of,
+    closure_pairs,
+    descendants_of,
+    reaches,
+    restrict_topological,
+)
+
+
+def diamond():
+    g = NamedDAG()
+    for vid in range(4):
+        g.add_vertex(vid, f"v{vid}")
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestReaches:
+    def test_reflexive(self):
+        g = diamond()
+        assert reaches(g, 1, 1)
+
+    def test_direct_and_transitive(self):
+        g = diamond()
+        assert reaches(g, 0, 1)
+        assert reaches(g, 0, 3)
+
+    def test_unreachable(self):
+        g = diamond()
+        assert not reaches(g, 1, 2)
+        assert not reaches(g, 3, 0)
+
+    def test_missing_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            reaches(diamond(), 0, 99)
+
+
+class TestDescendantsAncestors:
+    def test_descendants_include_self(self):
+        g = diamond()
+        assert descendants_of(g, 1) == {1, 3}
+
+    def test_ancestors_include_self(self):
+        g = diamond()
+        assert ancestors_of(g, 3) == {0, 1, 2, 3}
+
+    def test_closure_pairs_matches_bfs(self):
+        g = diamond()
+        pairs = closure_pairs(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            assert ((u, v) in pairs) == reaches(g, u, v)
+
+
+class TestTransitiveClosure:
+    def test_matches_bfs_on_diamond(self):
+        g = diamond()
+        tc = TransitiveClosure(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            assert tc.reaches(u, v) == reaches(g, u, v)
+
+    def test_matches_bfs_on_random_graphs(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            g = random_two_terminal_dag(15, rng).dag
+            tc = TransitiveClosure(g)
+            for u, v in itertools.product(g.vertices(), repeat=2):
+                assert tc.reaches(u, v) == reaches(g, u, v)
+
+    def test_rank_is_topological(self):
+        g = diamond()
+        tc = TransitiveClosure(g)
+        for u, v in g.edges():
+            assert tc.rank(u) < tc.rank(v)
+
+    def test_row_bits_count_ancestors(self):
+        g = diamond()
+        tc = TransitiveClosure(g)
+        assert bin(tc.row_bits(3)).count("1") == 3  # 0, 1, 2 reach 3
+
+    def test_len(self):
+        assert len(TransitiveClosure(diamond())) == 4
+
+
+class TestRestrictTopological:
+    def test_restriction_preserves_order(self):
+        g = diamond()
+        order = restrict_topological(g, [3, 0])
+        assert order == [0, 3]

@@ -1,0 +1,138 @@
+"""Unit tests for two-terminal graphs and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotTwoTerminalError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.two_terminal import TwoTerminalGraph, check_disjoint
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+class TestConstruction:
+    def test_from_dag_infers_terminals(self):
+        g = chain(["s", "m", "t"])
+        assert g.source == 0
+        assert g.sink == 2
+
+    def test_from_dag_rejects_two_sources(self):
+        dag = NamedDAG()
+        dag.add_vertex(0, "a")
+        dag.add_vertex(1, "b")
+        dag.add_vertex(2, "c")
+        dag.add_edge(0, 2)
+        dag.add_edge(1, 2)
+        with pytest.raises(NotTwoTerminalError):
+            TwoTerminalGraph.from_dag(dag)
+
+    def test_from_dag_rejects_two_sinks(self):
+        dag = NamedDAG()
+        dag.add_vertex(0, "a")
+        dag.add_vertex(1, "b")
+        dag.add_vertex(2, "c")
+        dag.add_edge(0, 1)
+        dag.add_edge(0, 2)
+        with pytest.raises(NotTwoTerminalError):
+            TwoTerminalGraph.from_dag(dag)
+
+    def test_explicit_terminals_must_exist(self):
+        dag = NamedDAG()
+        dag.add_vertex(0, "a")
+        with pytest.raises(NotTwoTerminalError):
+            TwoTerminalGraph(dag, 0, 5)
+        with pytest.raises(NotTwoTerminalError):
+            TwoTerminalGraph(dag, 5, 0)
+
+    def test_singleton_graph(self):
+        dag = NamedDAG()
+        dag.add_vertex(0, "only")
+        g = TwoTerminalGraph(dag, 0, 0)
+        g.validate()
+
+
+class TestDelegation:
+    def test_len_contains_name(self):
+        g = chain(["s", "m", "t"])
+        assert len(g) == 3
+        assert 1 in g
+        assert g.name(1) == "m"
+
+    def test_vertices_edges_names(self):
+        g = chain(["s", "t"])
+        assert sorted(g.vertices()) == [0, 1]
+        assert list(g.edges()) == [(0, 1)]
+        assert sorted(g.names()) == ["s", "t"]
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        chain(["s", "a", "b", "t"]).validate()
+
+    def test_spanning_violation_detected(self):
+        # vertex 3 hangs off the chain and cannot reach the sink
+        dag = NamedDAG()
+        for vid, name in enumerate(["s", "a", "t", "stray"]):
+            dag.add_vertex(vid, name)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        dag.add_edge(0, 3)
+        dag.add_edge(3, 2)
+        g = TwoTerminalGraph(dag, 0, 2)
+        g.validate()  # 3 is on a source-sink path: fine
+        dag2 = NamedDAG()
+        for vid, name in enumerate(["s", "a", "t"]):
+            dag2.add_vertex(vid, name)
+        dag2.add_vertex(3, "stray")
+        dag2.add_edge(0, 1)
+        dag2.add_edge(1, 2)
+        dag2.add_edge(0, 3)
+        dag2.add_edge(3, 2)
+        dag2.add_vertex(4, "dead")
+        dag2.add_edge(0, 4)
+        # vertex 4 has no outgoing edge: it is a second sink
+        with pytest.raises(NotTwoTerminalError):
+            TwoTerminalGraph(dag2, 0, 2).validate()
+
+    def test_spanning_check_can_be_disabled(self):
+        dag = NamedDAG()
+        for vid, name in enumerate(["s", "mid", "t"]):
+            dag.add_vertex(vid, name)
+        dag.add_edge(0, 1)
+        dag.add_edge(1, 2)
+        TwoTerminalGraph(dag, 0, 2).validate(require_spanning=False)
+
+
+class TestCopying:
+    def test_copy_independent(self):
+        g = chain(["s", "t"])
+        h = g.copy()
+        h.dag.add_vertex(9, "x")
+        assert 9 not in g
+
+    def test_relabeled_maps_terminals(self):
+        g = chain(["s", "m", "t"])
+        h = g.relabeled({0: 10, 1: 20, 2: 30})
+        assert h.source == 10
+        assert h.sink == 30
+        assert h.name(20) == "m"
+
+
+class TestCheckDisjoint:
+    def test_disjoint_ok(self):
+        a = chain(["s", "t"])
+        b = chain(["s", "t"]).relabeled({0: 10, 1: 11})
+        check_disjoint([a, b])
+
+    def test_overlap_rejected(self):
+        from repro.errors import GraphError
+
+        a = chain(["s", "t"])
+        b = chain(["s", "t"])
+        with pytest.raises(GraphError):
+            check_disjoint([a, b])

@@ -1,0 +1,184 @@
+"""End-to-end reproduction of the paper's running example (Figures 3, 5, 9).
+
+Builds exactly the derivation sketched in Figure 5 -- the loop runs twice,
+the first copy's fork runs twice, one fork copy recurses through
+``A -> h3 -> C -> h6 -> A -> h4`` -- and checks the artifacts the paper
+derives from it: the explicit parse tree shape of Figure 9, the label of
+``v5`` from Example 12, the query evaluations of Examples 11/13 and the
+equivalence of the execution-based labeling of Example 14.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graphs.reachability import reaches
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.parsetree.explicit import ExplicitParseTree, NodeKind
+from repro.workflow.derivation import DerivationEngine
+from repro.workflow.execution import execution_from_derivation
+
+
+@pytest.fixture(scope="module")
+def paper_run(running_spec):
+    """The Figure 3 run: derivation steps in the Figure 5 order."""
+    eng = DerivationEngine(running_spec)
+    eng.begin()
+    # [u1 / S(h1, h1)]
+    loop_vid = next(v for v, h in eng.pending.items() if h == "L")
+    loop_step = eng.expand(loop_vid, "L#0", copies=2)
+    h1_first, h1_second = loop_step.copies
+    # [u2 / P(h2, h2)] in the first loop copy
+    template_h1 = running_spec.graph("L#0")
+    fork_first = h1_first.mapping[template_h1.dag.vertices_named("F")[0]]
+    fork_step = eng.expand(fork_first, "F#0", copies=2)
+    h2_first, h2_second = fork_step.copies
+    # the first fork copy recurses: A -> h3, B -> h5, C -> h6, A -> h4
+    template_h2 = running_spec.graph("F#0")
+    a_first = h2_first.mapping[template_h2.dag.vertices_named("A")[0]]
+    h3_step = eng.expand(a_first, "A#0")
+    (h3_inst,) = h3_step.copies
+    template_h3 = running_spec.graph("A#0")
+    b_vid = h3_inst.mapping[template_h3.dag.vertices_named("B")[0]]
+    c_vid = h3_inst.mapping[template_h3.dag.vertices_named("C")[0]]
+    h5_step = eng.expand(b_vid, "B#0")
+    h6_step = eng.expand(c_vid, "C#0")
+    (h6_inst,) = h6_step.copies
+    template_h6 = running_spec.graph("C#0")
+    a_inner = h6_inst.mapping[template_h6.dag.vertices_named("A")[0]]
+    h4_step = eng.expand(a_inner, "A#1")
+    # remaining composites terminate immediately (the "..." of Figure 3)
+    while eng.pending:
+        vid = min(eng.pending)
+        head = eng.pending[vid]
+        eng.expand(vid, {"A": "A#1", "F": "F#0"}[head])
+    run = eng.finish()
+    vertices = {
+        "v1": run.start_instance.mapping[0],  # s0
+        "v18": run.start_instance.mapping[2],  # t0
+        "v2": h1_first.mapping[template_h1.source],  # s1, first loop copy
+        "v15": h1_first.mapping[template_h1.sink],  # t1, first loop copy
+        "v16": h1_second.mapping[template_h1.source],  # s1, second copy
+        "v3": h2_first.mapping[template_h2.source],  # s2, first fork copy
+        "v13": h2_second.mapping[template_h2.source],  # s2, second copy
+        "v4": h3_inst.mapping[template_h3.source],  # s3
+        "v11": h3_inst.mapping[template_h3.sink],  # t3
+        "v5": h5_step.copies[0].mapping[0],  # s5 (B's body source)
+        "v7": h6_inst.mapping[template_h6.source],  # s6
+        "v8": h4_step.copies[0].mapping[0],  # s4 (recursion terminator)
+    }
+    return run, vertices
+
+
+class TestFigure9TreeShape:
+    def test_special_nodes_present(self, running_spec, paper_run):
+        run, _ = paper_run
+        tree = ExplicitParseTree(running_spec)
+        tree.begin(run.start_instance)
+        for step in run.steps:
+            tree.apply_step(step)
+        kinds = [n.kind for n in tree.nodes()]
+        assert kinds.count(NodeKind.L) == 1
+        assert kinds.count(NodeKind.F) == 2  # one per loop copy
+        assert kinds.count(NodeKind.R) >= 1
+        # Lemma 4.1 bound: 2 * |{L,F,A,B,C}| = 10
+        assert tree.depth() <= 10
+
+    def test_recursion_chain_is_flat(self, running_spec, paper_run):
+        run, _ = paper_run
+        tree = ExplicitParseTree(running_spec)
+        tree.begin(run.start_instance)
+        for step in run.steps:
+            tree.apply_step(step)
+        r_nodes = [n for n in tree.nodes() if n.kind is NodeKind.R]
+        deep_chain = max(r_nodes, key=lambda n: len(n.children))
+        # h3 followed by h6 followed by h4: flattened to three siblings
+        assert [c.instance.key for c in deep_chain.children] == [
+            "A#0",
+            "C#0",
+            "A#1",
+        ]
+
+
+class TestExample12LabelOfV5:
+    def test_entry_sequence(self, running_spec, paper_run):
+        run, vertices = paper_run
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        label = labels[vertices["v5"]]
+        kinds = [e.kind for e in label]
+        assert kinds == [
+            NodeKind.N,  # x0: g0
+            NodeKind.L,  # x1
+            NodeKind.N,  # x2: first h1
+            NodeKind.F,  # x3
+            NodeKind.N,  # x4: first h2
+            NodeKind.R,  # x5
+            NodeKind.N,  # x6: h3
+            NodeKind.N,  # x7: h5
+        ]
+        assert [e.index for e in label] == [0, 1, 1, 1, 1, 1, 1, 1]
+        # Entry(x6, u4): u4 = the B vertex of h3; rec1 = B ~> C = true,
+        # rec2 = C ~> B = false (Example 12)
+        entry_x6 = label[6]
+        assert entry_x6.skl.key == "A#0"
+        assert entry_x6.rec1 is True
+        assert entry_x6.rec2 is False
+
+    def test_label_of_v16(self, running_spec, paper_run):
+        run, vertices = paper_run
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        label = labels[vertices["v16"]]
+        # Example 12: three entries ending in the second loop copy
+        assert len(label) == 3
+        assert label[1].kind is NodeKind.L
+        assert label[2].index == 2
+
+
+class TestExample11And13Queries:
+    @pytest.mark.parametrize(
+        "source,target,expected",
+        [
+            ("v5", "v16", True),   # LCA is the L node: series order
+            ("v5", "v13", False),  # LCA is an F node: parallel copies
+            ("v13", "v5", False),
+            ("v5", "v8", True),    # LCA is the R node: rec1 flag
+            ("v8", "v5", False),
+            ("v5", "v11", True),   # LCA non-special: skeleton query
+            ("v1", "v18", True),   # source reaches sink
+            ("v18", "v1", False),
+        ],
+    )
+    def test_paper_query(self, running_spec, paper_run, source, target, expected):
+        run, vertices = paper_run
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        assert (
+            scheme.query(labels[vertices[source]], labels[vertices[target]])
+            is expected
+        )
+        # and the graph agrees
+        assert reaches(run.graph, vertices[source], vertices[target]) is expected
+
+    def test_all_pairs_against_graph(self, running_spec, paper_run):
+        run, _ = paper_run
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        vs = sorted(run.graph.vertices())
+        for a, b in itertools.product(vs, vs):
+            assert scheme.query(labels[a], labels[b]) == reaches(run.graph, a, b)
+
+
+class TestExample14Execution:
+    def test_execution_reproduces_labels(self, running_spec, paper_run):
+        run, _ = paper_run
+        scheme = DRL(running_spec)
+        derivation_labels = scheme.label_derivation(run)
+        labeler = DRLExecutionLabeler(scheme, mode="name")
+        execution_labels = labeler.run(execution_from_derivation(run))
+        for vid, label in execution_labels.items():
+            assert label == derivation_labels[vid]

@@ -1,0 +1,182 @@
+"""Tests for XML/JSON interchange and the binary label store."""
+
+from __future__ import annotations
+
+import random
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.datasets import bioaid, running_example, synthetic_spec
+from repro.io import (
+    execution_from_json,
+    execution_from_xml,
+    execution_to_json,
+    execution_to_xml,
+    load_execution_json,
+    load_execution_xml,
+    load_labels,
+    load_specification_json,
+    load_specification_xml,
+    save_execution_json,
+    save_execution_xml,
+    save_labels,
+    save_specification_json,
+    save_specification_xml,
+    specification_from_json,
+    specification_from_xml,
+    specification_to_json,
+    specification_to_xml,
+)
+from repro.io.xmlio import FormatError
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.execution import execution_from_derivation
+
+from tests.conftest import small_run
+
+
+def specs_equal(a, b) -> bool:
+    if a.name != b.name or a.loops != b.loops or a.forks != b.forks:
+        return False
+    keys_a, keys_b = list(a.graph_keys()), list(b.graph_keys())
+    if keys_a != keys_b:
+        return False
+    for key in keys_a:
+        ga, gb = a.graph(key), b.graph(key)
+        if (ga.source, ga.sink) != (gb.source, gb.sink):
+            return False
+        if sorted(ga.edges()) != sorted(gb.edges()):
+            return False
+        if {v: ga.name(v) for v in ga.vertices()} != {
+            v: gb.name(v) for v in gb.vertices()
+        }:
+            return False
+    return True
+
+
+SPEC_FACTORIES = [running_example, bioaid, lambda: synthetic_spec(8, 5)]
+
+
+class TestSpecificationRoundTrip:
+    @pytest.mark.parametrize("factory", SPEC_FACTORIES)
+    def test_xml_round_trip(self, factory):
+        spec = factory()
+        reloaded = specification_from_xml(specification_to_xml(spec))
+        assert specs_equal(spec, reloaded)
+
+    @pytest.mark.parametrize("factory", SPEC_FACTORIES)
+    def test_json_round_trip(self, factory):
+        spec = factory()
+        reloaded = specification_from_json(specification_to_json(spec))
+        assert specs_equal(spec, reloaded)
+
+    def test_xml_file_round_trip(self, tmp_path, running_spec):
+        path = tmp_path / "spec.xml"
+        save_specification_xml(running_spec, path)
+        assert specs_equal(running_spec, load_specification_xml(path))
+
+    def test_json_file_round_trip(self, tmp_path, running_spec):
+        path = tmp_path / "spec.json"
+        save_specification_json(running_spec, path)
+        assert specs_equal(running_spec, load_specification_json(path))
+
+    def test_bad_root_tag_rejected(self):
+        with pytest.raises(FormatError):
+            specification_from_xml(ET.Element("bogus"))
+
+    def test_bad_json_format_rejected(self):
+        with pytest.raises(FormatError):
+            specification_from_json({"format": "other"})
+
+    def test_missing_start_graph_rejected(self, running_spec):
+        root = specification_to_xml(running_spec)
+        for graph in root.findall("graph"):
+            if graph.get("head") is None:
+                root.remove(graph)
+        with pytest.raises(FormatError):
+            specification_from_xml(root)
+
+
+class TestExecutionRoundTrip:
+    def make_execution(self, spec, seed=1):
+        run = small_run(spec, 120, seed=seed)
+        return list(execution_from_derivation(run, random.Random(seed)))
+
+    def test_xml_round_trip(self, running_spec):
+        insertions = self.make_execution(running_spec)
+        reloaded = execution_from_xml(execution_to_xml(insertions, "run"))
+        assert reloaded == insertions
+
+    def test_json_round_trip(self, running_spec):
+        insertions = self.make_execution(running_spec)
+        reloaded = execution_from_json(execution_to_json(insertions, "run"))
+        assert reloaded == insertions
+
+    def test_xml_file_round_trip(self, tmp_path, running_spec):
+        insertions = self.make_execution(running_spec, seed=2)
+        path = tmp_path / "exec.xml"
+        save_execution_xml(insertions, path, "run")
+        assert load_execution_xml(path) == insertions
+
+    def test_json_file_round_trip(self, tmp_path, running_spec):
+        insertions = self.make_execution(running_spec, seed=3)
+        path = tmp_path / "exec.json"
+        save_execution_json(insertions, path, "run")
+        assert load_execution_json(path) == insertions
+
+    def test_reloaded_log_drives_labeler(self, tmp_path, running_spec):
+        """End to end: persist the log, reload, label, query."""
+        run = small_run(running_spec, 150, seed=4)
+        insertions = list(execution_from_derivation(run))
+        path = tmp_path / "exec.json"
+        save_execution_json(insertions, path, running_spec.name)
+        scheme = DRL(running_spec)
+        labeler = DRLExecutionLabeler(scheme, mode="logged")
+        for ins in load_execution_json(path):
+            labeler.insert(ins)
+        reference = scheme.label_derivation(run)
+        for v in run.graph.vertices():
+            assert labeler.label(v) == reference[v]
+
+    def test_bad_execution_format_rejected(self):
+        with pytest.raises(FormatError):
+            execution_from_json({"format": "nope"})
+        with pytest.raises(FormatError):
+            execution_from_xml(ET.Element("wrong"))
+
+
+class TestLabelStore:
+    def test_round_trip(self, tmp_path, running_spec):
+        run = small_run(running_spec, 150, seed=5)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        final = {v: labels[v] for v in run.graph.vertices()}
+        path = tmp_path / "labels.json"
+        save_labels(final, running_spec, path)
+        reloaded = load_labels(running_spec, path)
+        assert reloaded == final
+
+    def test_reloaded_labels_answer_queries(self, tmp_path, running_spec):
+        from repro.graphs.reachability import reaches
+
+        run = small_run(running_spec, 120, seed=6)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        final = {v: labels[v] for v in run.graph.vertices()}
+        path = tmp_path / "labels.json"
+        save_labels(final, running_spec, path)
+        reloaded = load_labels(running_spec, path)
+        vs = sorted(final)
+        rng = random.Random(7)
+        for _ in range(2000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert scheme.query(reloaded[a], reloaded[b]) == reaches(
+                run.graph, a, b
+            )
+
+    def test_bad_store_rejected(self, tmp_path, running_spec):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(FormatError):
+            load_labels(running_spec, path)

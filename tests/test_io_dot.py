@@ -1,0 +1,58 @@
+"""Tests for DOT export."""
+
+from __future__ import annotations
+
+from repro.io.dot import parse_tree_to_dot, run_to_dot, specification_to_dot
+from repro.parsetree.explicit import build_explicit_tree
+
+from tests.conftest import small_run
+
+
+class TestSpecificationDot:
+    def test_contains_all_graphs(self, running_spec):
+        dot = specification_to_dot(running_spec)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for key in running_spec.graph_keys():
+            assert key in dot
+
+    def test_composites_boxed(self, running_spec):
+        dot = specification_to_dot(running_spec)
+        assert "shape=box" in dot        # composite modules
+        assert "shape=ellipse" in dot    # atomic modules
+        assert "shape=doubleoctagon" in dot  # loop/fork modules
+
+    def test_balanced_braces(self, bioaid_spec):
+        dot = specification_to_dot(bioaid_spec)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestRunDot:
+    def test_all_vertices_and_edges_present(self, running_spec):
+        run = small_run(running_spec, 60, seed=1)
+        dot = run_to_dot(run.graph)
+        for v in run.graph.vertices():
+            assert f"v{v} [" in dot
+        assert dot.count("->") == run.graph.edge_count()
+
+    def test_highlighting(self, running_spec):
+        run = small_run(running_spec, 60, seed=2)
+        path = run.graph.topological_order()[:3]
+        dot = run_to_dot(run.graph, highlight=path)
+        assert "fillcolor" in dot
+        assert "penwidth" in dot or len(path) < 2
+
+
+class TestParseTreeDot:
+    def test_special_nodes_shaped(self, running_spec):
+        run = small_run(running_spec, 120, seed=3)
+        tree = build_explicit_tree(run)
+        dot = parse_tree_to_dot(tree)
+        assert "shape=circle" in dot or "shape=diamond" in dot
+        assert dot.count("{") == dot.count("}")
+
+    def test_edge_count_matches_tree(self, running_spec):
+        run = small_run(running_spec, 80, seed=4)
+        tree = build_explicit_tree(run)
+        dot = parse_tree_to_dot(tree)
+        assert dot.count("->") == tree.node_count - 1

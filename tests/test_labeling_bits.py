@@ -1,0 +1,33 @@
+"""Tests for bit accounting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling.bits import pointer_bits, uint_bits
+
+
+class TestUintBits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10), (1024, 11)],
+    )
+    def test_values(self, value, expected):
+        assert uint_bits(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uint_bits(-1)
+
+
+class TestPointerBits:
+    @pytest.mark.parametrize(
+        "domain,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (16, 4), (17, 5), (1024, 10)],
+    )
+    def test_values(self, domain, expected):
+        assert pointer_bits(domain) == expected
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_bits(0)

@@ -1,0 +1,94 @@
+"""Tests for the chain-decomposition reachability index."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.labeling.chains import ChainIndex, greedy_chain_decomposition
+
+from tests.conftest import small_run
+
+
+class TestDecomposition:
+    def test_chains_partition_vertices(self):
+        g = random_two_terminal_dag(25, random.Random(1)).dag
+        chains = greedy_chain_decomposition(g)
+        flat = [v for chain in chains for v in chain]
+        assert sorted(flat) == sorted(g.vertices())
+        assert len(set(flat)) == len(flat)
+
+    def test_chains_follow_edges(self):
+        g = random_two_terminal_dag(25, random.Random(2)).dag
+        for chain in greedy_chain_decomposition(g):
+            for u, v in zip(chain, chain[1:]):
+                assert g.has_edge(u, v)
+
+    def test_path_graph_single_chain(self):
+        g = random_chain(10).dag
+        chains = greedy_chain_decomposition(g)
+        assert len(chains) == 1
+        assert chains[0] == list(range(10))
+
+    def test_antichain_one_per_vertex(self):
+        g = NamedDAG()
+        for vid in range(5):
+            g.add_vertex(vid, f"v{vid}")
+        assert len(greedy_chain_decomposition(g)) == 5
+
+
+class TestQueries:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bfs_on_random_dags(self, seed):
+        g = random_two_terminal_dag(25, random.Random(seed)).dag
+        index = ChainIndex(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+
+    def test_matches_bfs_on_workflow_runs(self, running_spec):
+        run = small_run(running_spec, 180, seed=3)
+        g = run.graph
+        index = ChainIndex(g)
+        vs = sorted(g.vertices())
+        rng = random.Random(4)
+        for _ in range(4000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert index.reaches(a, b) == reaches(g, a, b)
+
+    def test_reflexive(self):
+        g = random_chain(4).dag
+        index = ChainIndex(g)
+        assert index.reaches(2, 2)
+
+    def test_label_only_query(self):
+        g = random_two_terminal_dag(15, random.Random(5)).dag
+        index = ChainIndex(g)
+        la, lb = index.label(0), index.label(14)
+        assert ChainIndex.query(la, lb) == reaches(g, 0, 14)
+
+    def test_unknown_vertex_rejected(self):
+        g = random_chain(3).dag
+        with pytest.raises(LabelingError):
+            ChainIndex(g).label(42)
+
+
+class TestAccounting:
+    def test_label_bits_grow_with_chain_count(self, running_spec):
+        # fork-heavy runs need many chains: per-vertex storage grows,
+        # which is exactly the cost DRL's specification-awareness avoids
+        run = small_run(running_spec, 250, seed=6)
+        index = ChainIndex(run.graph)
+        assert index.chain_count > 1
+        bits = [index.label_bits(index.label(v)) for v in run.graph.vertices()]
+        assert min(bits) >= index.chain_count  # one presence bit per chain
+
+    def test_total_bits_positive(self):
+        g = random_chain(6).dag
+        index = ChainIndex(g)
+        assert index.total_bits() > 0

@@ -1,0 +1,176 @@
+"""Tests for dynamic Dewey labels (ORDPATH/DDE family)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.dewey import (
+    DeweyTree,
+    ROOT,
+    document_order,
+    is_ancestor,
+    key_between,
+    key_value,
+    label_bits,
+)
+
+
+class TestKeys:
+    def test_first_key(self):
+        assert key_between(None, None) == (0, "")
+
+    def test_append_uses_next_ordinal(self):
+        assert key_between((0, ""), None) == (1, "")
+        assert key_between((7, "101"), None) == (8, "")
+
+    def test_prepend_uses_previous_ordinal(self):
+        assert key_between(None, (0, "")) == (-1, "")
+
+    def test_between_distant_ordinals(self):
+        assert key_between((1, ""), (5, "")) == (2, "")
+
+    def test_between_adjacent_ordinals(self):
+        key = key_between((1, ""), (2, ""))
+        assert key_value((1, "")) < key_value(key) < key_value((2, ""))
+
+    def test_between_same_ordinal(self):
+        left, right = (3, "01"), (3, "1")
+        key = key_between(left, right)
+        assert key_value(left) < key_value(key) < key_value(right)
+
+    def test_between_is_always_strictly_between(self):
+        rng = random.Random(1)
+        keys = [(0, ""), (1, ""), (2, "")]
+        for _ in range(300):
+            ordered = sorted(keys, key=key_value)
+            i = rng.randrange(len(ordered) - 1)
+            fresh = key_between(ordered[i], ordered[i + 1])
+            assert key_value(ordered[i]) < key_value(fresh) < key_value(
+                ordered[i + 1]
+            )
+            keys.append(fresh)
+
+    def test_tuple_order_equals_numeric_order(self):
+        rng = random.Random(2)
+        keys = [(0, ""), (1, "")]
+        for _ in range(200):
+            ordered = sorted(keys)
+            i = rng.randrange(len(ordered) - 1)
+            keys.append(key_between(ordered[i], ordered[i + 1]))
+        by_tuple = sorted(keys)
+        by_value = sorted(keys, key=key_value)
+        assert by_tuple == by_value
+
+    def test_invalid_between_rejected(self):
+        with pytest.raises(LabelingError):
+            key_between((1, ""), (1, ""))
+
+    def test_invalid_tiebreak_rejected(self):
+        with pytest.raises(LabelingError):
+            key_value((0, "12"))
+
+
+class TestTreeGrowth:
+    def test_append_children_ordered(self):
+        tree = DeweyTree()
+        kids = [tree.append_child() for _ in range(5)]
+        assert tree.ordered_children() == kids
+        for a, b in zip(kids, kids[1:]):
+            assert document_order(a, b) == -1
+
+    def test_insert_before_and_after(self):
+        tree = DeweyTree()
+        first = tree.append_child()
+        third = tree.append_child()
+        second = tree.insert_after(first)
+        zeroth = tree.insert_before(first)
+        assert tree.ordered_children() == [zeroth, first, second, third]
+
+    def test_prepend_child(self):
+        tree = DeweyTree()
+        last = tree.append_child()
+        first = tree.prepend_child()
+        assert tree.ordered_children() == [first, last]
+
+    def test_existing_labels_never_change(self):
+        tree = DeweyTree()
+        anchor = tree.append_child()
+        snapshot = tuple(anchor)
+        for _ in range(50):
+            tree.insert_after(anchor)
+        assert tuple(anchor) == snapshot
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(LabelingError):
+            DeweyTree().append_child(((1, ""),))
+
+
+class TestQueries:
+    def build_random_tree(self, n, seed):
+        rng = random.Random(seed)
+        tree = DeweyTree()
+        labels = [ROOT]
+        parent_of = {ROOT: None}
+        for _ in range(n):
+            parent = labels[rng.randrange(len(labels))]
+            action = rng.random()
+            siblings = tree.ordered_children(parent)
+            if siblings and action < 0.3:
+                target = siblings[rng.randrange(len(siblings))]
+                label = tree.insert_before(target)
+            elif siblings and action < 0.6:
+                target = siblings[rng.randrange(len(siblings))]
+                label = tree.insert_after(target)
+            else:
+                label = tree.append_child(parent)
+            parent_of[label] = parent
+            labels.append(label)
+        return tree, labels, parent_of
+
+    def test_ancestor_matches_structure(self):
+        tree, labels, parent_of = self.build_random_tree(60, seed=2)
+
+        def true_ancestor(u, v):
+            node = v
+            while node is not None:
+                if node == u:
+                    return True
+                node = parent_of[node]
+            return False
+
+        for u in labels:
+            for v in labels:
+                assert is_ancestor(u, v) == true_ancestor(u, v)
+
+    def test_document_order_total(self):
+        tree, labels, _ = self.build_random_tree(40, seed=3)
+        non_root = [l for l in labels if l != ROOT]
+        ordered = sorted(non_root)
+        assert ordered == tree.nodes()
+
+    def test_sibling_order_respected_after_inserts(self):
+        tree, _, _ = self.build_random_tree(80, seed=4)
+        for parent in [ROOT] + tree.nodes():
+            children = tree.ordered_children(parent)
+            values = [key_value(c[-1]) for c in children]
+            assert values == sorted(values)
+            assert len(set(values)) == len(values)
+
+    def test_label_bits_linear_worst_case(self):
+        # Figure 1's dynamic-tree lower bound: squeezing into one gap
+        tree = DeweyTree()
+        tree.append_child()
+        label = tree.append_child()
+        for _ in range(64):
+            label = tree.insert_before(label)
+        assert label_bits(label) >= 64
+
+    def test_appends_stay_logarithmic(self):
+        tree = DeweyTree()
+        for _ in range(256):
+            last = tree.append_child()
+        assert label_bits(last) <= 2 + 10 + 2  # one (ordinal, '') component

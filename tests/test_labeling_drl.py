@@ -1,0 +1,235 @@
+"""Tests for the DRL derivation-based scheme (Algorithms 1-4)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.datasets import fig12_path_grammar, synthetic_spec, theorem1_grammar
+from repro.errors import LabelingError
+from repro.graphs.reachability import reaches
+from repro.labeling.drl import (
+    DRL,
+    Entry,
+    SkeletonRef,
+    avg_label_bits,
+    max_label_bits,
+)
+from repro.parsetree.explicit import NodeKind
+from repro.workflow.grammar import analyze_grammar
+
+from tests.conftest import assert_labels_correct, small_run
+from tests.test_parsetree_explicit import build_running_tree
+
+
+class TestCorrectnessRunningExample:
+    def test_all_pairs_small_run(self, running_spec):
+        run, _ = build_running_tree(
+            running_spec, loop_copies=2, fork_copies=2, recursion_depth=2
+        )
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(run.graph, labels, scheme.query)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_runs_sampled_pairs(self, running_spec, seed):
+        run = small_run(running_spec, 250, seed=seed)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(
+            run.graph, labels, scheme.query, sample=4000, rng=random.Random(seed)
+        )
+
+    def test_bfs_skeleton_gives_same_answers(self, running_spec):
+        run = small_run(running_spec, 150, seed=5)
+        tcl = DRL(running_spec, skeleton="tcl")
+        bfs = DRL(running_spec, skeleton="bfs")
+        labels_tcl = tcl.label_derivation(run)
+        labels_bfs = bfs.label_derivation(run)
+        vs = sorted(run.graph.vertices())
+        for a, b in itertools.product(vs[:40], vs[:40]):
+            assert tcl.query(labels_tcl[a], labels_tcl[b]) == bfs.query(
+                labels_bfs[a], labels_bfs[b]
+            )
+
+    def test_reflexive(self, running_spec):
+        run = small_run(running_spec, 60, seed=6)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        for v in run.graph.vertices():
+            assert scheme.query(labels[v], labels[v])
+
+
+class TestCorrectnessOtherSpecs:
+    def test_bioaid(self, bioaid_spec):
+        run = small_run(bioaid_spec, 300, seed=7)
+        scheme = DRL(bioaid_spec)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(
+            run.graph, labels, scheme.query, sample=5000, rng=random.Random(7)
+        )
+
+    def test_synthetic_linear(self, synthetic_linear_spec):
+        run = small_run(synthetic_linear_spec, 300, seed=8)
+        scheme = DRL(synthetic_linear_spec)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(
+            run.graph, labels, scheme.query, sample=5000, rng=random.Random(8)
+        )
+
+    @pytest.mark.parametrize("r_mode", ["one_r", "simplified"])
+    def test_nonlinear_theorem1(self, theorem1_spec, r_mode):
+        run = small_run(theorem1_spec, 200, seed=9)
+        scheme = DRL(theorem1_spec, r_mode=r_mode)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(
+            run.graph, labels, scheme.query, sample=5000, rng=random.Random(9)
+        )
+
+    @pytest.mark.parametrize("r_mode", ["one_r", "simplified"])
+    def test_nonlinear_fig12(self, r_mode):
+        spec = fig12_path_grammar()
+        run = small_run(spec, 150, seed=10)
+        scheme = DRL(spec, r_mode=r_mode)
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(run.graph, labels, scheme.query)
+
+    def test_nonlinear_synthetic(self):
+        spec = synthetic_spec(10, 5, linear=False)
+        run = small_run(spec, 250, seed=11)
+        scheme = DRL(spec, r_mode="one_r")
+        labels = scheme.label_derivation(run)
+        assert_labels_correct(
+            run.graph, labels, scheme.query, sample=5000, rng=random.Random(11)
+        )
+
+
+class TestDynamicBehaviour:
+    def test_labels_final_at_every_step(self, running_spec):
+        """Definition 9: labels assigned at step i never change later."""
+        run = small_run(running_spec, 150, seed=12)
+        scheme = DRL(running_spec)
+        labeler = scheme.labeler()
+        labeler.begin(run.start_instance)
+        snapshots = dict(labeler.labels)
+        for step in run.steps:
+            labeler.apply_step(step)
+            for vid, label in snapshots.items():
+                assert labeler.labels[vid] == label
+            snapshots = dict(labeler.labels)
+
+    def test_intermediate_queries_correct(self, running_spec):
+        """Labels answer queries correctly on each intermediate graph."""
+        from repro.workflow.derivation import replay_prefix
+
+        run = small_run(running_spec, 80, seed=13)
+        scheme = DRL(running_spec)
+        labeler = scheme.labeler()
+        labeler.begin(run.start_instance)
+        for upto, step in enumerate(run.steps, start=1):
+            labeler.apply_step(step)
+            if upto % 7 != 0:  # keep the test quick
+                continue
+            graph = replay_prefix(running_spec, run, upto)
+            vs = sorted(graph.vertices())
+            rng = random.Random(upto)
+            for _ in range(300):
+                a, b = rng.choice(vs), rng.choice(vs)
+                assert scheme.query(
+                    labeler.labels[a], labeler.labels[b]
+                ) == reaches(graph, a, b)
+
+    def test_unlabeled_vertex_lookup_rejected(self, running_spec):
+        scheme = DRL(running_spec)
+        labeler = scheme.labeler()
+        with pytest.raises(LabelingError):
+            labeler.label(0)
+
+
+class TestLabelStructure:
+    def test_label_entries_follow_algorithm_1(self, running_spec):
+        run, tree = build_running_tree(
+            running_spec, loop_copies=2, fork_copies=2, recursion_depth=1
+        )
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        for v in run.graph.vertices():
+            label = labels[v]
+            # first entry: the root (index 0, non-special, g0 skeleton)
+            assert label[0].index == 0
+            assert label[0].kind is NodeKind.N
+            assert label[0].skl.key == "g0"
+            # last entry: the vertex's own context entry
+            assert label[-1].kind is NodeKind.N
+            assert label[-1].skl is not None
+            # special entries carry no skeleton pointers
+            for entry in label:
+                if entry.kind is not NodeKind.N:
+                    assert entry.skl is None
+                    assert entry.rec1 is None
+
+    def test_rec_flags_only_in_recursion_chains(self, running_spec):
+        run, _ = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=2
+        )
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        keys_with_recursion = {"A#0", "C#0"}
+        for label in labels.values():
+            for entry in label:
+                if entry.rec1 is not None:
+                    assert entry.kind is NodeKind.N
+                    assert entry.skl.key in keys_with_recursion
+
+    def test_labels_unique_per_vertex(self, running_spec):
+        run = small_run(running_spec, 200, seed=14)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        final = [labels[v] for v in run.graph.vertices()]
+        assert len(set(final)) == len(final)
+
+    def test_query_rejects_foreign_labels(self, running_spec):
+        scheme = DRL(running_spec)
+        bogus_a = (Entry(0, NodeKind.N, SkeletonRef("g0", 0)),)
+        bogus_b = (Entry(1, NodeKind.N, SkeletonRef("g0", 0)),)
+        with pytest.raises(LabelingError):
+            scheme.query(bogus_a, bogus_b)
+
+
+class TestTheorem3Bounds:
+    def test_logarithmic_label_length(self, running_spec):
+        """Theorem 3 upper bound: |label| <= d_t (log theta_t + log n_G + 4)."""
+        from repro.labeling.bits import pointer_bits, uint_bits
+        from repro.parsetree.explicit import build_explicit_tree
+
+        info = analyze_grammar(running_spec)
+        for seed, size in [(1, 100), (2, 400), (3, 1000)]:
+            run = small_run(running_spec, size, seed=seed)
+            scheme = DRL(running_spec)
+            labels = scheme.label_derivation(run)
+            tree = build_explicit_tree(run, info=info)
+            depth = tree.depth() + 1  # entries = path node count
+            theta = max(tree.max_outdegree, 2)
+            bound = depth * (
+                uint_bits(theta)
+                + pointer_bits(running_spec.max_graph_size)
+                + 4
+            )
+            measured = max_label_bits(scheme, labels)
+            assert measured <= bound
+
+    def test_label_length_grows_logarithmically(self, running_spec):
+        scheme = DRL(running_spec)
+        sizes = [100, 400, 1600]
+        maxima = []
+        for size in sizes:
+            run = small_run(running_spec, size, seed=size)
+            labels = scheme.label_derivation(run)
+            maxima.append(max_label_bits(scheme, labels))
+        # 16x size increase must cost far less than 16x bits
+        assert maxima[-1] <= maxima[0] + 40
+        assert avg_label_bits(scheme, scheme.label_derivation(
+            small_run(running_spec, 100, seed=100)
+        )) > 0

@@ -1,0 +1,95 @@
+"""Tests for the GRAIL-style general-DAG baseline."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.graphs.random_graphs import random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.labeling.grail import GrailIndex
+
+from tests.conftest import small_run
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bfs_on_random_dags(self, seed):
+        rng = random.Random(seed)
+        g = random_two_terminal_dag(30, rng).dag
+        index = GrailIndex(g, traversals=3, rng=random.Random(seed + 100))
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+
+    def test_matches_bfs_on_workflow_runs(self, running_spec):
+        run = small_run(running_spec, 200, seed=8)
+        g = run.graph
+        index = GrailIndex(g, traversals=4, rng=random.Random(9))
+        vs = sorted(g.vertices())
+        rng = random.Random(10)
+        for _ in range(4000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert index.reaches(a, b) == reaches(g, a, b)
+
+    def test_reflexive(self):
+        g = random_two_terminal_dag(10, random.Random(1)).dag
+        index = GrailIndex(g)
+        assert index.reaches(3, 3)
+
+
+class TestFilter:
+    def test_no_false_negatives(self):
+        # the containment test must hold for every reachable pair
+        rng = random.Random(2)
+        g = random_two_terminal_dag(40, rng).dag
+        index = GrailIndex(g, traversals=2, rng=random.Random(3))
+        for u in g.vertices():
+            for v in g.vertices():
+                if reaches(g, u, v):
+                    assert index.may_reach(index.label(u), index.label(v))
+
+    def test_filter_prunes_most_negatives(self):
+        rng = random.Random(4)
+        g = random_two_terminal_dag(60, rng).dag
+        index = GrailIndex(g, traversals=4, rng=random.Random(5))
+        vs = sorted(g.vertices())
+        query_rng = random.Random(6)
+        for _ in range(3000):
+            a, b = query_rng.choice(vs), query_rng.choice(vs)
+            index.reaches(a, b)
+        # most queries should resolve without the DFS fallback
+        assert index.fallback_searches < index.queries
+
+    def test_more_traversals_prune_more(self):
+        g = random_two_terminal_dag(60, random.Random(7)).dag
+        few = GrailIndex(g, traversals=1, rng=random.Random(8))
+        many = GrailIndex(g, traversals=5, rng=random.Random(8))
+        vs = sorted(g.vertices())
+        rng = random.Random(9)
+        pairs = [(rng.choice(vs), rng.choice(vs)) for _ in range(3000)]
+        for a, b in pairs:
+            few.reaches(a, b)
+            many.reaches(a, b)
+        assert many.fallback_searches <= few.fallback_searches
+
+
+class TestAccounting:
+    def test_label_bits_positive(self):
+        g = random_two_terminal_dag(10, random.Random(11)).dag
+        index = GrailIndex(g, traversals=2)
+        assert index.label(0).bits > 0
+        assert index.total_bits() >= 10 * index.label(0).bits // 4
+
+    def test_unknown_vertex_rejected(self):
+        g = random_two_terminal_dag(5, random.Random(12)).dag
+        index = GrailIndex(g)
+        with pytest.raises(LabelingError):
+            index.label(99)
+
+    def test_traversal_count_validated(self):
+        g = random_two_terminal_dag(5, random.Random(13)).dag
+        with pytest.raises(LabelingError):
+            GrailIndex(g, traversals=0)

@@ -1,0 +1,95 @@
+"""Tests for the naive Section 3.2 dynamic scheme."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ExecutionError, LabelingError
+from repro.graphs.random_graphs import random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.labeling.naive_dynamic import NaiveDynamicScheme
+from repro.workflow.execution import execution_from_derivation
+
+from tests.conftest import small_run
+
+
+class TestBasics:
+    def test_label_bits_are_index_minus_one(self):
+        scheme = NaiveDynamicScheme()
+        labels = [scheme.insert(i, preds=[]) for i in range(5)]
+        assert [l.bits for l in labels] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_insert_rejected(self):
+        scheme = NaiveDynamicScheme()
+        scheme.insert(1, preds=[])
+        with pytest.raises(ExecutionError):
+            scheme.insert(1, preds=[])
+
+    def test_forward_reference_rejected(self):
+        scheme = NaiveDynamicScheme()
+        with pytest.raises(ExecutionError):
+            scheme.insert(1, preds=[99])
+
+    def test_unlabeled_lookup_rejected(self):
+        with pytest.raises(LabelingError):
+            NaiveDynamicScheme().label(0)
+
+    def test_reflexive_query(self):
+        scheme = NaiveDynamicScheme()
+        label = scheme.insert(1, preds=[])
+        assert NaiveDynamicScheme.query(label, label)
+
+
+class TestCorrectness:
+    def test_matches_bfs_on_random_dags(self):
+        rng = random.Random(11)
+        for _ in range(8):
+            g = random_two_terminal_dag(25, rng).dag
+            scheme = NaiveDynamicScheme()
+            for v in g.topological_order():
+                scheme.insert(v, preds=g.predecessors(v))
+            for a, b in itertools.product(g.vertices(), repeat=2):
+                assert scheme.query(scheme.label(a), scheme.label(b)) == reaches(
+                    g, a, b
+                ), (a, b)
+
+    def test_matches_bfs_on_workflow_executions(self, running_spec):
+        run = small_run(running_spec, 150, seed=2)
+        exe = execution_from_derivation(run, random.Random(3))
+        scheme = NaiveDynamicScheme()
+        labels = scheme.insert_all(exe)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(4)
+        for _ in range(5000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_intermediate_correctness(self):
+        # labels must answer correctly at every intermediate prefix
+        rng = random.Random(5)
+        g = random_two_terminal_dag(20, rng).dag
+        scheme = NaiveDynamicScheme()
+        inserted = []
+        for v in g.topological_order():
+            scheme.insert(v, preds=g.predecessors(v))
+            inserted.append(v)
+            for a, b in itertools.product(inserted, repeat=2):
+                assert scheme.query(scheme.label(a), scheme.label(b)) == reaches(
+                    g, a, b
+                )
+            if len(inserted) > 12:
+                break
+
+
+class TestBounds:
+    def test_max_label_is_n_minus_1_bits(self):
+        # the Theta(n) upper bound of Section 3.2
+        scheme = NaiveDynamicScheme()
+        n = 50
+        for i in range(n):
+            scheme.insert(i, preds=[i - 1] if i else [])
+        assert scheme.label(n - 1).bits == n - 1

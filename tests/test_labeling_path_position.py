@@ -1,0 +1,94 @@
+"""Tests for the Example 15 position-label scheme."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.datasets import fig12_path_grammar, running_example
+from repro.errors import ExecutionError, LabelingError, UnsupportedWorkflowError
+from repro.graphs.reachability import reaches
+from repro.labeling.path_position import PathPositionScheme, runs_are_paths
+from repro.workflow.execution import execution_from_derivation
+
+from tests.conftest import small_run
+
+
+class TestApplicability:
+    def test_fig12_qualifies(self):
+        assert runs_are_paths(fig12_path_grammar())
+
+    def test_running_example_rejected(self, running_spec):
+        assert not runs_are_paths(running_spec)
+        with pytest.raises(UnsupportedWorkflowError):
+            PathPositionScheme(running_spec)
+
+    def test_fork_disqualifies(self, bioaid_spec):
+        assert not runs_are_paths(bioaid_spec)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bfs_on_fig12_runs(self, seed):
+        spec = fig12_path_grammar()
+        run = small_run(spec, 150, seed=seed)
+        scheme = PathPositionScheme(spec)
+        labels = scheme.insert_all(execution_from_derivation(run))
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(seed)
+        for _ in range(3000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_compact_labels(self):
+        """Example 15's point: a nonlinear grammar with O(log n) dynamic
+        execution-based labels."""
+        spec = fig12_path_grammar()
+        run = small_run(spec, 400, seed=4)
+        scheme = PathPositionScheme(spec)
+        labels = scheme.insert_all(execution_from_derivation(run))
+        max_bits = max(scheme.label_bits(l) for l in labels.values())
+        assert max_bits <= math.ceil(math.log2(run.run_size())) + 1
+
+    def test_reflexive(self):
+        spec = fig12_path_grammar()
+        scheme = PathPositionScheme(spec)
+        label = scheme.insert(0, preds=[])
+        assert scheme.query(label, label)
+
+
+class TestStructuralGuards:
+    def make_scheme(self):
+        return PathPositionScheme(fig12_path_grammar())
+
+    def test_duplicate_insert(self):
+        scheme = self.make_scheme()
+        scheme.insert(0, preds=[])
+        with pytest.raises(ExecutionError):
+            scheme.insert(0, preds=[])
+
+    def test_two_predecessors_rejected(self):
+        scheme = self.make_scheme()
+        scheme.insert(0, preds=[])
+        scheme.insert(1, preds=[0])
+        with pytest.raises(ExecutionError):
+            scheme.insert(2, preds=[0, 1])
+
+    def test_branching_rejected(self):
+        scheme = self.make_scheme()
+        scheme.insert(0, preds=[])
+        scheme.insert(1, preds=[0])
+        with pytest.raises(ExecutionError):
+            scheme.insert(2, preds=[0])  # does not extend the tail
+
+    def test_first_vertex_with_pred_rejected(self):
+        scheme = self.make_scheme()
+        with pytest.raises(ExecutionError):
+            scheme.insert(0, preds=[5])
+
+    def test_unlabeled_lookup(self):
+        with pytest.raises(LabelingError):
+            self.make_scheme().label(3)

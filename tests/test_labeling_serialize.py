@@ -1,0 +1,79 @@
+"""Tests for binary label serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.drl import DRL, Entry, SkeletonRef
+from repro.labeling.serialize import BitReader, BitWriter, LabelCodec
+from repro.parsetree.explicit import NodeKind
+
+from tests.conftest import small_run
+
+
+class TestBitBuffers:
+    def test_uint_round_trip(self):
+        writer = BitWriter()
+        writer.write_uint(5, 3)
+        writer.write_uint(0, 1)
+        writer.write_uint(255, 8)
+        reader = BitReader(writer.to_bytes(), len(writer))
+        assert reader.read_uint(3) == 5
+        assert reader.read_uint(1) == 0
+        assert reader.read_uint(8) == 255
+        assert reader.exhausted
+
+    def test_gamma_round_trip(self):
+        writer = BitWriter()
+        values = [0, 1, 2, 3, 7, 8, 100, 12345]
+        for v in values:
+            writer.write_gamma(v)
+        reader = BitReader(writer.to_bytes(), len(writer))
+        assert [reader.read_gamma() for _ in values] == values
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(LabelingError):
+            BitWriter().write_uint(8, 3)
+
+    def test_overread_rejected(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        reader = BitReader(writer.to_bytes(), len(writer))
+        reader.read_bit()
+        with pytest.raises(LabelingError):
+            reader.read_bit()
+
+
+class TestLabelCodec:
+    def test_round_trip_on_real_labels(self, running_spec):
+        run = small_run(running_spec, 200, seed=1)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        codec = LabelCodec(running_spec)
+        for label in labels.values():
+            payload, bits = codec.encode(label)
+            assert codec.decode(payload, bits) == label
+
+    def test_encoded_size_tracks_accounted_size(self, running_spec):
+        # gamma coding costs at most ~2x the accounted index bits + O(1)
+        run = small_run(running_spec, 300, seed=2)
+        scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        codec = LabelCodec(running_spec)
+        for label in labels.values():
+            _, bits = codec.encode(label)
+            accounted = scheme.label_bits(label)
+            assert bits <= 3 * accounted + 16
+
+    def test_special_entries_encode(self, running_spec):
+        codec = LabelCodec(running_spec)
+        label = (
+            Entry(0, NodeKind.N, SkeletonRef("g0", 1)),
+            Entry(3, NodeKind.L),
+            Entry(2, NodeKind.R),
+            Entry(1, NodeKind.F),
+            Entry(7, NodeKind.N, SkeletonRef("A#0", 2), rec1=True, rec2=False),
+        )
+        payload, bits = codec.encode(label)
+        assert codec.decode(payload, bits) == label

@@ -1,0 +1,73 @@
+"""Tests for the TCL and BFS skeleton schemes (Section 5.1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.graphs.reachability import reaches
+from repro.labeling.skeleton import (
+    BFSSkeleton,
+    TCLSkeleton,
+    make_skeleton,
+    spec_graph_table,
+)
+
+
+class TestFactory:
+    def test_make_tcl(self, running_spec):
+        assert isinstance(make_skeleton(running_spec, "tcl"), TCLSkeleton)
+
+    def test_make_bfs(self, running_spec):
+        assert isinstance(make_skeleton(running_spec, "bfs"), BFSSkeleton)
+
+    def test_unknown_kind(self, running_spec):
+        with pytest.raises(LabelingError):
+            make_skeleton(running_spec, "magic")
+
+
+class TestAgreement:
+    def test_tcl_and_bfs_agree_with_ground_truth(self, running_spec):
+        table = spec_graph_table(running_spec)
+        tcl = TCLSkeleton(table)
+        bfs = BFSSkeleton(table)
+        for key, graph in table.items():
+            for u, v in itertools.product(graph.vertices(), repeat=2):
+                expected = reaches(graph, u, v)
+                assert tcl.reaches(key, u, v) == expected
+                assert bfs.reaches(key, u, v) == expected
+
+    def test_reflexive(self, running_spec):
+        tcl = make_skeleton(running_spec, "tcl")
+        assert tcl.reaches("g0", 0, 0)
+
+    def test_unknown_graph_key(self, running_spec):
+        tcl = make_skeleton(running_spec, "tcl")
+        with pytest.raises(LabelingError):
+            tcl.reaches("missing", 0, 0)
+        bfs = make_skeleton(running_spec, "bfs")
+        with pytest.raises(LabelingError):
+            bfs.reaches("missing", 0, 0)
+
+
+class TestOverhead:
+    def test_tcl_bits_formula(self, running_spec):
+        # the i-th vertex stores i-1 bits: n(n-1)/2 per graph
+        table = spec_graph_table(running_spec)
+        tcl = TCLSkeleton(table)
+        expected = sum(len(g) * (len(g) - 1) // 2 for g in table.values())
+        assert tcl.total_bits() == expected
+
+    def test_bfs_stores_nothing(self, running_spec):
+        assert make_skeleton(running_spec, "bfs").total_bits() == 0
+
+    def test_build_time_recorded(self, running_spec):
+        tcl = make_skeleton(running_spec, "tcl")
+        assert tcl.build_seconds >= 0.0
+
+    def test_bioaid_overhead_is_small(self, bioaid_spec):
+        # Section 7.2: skeleton labels take negligible storage (~650 bits)
+        tcl = make_skeleton(bioaid_spec, "tcl")
+        assert tcl.total_bits() < 2000

@@ -1,0 +1,107 @@
+"""Tests for interval [22] and prefix [18] tree labeling utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.tree_labels import IntervalTreeLabeling, PrefixLabeler
+
+
+def random_tree(n, rng):
+    """children map for a random rooted tree on nodes 0..n-1 (root 0)."""
+    children = {i: [] for i in range(n)}
+    parent = {}
+    for v in range(1, n):
+        p = rng.randrange(0, v)
+        children[p].append(v)
+        parent[v] = p
+    return children, parent
+
+
+def is_ancestor(parent, u, v):
+    while v is not None:
+        if v == u:
+            return True
+        v = parent.get(v)
+    return False
+
+
+class TestIntervalLabeling:
+    def test_matches_ancestor_relation(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            children, parent = random_tree(30, rng)
+            scheme = IntervalTreeLabeling(0, children)
+            for u in range(30):
+                for v in range(30):
+                    expected = is_ancestor(parent, u, v)
+                    actual = IntervalTreeLabeling.is_ancestor(
+                        scheme.label(u), scheme.label(v)
+                    )
+                    assert actual == expected
+
+    def test_root_interval_spans_everything(self):
+        children, _ = random_tree(10, random.Random(2))
+        scheme = IntervalTreeLabeling(0, children)
+        pre, post = scheme.label(0)
+        assert pre == 0
+        assert post == 9
+
+    def test_unknown_node(self):
+        scheme = IntervalTreeLabeling(0, {0: []})
+        with pytest.raises(LabelingError):
+            scheme.label(42)
+
+    def test_label_bits_positive(self):
+        children, _ = random_tree(5, random.Random(3))
+        scheme = IntervalTreeLabeling(0, children)
+        assert IntervalTreeLabeling.label_bits(scheme.label(0)) >= 2
+
+
+class TestPrefixLabeler:
+    def test_prefix_is_ancestor_test(self):
+        labeler = PrefixLabeler()
+        a = labeler.attach()
+        b = labeler.attach(a)
+        c = labeler.attach(a)
+        d = labeler.attach(b)
+        assert PrefixLabeler.is_ancestor(a, d)
+        assert PrefixLabeler.is_ancestor(b, d)
+        assert not PrefixLabeler.is_ancestor(c, d)
+        assert not PrefixLabeler.is_ancestor(d, a)
+
+    def test_reflexive(self):
+        labeler = PrefixLabeler()
+        a = labeler.attach()
+        assert PrefixLabeler.is_ancestor(a, a)
+
+    def test_sibling_indexes_increase(self):
+        labeler = PrefixLabeler()
+        first = labeler.attach()
+        second = labeler.attach()
+        assert first == (1,)
+        assert second == (2,)
+
+    def test_unknown_parent_rejected(self):
+        labeler = PrefixLabeler()
+        with pytest.raises(LabelingError):
+            labeler.attach((9, 9))
+
+    def test_path_tree_labels_grow_linearly(self):
+        # dynamic-tree lower bound witness: a path gives Theta(n)-bit labels
+        labeler = PrefixLabeler()
+        label = labeler.attach()
+        for _ in range(63):
+            label = labeler.attach(label)
+        assert PrefixLabeler.label_bits(label) >= 64
+
+    def test_bounded_depth_labels_logarithmic(self):
+        # wide flat tree: one level, n children -> log n bits
+        labeler = PrefixLabeler()
+        last = None
+        for _ in range(1024):
+            last = labeler.attach()
+        assert PrefixLabeler.label_bits(last) <= 11

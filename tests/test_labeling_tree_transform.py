@@ -1,0 +1,99 @@
+"""Tests for the tree-transform baseline [13]."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import LabelingError, UnsupportedWorkflowError
+from repro.graphs.digraph import NamedDAG
+from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.labeling.tree_transform import TreeTransformIndex
+
+from tests.conftest import small_run
+
+
+def diamond_chain(depth: int) -> NamedDAG:
+    """``depth`` stacked diamonds: 2^depth source-to-sink paths."""
+    g = NamedDAG()
+    g.add_vertex(0, "v0")
+    tail = 0
+    next_vid = 1
+    for _ in range(depth):
+        a, b, join = next_vid, next_vid + 1, next_vid + 2
+        next_vid += 3
+        for vid in (a, b, join):
+            g.add_vertex(vid, f"v{vid}")
+        g.add_edge(tail, a)
+        g.add_edge(tail, b)
+        g.add_edge(a, join)
+        g.add_edge(b, join)
+        tail = join
+    return g
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bfs_on_random_dags(self, seed):
+        g = random_two_terminal_dag(18, random.Random(seed)).dag
+        index = TreeTransformIndex(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            expected = reaches(g, u, v)
+            if u == v:
+                continue  # interval test is reflexive anyway
+            assert index.reaches(u, v) == expected, (u, v)
+
+    def test_reflexive(self):
+        g = random_chain(5).dag
+        index = TreeTransformIndex(g)
+        assert index.reaches(2, 2)
+
+    def test_matches_bfs_on_small_runs(self, running_spec):
+        run = small_run(running_spec, 80, seed=1)
+        index = TreeTransformIndex(run.graph, max_tree_size=500_000)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(2)
+        for _ in range(2000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert index.reaches(a, b) == reaches(g, a, b)
+
+    def test_unknown_vertex(self):
+        g = random_chain(3).dag
+        with pytest.raises(LabelingError):
+            TreeTransformIndex(g).label(9)
+
+
+class TestBlowUp:
+    def test_tree_grows_exponentially_on_diamonds(self):
+        sizes = []
+        for depth in (2, 4, 6):
+            index = TreeTransformIndex(diamond_chain(depth))
+            sizes.append(index.tree_size)
+        # each extra diamond pair should roughly 4x the tree
+        assert sizes[1] > 3 * sizes[0]
+        assert sizes[2] > 3 * sizes[1]
+
+    def test_copies_grow_with_diamonds(self):
+        index = TreeTransformIndex(diamond_chain(6))
+        assert index.max_copies() >= 2**6
+
+    def test_cap_triggers_unsupported(self):
+        with pytest.raises(UnsupportedWorkflowError):
+            TreeTransformIndex(diamond_chain(30), max_tree_size=10_000)
+
+    def test_label_bits_linear_or_worse(self):
+        # the paper's point: [13] yields linear-size labels on DAGs
+        index = TreeTransformIndex(diamond_chain(8))
+        g = diamond_chain(8)
+        sink = max(g.vertices())
+        assert index.label_bits(index.label(sink)) > len(g) * 4
+
+    def test_trees_stay_small_on_trees(self):
+        g = random_chain(50).dag
+        index = TreeTransformIndex(g)
+        assert index.tree_size == 50
+        assert index.max_copies() == 1

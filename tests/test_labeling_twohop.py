@@ -1,0 +1,89 @@
+"""Tests for the 2-hop / pruned-landmark baseline."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
+from repro.graphs.reachability import reaches
+from repro.labeling.twohop import TwoHopIndex
+
+from tests.conftest import small_run
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bfs_on_random_dags(self, seed):
+        g = random_two_terminal_dag(25, random.Random(seed)).dag
+        index = TwoHopIndex(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+
+    def test_matches_bfs_on_workflow_runs(self, running_spec):
+        run = small_run(running_spec, 200, seed=1)
+        g = run.graph
+        index = TwoHopIndex(g)
+        vs = sorted(g.vertices())
+        rng = random.Random(2)
+        for _ in range(4000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert index.reaches(a, b) == reaches(g, a, b)
+
+    def test_reflexive(self):
+        g = random_chain(5).dag
+        index = TwoHopIndex(g)
+        assert index.reaches(3, 3)
+
+    def test_label_only_query(self):
+        g = random_two_terminal_dag(20, random.Random(3)).dag
+        index = TwoHopIndex(g)
+        for u, v in itertools.product(list(g.vertices())[:10], repeat=2):
+            if u == v:
+                continue
+            assert TwoHopIndex.query(index.label(u), index.label(v)) == reaches(
+                g, u, v
+            )
+
+    def test_unknown_vertex(self):
+        g = random_chain(3).dag
+        with pytest.raises(LabelingError):
+            TwoHopIndex(g).label(77)
+
+
+class TestCoverQuality:
+    def test_cover_property_holds(self):
+        """Every reachable pair shares at least one hub."""
+        g = random_two_terminal_dag(30, random.Random(4)).dag
+        index = TwoHopIndex(g)
+        for u, v in itertools.product(g.vertices(), repeat=2):
+            if u != v and reaches(g, u, v):
+                out_u, _ = index.label(u)
+                _, in_v = index.label(v)
+                assert out_u & in_v
+
+    def test_pruning_keeps_hub_sets_small(self):
+        """On a path, hub sets stay tiny (pruning removes redundancy)."""
+        g = random_chain(64).dag
+        index = TwoHopIndex(g)
+        # near-logarithmic: far below the ~n/2 unpruned cover
+        assert index.average_hubs() < 20
+
+    def test_bits_accounting(self):
+        g = random_chain(10).dag
+        index = TwoHopIndex(g)
+        assert index.total_bits() > 0
+        label = index.label(5)
+        assert index.label_bits(label) >= len(label[0]) + len(label[1])
+
+    def test_workflow_runs_have_moderate_hub_growth(self, running_spec):
+        small = small_run(running_spec, 100, seed=5)
+        large = small_run(running_spec, 400, seed=6)
+        small_index = TwoHopIndex(small.graph)
+        large_index = TwoHopIndex(large.graph)
+        # hub sets grow with the run: 2-hop is not compact on runs either
+        assert large_index.average_hubs() >= small_index.average_hubs() * 0.5
+        assert large_index.total_bits() > small_index.total_bits()

@@ -1,0 +1,58 @@
+"""Tests for the canonical parse tree (Section 4.2)."""
+
+from __future__ import annotations
+
+from repro.parsetree.canonical import CanonicalParseTree
+from repro.parsetree.explicit import build_explicit_tree
+from repro.workflow.grammar import analyze_grammar
+
+from tests.conftest import small_run
+from tests.test_parsetree_explicit import build_running_tree
+
+
+class TestCanonicalTree:
+    def test_one_node_per_instance(self, running_spec):
+        run, _ = build_running_tree(running_spec)
+        tree = CanonicalParseTree(run)
+        assert tree.size() == len(run.all_instances())
+
+    def test_contexts_cover_run(self, running_spec):
+        run, _ = build_running_tree(running_spec)
+        tree = CanonicalParseTree(run)
+        for v in run.graph.vertices():
+            node, tv = tree.context_of(v)
+            template = running_spec.graph(node.instance.key)
+            assert template.name(tv) == run.graph.name(v)
+
+    def test_depth_tracks_recursion(self, running_spec):
+        shallow_run, _ = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=1
+        )
+        deep_run, _ = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=6
+        )
+        shallow = CanonicalParseTree(shallow_run)
+        deep = CanonicalParseTree(deep_run)
+        assert deep.depth() > shallow.depth()
+
+    def test_explicit_tree_never_deeper_than_canonical_plus_specials(
+        self, running_spec
+    ):
+        # The explicit tree flattens recursion, so on recursion-heavy runs
+        # it is strictly shallower than the canonical tree.
+        run, explicit = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=8
+        )
+        canonical = CanonicalParseTree(run)
+        assert explicit.depth() < canonical.depth()
+
+    def test_random_run_consistency(self, bioaid_spec):
+        info = analyze_grammar(bioaid_spec)
+        run = small_run(bioaid_spec, 150, seed=9)
+        canonical = CanonicalParseTree(run)
+        explicit = build_explicit_tree(run, info=info)
+        # both trees agree on context template vertices
+        for v in run.graph.vertices():
+            _, tv_c = canonical.context_of(v)
+            _, tv_e = explicit.context_of(v)
+            assert tv_c == tv_e

@@ -1,0 +1,200 @@
+"""Tests for the explicit parse tree and Algorithm 2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import synthetic_spec, theorem1_grammar
+from repro.errors import DerivationError, LabelingError
+from repro.parsetree.explicit import (
+    ExplicitParseTree,
+    NodeKind,
+    build_explicit_tree,
+)
+from repro.workflow.derivation import DerivationEngine
+from repro.workflow.grammar import analyze_grammar
+
+from tests.conftest import small_run
+
+
+def build_running_tree(spec, loop_copies=2, fork_copies=2, recursion_depth=1):
+    """A hand-driven derivation of the running example (Figures 3/9)."""
+    eng = DerivationEngine(spec)
+    eng.begin()
+    tree = ExplicitParseTree(spec)
+    tree.begin(eng.derivation.start_instance)
+
+    loop_vid = next(iter(eng.pending))
+    tree.apply_step(eng.expand(loop_vid, "L#0", copies=loop_copies))
+    for fork_vid in [v for v, h in dict(eng.pending).items() if h == "F"]:
+        tree.apply_step(eng.expand(fork_vid, "F#0", copies=fork_copies))
+    depth_left = {v: recursion_depth for v in eng.pending}
+    while eng.pending:
+        v = min(eng.pending)
+        head = eng.pending[v]
+        remaining = depth_left.pop(v, recursion_depth)
+        if head == "A":
+            impl = "A#0" if remaining > 0 else "A#1"
+            step = eng.expand(v, impl)
+        elif head == "B":
+            step = eng.expand(v, "B#0")
+        else:  # C
+            step = eng.expand(v, "C#0")
+        for inst in step.copies:
+            for tv, run_vid in inst.mapping.items():
+                depth_left[run_vid] = remaining - (1 if head == "C" else 0)
+        tree.apply_step(step)
+    return eng.finish(), tree
+
+
+class TestTreeShape:
+    def test_root_annotated_with_start_graph(self, running_spec):
+        _, tree = build_running_tree(running_spec)
+        assert tree.root is not None
+        assert tree.root.kind is NodeKind.N
+        assert tree.root.instance.key == "g0"
+        assert tree.root.index == 0
+
+    def test_loop_node_has_copy_children(self, running_spec):
+        _, tree = build_running_tree(running_spec, loop_copies=3)
+        (l_node,) = [
+            n for n in tree.nodes() if n.kind is NodeKind.L
+        ]
+        assert len(l_node.children) == 3
+        assert [c.index for c in l_node.children] == [1, 2, 3]
+        assert all(c.kind is NodeKind.N for c in l_node.children)
+
+    def test_fork_nodes_created(self, running_spec):
+        _, tree = build_running_tree(running_spec, loop_copies=2, fork_copies=2)
+        f_nodes = [n for n in tree.nodes() if n.kind is NodeKind.F]
+        assert len(f_nodes) == 2  # one per loop copy
+        for f in f_nodes:
+            assert len(f.children) == 2
+
+    def test_recursion_chain_under_r_node(self, running_spec):
+        _, tree = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=2
+        )
+        r_nodes = [n for n in tree.nodes() if n.kind is NodeKind.R]
+        assert r_nodes, "recursion must create an R node"
+        for r in r_nodes:
+            # chain elements are siblings of increasing index
+            assert [c.index for c in r.children] == list(
+                range(1, len(r.children) + 1)
+            )
+            # all chain elements annotated with h3 or h6 or h4
+            keys = {c.instance.key for c in r.children}
+            assert keys <= {"A#0", "A#1", "C#0"}
+
+    def test_contexts_registered(self, running_spec):
+        run, tree = build_running_tree(running_spec)
+        for v in run.graph.vertices():
+            node, tv = tree.context_of(v)
+            assert node.kind is NodeKind.N
+            template = running_spec.graph(node.instance.key)
+            assert template.name(tv) == run.graph.name(v)
+
+    def test_unknown_vertex_context(self, running_spec):
+        _, tree = build_running_tree(running_spec)
+        with pytest.raises(LabelingError):
+            tree.context_of(10**9)
+
+
+class TestDepthBound:
+    def test_lemma_4_1_on_running_example(self, running_spec):
+        # deep recursion: depth stays bounded by 2 * |composites|
+        _, tree = build_running_tree(
+            running_spec, loop_copies=4, fork_copies=3, recursion_depth=6
+        )
+        assert tree.depth() <= tree.depth_bound() == 10
+
+    def test_lemma_4_1_on_random_runs(self, running_spec):
+        info = analyze_grammar(running_spec)
+        for seed in range(5):
+            run = small_run(running_spec, 300, seed=seed)
+            tree = build_explicit_tree(run, info=info)
+            assert tree.depth() <= tree.depth_bound()
+
+    def test_simplified_mode_depth_grows_with_recursion(self, running_spec):
+        # without R nodes the tree depth tracks the recursion depth
+        _, deep_tree = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=8
+        )
+        run = None
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        simplified = ExplicitParseTree(running_spec, r_mode="simplified")
+        simplified.begin(eng.derivation.start_instance)
+        loop_vid = next(iter(eng.pending))
+        simplified.apply_step(eng.expand(loop_vid, "L#0", copies=1))
+        fork_vid = next(v for v, h in eng.pending.items() if h == "F")
+        simplified.apply_step(eng.expand(fork_vid, "F#0", copies=1))
+        remaining = 8
+        while eng.pending:
+            v = min(eng.pending)
+            head = eng.pending[v]
+            if head == "A":
+                step = eng.expand(v, "A#0" if remaining > 0 else "A#1")
+                remaining -= 1
+            elif head == "B":
+                step = eng.expand(v, "B#0")
+            else:
+                step = eng.expand(v, "C#0")
+            simplified.apply_step(step)
+        assert simplified.depth() > deep_tree.depth_bound() - 4
+        assert simplified.depth() > deep_tree.depth()
+
+
+class TestModes:
+    def test_linear_mode_rejects_nonlinear_grammar(self):
+        spec = theorem1_grammar()
+        with pytest.raises(LabelingError):
+            ExplicitParseTree(spec, r_mode="linear")
+
+    def test_one_r_mode_accepts_nonlinear(self):
+        spec = theorem1_grammar()
+        ExplicitParseTree(spec, r_mode="one_r")
+
+    def test_unknown_mode_rejected(self, running_spec):
+        with pytest.raises(LabelingError):
+            ExplicitParseTree(running_spec, r_mode="bogus")
+
+    def test_nonlinear_synthetic_one_r_builds(self):
+        spec = synthetic_spec(10, 5, linear=False)
+        run = small_run(spec, 150, seed=3)
+        tree = build_explicit_tree(run, r_mode="one_r")
+        assert tree.node_count > 1
+
+
+class TestStepOrdering:
+    def test_step_before_begin_rejected(self, running_spec):
+        tree = ExplicitParseTree(running_spec)
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        step = eng.expand(loop_vid, "L#0")
+        with pytest.raises(DerivationError):
+            tree.apply_step(step)
+
+    def test_nodes_returned_in_creation_order(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        tree = ExplicitParseTree(running_spec)
+        tree.begin(eng.derivation.start_instance)
+        loop_vid = next(iter(eng.pending))
+        nodes = tree.apply_step(eng.expand(loop_vid, "L#0", copies=2))
+        assert nodes[0].kind is NodeKind.L
+        assert [n.kind for n in nodes[1:]] == [NodeKind.N, NodeKind.N]
+        assert nodes[1].parent is nodes[0]
+
+
+class TestLca:
+    def test_lca_basics(self, running_spec):
+        run, tree = build_running_tree(running_spec, loop_copies=2)
+        (l_node,) = [n for n in tree.nodes() if n.kind is NodeKind.L]
+        c1, c2 = l_node.children[0], l_node.children[1]
+        assert tree.lca(c1, c2) is l_node
+        assert tree.lca(c1, tree.root) is tree.root
+        assert tree.lca(c1, c1) is c1

@@ -1,0 +1,75 @@
+"""Tests for the Lemma 4.2 tree-based reachability oracle."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.graphs.reachability import reaches
+from repro.parsetree.explicit import build_explicit_tree
+from repro.parsetree.queries import tree_reaches
+from repro.workflow.grammar import analyze_grammar
+
+from tests.conftest import small_run
+from tests.test_parsetree_explicit import build_running_tree
+
+
+class TestTreeReaches:
+    def test_matches_bfs_on_hand_built_run(self, running_spec):
+        run, tree = build_running_tree(
+            running_spec, loop_copies=2, fork_copies=2, recursion_depth=2
+        )
+        g = run.graph
+        for a, b in itertools.product(sorted(g.vertices()), repeat=2):
+            assert tree_reaches(tree, running_spec, a, b) == reaches(g, a, b)
+
+    def test_matches_bfs_on_random_runs(self, running_spec):
+        info = analyze_grammar(running_spec)
+        for seed in range(3):
+            run = small_run(running_spec, 150, seed=seed)
+            tree = build_explicit_tree(run, info=info)
+            g = run.graph
+            vs = sorted(g.vertices())
+            rng = random.Random(seed)
+            for _ in range(3000):
+                a, b = rng.choice(vs), rng.choice(vs)
+                assert tree_reaches(tree, running_spec, a, b) == reaches(g, a, b)
+
+    def test_reflexive(self, running_spec):
+        run, tree = build_running_tree(running_spec)
+        v = next(iter(run.graph.vertices()))
+        assert tree_reaches(tree, running_spec, v, v)
+
+    def test_loop_case(self, running_spec):
+        # vertices in different loop copies: earlier copy reaches later
+        run, tree = build_running_tree(running_spec, loop_copies=3)
+        template = running_spec.graph("L#0")
+        (l_node,) = [
+            n
+            for n in tree.nodes()
+            if n.kind.value == "L"
+        ]
+        first = l_node.children[0].instance.mapping[template.source]
+        last = l_node.children[-1].instance.mapping[template.sink]
+        assert tree_reaches(tree, running_spec, first, last)
+        assert not tree_reaches(tree, running_spec, last, first)
+
+    def test_fork_case(self, running_spec):
+        run, tree = build_running_tree(running_spec, loop_copies=1, fork_copies=3)
+        template = running_spec.graph("F#0")
+        f_node = next(n for n in tree.nodes() if n.kind.value == "F")
+        a = f_node.children[0].instance.mapping[template.source]
+        b = f_node.children[1].instance.mapping[template.sink]
+        assert not tree_reaches(tree, running_spec, a, b)
+        assert not tree_reaches(tree, running_spec, b, a)
+
+    def test_bioaid_consistency(self, bioaid_spec):
+        info = analyze_grammar(bioaid_spec)
+        run = small_run(bioaid_spec, 200, seed=5)
+        tree = build_explicit_tree(run, info=info)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(6)
+        for _ in range(3000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert tree_reaches(tree, bioaid_spec, a, b) == reaches(g, a, b)

@@ -1,0 +1,180 @@
+"""Tests for the on-the-fly provenance store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError, LabelingError
+from repro.graphs.reachability import reaches
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.execution import execution_from_derivation
+
+from tests.conftest import small_run
+
+
+def replayed_store(spec, run, rng=None):
+    """Feed a recorded execution into a ProvenanceStore, one item per module."""
+    store = ProvenanceStore(spec)
+    for ins in execution_from_derivation(run, rng):
+        inputs = [f"d{p}" for p in sorted(ins.preds)]
+        store.record(ins.name, inputs=inputs, outputs=[f"d{ins.vid}"], vid=ins.vid)
+    return store
+
+
+class TestRecording:
+    def test_module_runs_recorded_in_order(self, running_spec):
+        run = small_run(running_spec, 60, seed=1)
+        store = replayed_store(running_spec, run)
+        assert len(store.module_runs()) == run.run_size()
+
+    def test_unknown_input_rejected(self, running_spec):
+        store = ProvenanceStore(running_spec)
+        with pytest.raises(ExecutionError):
+            store.record("s0", inputs=["ghost"])
+
+    def test_duplicate_output_rejected(self, running_spec):
+        store = ProvenanceStore(running_spec)
+        store.record("s0", outputs=["x"])
+        with pytest.raises(ExecutionError):
+            store.record("L", inputs=["x"], outputs=["x"])
+
+    def test_external_inputs(self, running_spec):
+        store = ProvenanceStore(running_spec)
+        store.add_external_input("raw")
+        with pytest.raises(ExecutionError):
+            store.add_external_input("raw")
+        assert any(i.name == "raw" for i in store.data_items())
+
+
+class TestQueries:
+    def test_used_matches_graph_reachability(self, running_spec):
+        run = small_run(running_spec, 120, seed=2)
+        store = replayed_store(running_spec, run)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(3)
+        for _ in range(2000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            expected = a != b and reaches(g, a, b)
+            assert store.used(f"d{a}", f"d{b}") == expected
+
+    def test_depends_is_module_reachability(self, running_spec):
+        run = small_run(running_spec, 100, seed=4)
+        store = replayed_store(running_spec, run)
+        g = run.graph
+        order = g.topological_order()
+        first, last = order[0], order[-1]
+        assert store.depends(first, last)
+        assert not store.depends(last, first)
+
+    def test_influenced(self, running_spec):
+        run = small_run(running_spec, 100, seed=5)
+        store = replayed_store(running_spec, run)
+        g = run.graph
+        order = g.topological_order()
+        assert store.influenced(order[0], f"d{order[-1]}")
+        assert not store.influenced(order[-1], f"d{order[0]}")
+
+    def test_external_input_flows_everywhere(self, running_spec):
+        run = small_run(running_spec, 60, seed=6)
+        store = ProvenanceStore(running_spec)
+        store.add_external_input("params")
+        for ins in execution_from_derivation(run):
+            store.record(
+                ins.name,
+                inputs=[f"d{p}" for p in sorted(ins.preds)],
+                outputs=[f"d{ins.vid}"],
+                vid=ins.vid,
+            )
+        some_output = f"d{run.graph.topological_order()[-1]}"
+        assert store.used("params", some_output)
+        assert not store.used(some_output, "params")
+
+    def test_unknown_item_rejected(self, running_spec):
+        store = ProvenanceStore(running_spec)
+        with pytest.raises(LabelingError):
+            store.used("a", "b")
+
+    def test_same_module_outputs_not_lineage(self, running_spec):
+        store = ProvenanceStore(running_spec)
+        store.record("s0", outputs=["x", "y"])
+        assert not store.used("x", "y")
+
+
+class TestPartialRunQueries:
+    def test_queries_during_execution(self, running_spec):
+        """Provenance questions answered while the workflow is running."""
+        run = small_run(running_spec, 80, seed=7)
+        store = ProvenanceStore(running_spec)
+        seen = []
+        for ins in execution_from_derivation(run):
+            store.record(
+                ins.name,
+                inputs=[f"d{p}" for p in sorted(ins.preds)],
+                outputs=[f"d{ins.vid}"],
+                vid=ins.vid,
+            )
+            seen.append(ins.vid)
+            if len(seen) % 20 == 0:
+                a, b = seen[0], seen[-1]
+                assert store.depends(a, b) == reaches(run.graph, a, b)
+
+    def test_label_bits_available(self, running_spec):
+        run = small_run(running_spec, 60, seed=8)
+        store = replayed_store(running_spec, run)
+        v = next(iter(run.graph.vertices()))
+        assert store.label_bits(v) > 0
+
+
+class TestWitnessPaths:
+    def test_witness_path_is_a_real_path(self, running_spec):
+        run = small_run(running_spec, 100, seed=9)
+        store = replayed_store(running_spec, run)
+        g = run.graph
+        order = g.topological_order()
+        first, last = order[0], order[-1]
+        path = store.witness_path(first, last)
+        assert path is not None
+        assert path[0] == first and path[-1] == last
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_unreachable_pair_returns_none(self, running_spec):
+        run = small_run(running_spec, 100, seed=10)
+        store = replayed_store(running_spec, run)
+        order = run.graph.topological_order()
+        assert store.witness_path(order[-1], order[0]) is None
+
+    def test_unknown_vertex_rejected(self, running_spec):
+        run = small_run(running_spec, 60, seed=11)
+        store = replayed_store(running_spec, run)
+        with pytest.raises(LabelingError):
+            store.witness_path(10**9, 0)
+
+    def test_item_lineage_chains_items(self, running_spec):
+        run = small_run(running_spec, 100, seed=12)
+        store = replayed_store(running_spec, run)
+        order = run.graph.topological_order()
+        first, last = order[0], order[-1]
+        lineage = store.item_lineage(f"d{first}", f"d{last}")
+        assert lineage is not None
+        assert lineage[0] == f"d{first}"
+        assert lineage[-1] == f"d{last}"
+
+    def test_item_lineage_none_when_unrelated(self, running_spec):
+        run = small_run(running_spec, 100, seed=13)
+        store = replayed_store(running_spec, run)
+        order = run.graph.topological_order()
+        assert store.item_lineage(f"d{order[-1]}", f"d{order[0]}") is None
+
+    def test_witness_agrees_with_depends(self, running_spec):
+        run = small_run(running_spec, 80, seed=14)
+        store = replayed_store(running_spec, run)
+        vs = sorted(run.graph.vertices())
+        rng = random.Random(15)
+        for _ in range(300):
+            a, b = rng.choice(vs), rng.choice(vs)
+            path = store.witness_path(a, b)
+            assert (path is not None) == store.depends(a, b)

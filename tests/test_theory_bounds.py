@@ -1,0 +1,150 @@
+"""Executable theory: the compactness results of Sections 3 and 6.
+
+These tests turn the paper's bound statements into measurements:
+
+* Theorem 1's counting argument -- the Figure 6 grammar forces the label
+  domain reserved for the ``a``-vertices to (at least) double per
+  recursion level, so distinct runs need many distinct labels;
+* the Theta(n) upper bound of Section 3.2 (exactly ``n - 1`` bits);
+* Lemma 4.1 / Theorem 3 -- logarithmic labels for linear recursion;
+* Example 15 -- the Figure 12 grammar admits a compact execution-based
+  scheme even though it is nonlinear (runs are paths).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.datasets import fig12_path_grammar, theorem1_grammar
+from repro.labeling.drl import DRL
+from repro.labeling.naive_dynamic import NaiveDynamicScheme
+from repro.workflow.derivation import DerivationEngine
+from repro.workflow.enumerate_runs import enumerate_runs
+from repro.workflow.execution import execution_from_derivation
+
+from tests.conftest import small_run
+
+
+def derive_lk_run(spec, k: int, branch: int = 1):
+    """A run of the Figure 6 grammar applying ``A := h1`` exactly k times.
+
+    Recursion continues through the A copy at position ``branch`` of the
+    body (0 = the R-compressed one, 1 = the other parallel one); the
+    sibling terminates with ``A := h2``.  One member of L_k(G).
+    """
+    eng = DerivationEngine(spec)
+    eng.begin()
+    depth = {v: k for v in eng.pending}
+    while eng.pending:
+        target = min(eng.pending)
+        remaining = depth.pop(target)
+        if remaining > 0:
+            step = eng.expand(target, "A#0")
+            new_pending = sorted(
+                v for v in step.copies[0].mapping.values() if v in eng.pending
+            )
+            for i, vid in enumerate(new_pending):
+                depth[vid] = remaining - 1 if i == branch else 0
+        else:
+            eng.expand(target, "A#1")
+    return eng.finish()
+
+
+class TestTheorem1:
+    def test_a_labels_distinct_within_every_run(self, theorem1_spec):
+        """The proof's invariant: within one run, every differential 'a'
+        vertex separates two recursion subtrees, so their labels are
+        pairwise distinct; the label population across the bounded
+        language is large."""
+        scheme = DRL(theorem1_spec, r_mode="one_r")
+        population = set()
+        runs = 0
+        for run in enumerate_runs(theorem1_spec, max_size=40, max_copies=1):
+            labels = scheme.label_derivation(run)
+            a_labels = [
+                labels[v]
+                for v in run.graph.vertices()
+                if run.graph.name(v) == "a"
+            ]
+            assert len(set(a_labels)) == len(a_labels)
+            population.update(a_labels)
+            runs += 1
+        assert runs >= 100  # the language explodes combinatorially
+        assert len(population) >= 50
+
+    def test_linear_label_growth_through_uncompressed_branch(
+        self, theorem1_spec
+    ):
+        """Recursion through the non-R-compressed parallel branch grows
+        the parse tree depth, and labels grow linearly -- the Theorem 1 /
+        Theorem 5 behaviour."""
+        scheme = DRL(theorem1_spec, r_mode="one_r")
+        sizes = []
+        for k in (4, 8, 16):
+            run = derive_lk_run(theorem1_spec, k, branch=1)
+            labels = scheme.label_derivation(run)
+            run_labels = [labels[v] for v in run.graph.vertices()]
+            sizes.append(max(scheme.label_bits(l) for l in run_labels))
+        # doubling k roughly doubles the max label: super-logarithmic
+        assert sizes[1] >= sizes[0] * 1.5
+        assert sizes[2] >= sizes[1] * 1.5
+
+    def test_one_r_compression_keeps_designated_branch_compact(
+        self, theorem1_spec
+    ):
+        """Contrast: recursing only through the designated vertex stays in
+        one R chain, so labels grow logarithmically -- the Section 6
+        optimization working as intended."""
+        scheme = DRL(theorem1_spec, r_mode="one_r")
+        sizes = []
+        for k in (4, 8, 16):
+            run = derive_lk_run(theorem1_spec, k, branch=0)
+            labels = scheme.label_derivation(run)
+            run_labels = [labels[v] for v in run.graph.vertices()]
+            sizes.append(max(scheme.label_bits(l) for l in run_labels))
+        assert sizes[2] - sizes[0] <= 8
+
+    def test_naive_scheme_matches_upper_bound_exactly(self, theorem1_spec):
+        run = derive_lk_run(theorem1_spec, 8)
+        naive = NaiveDynamicScheme()
+        labels = naive.insert_all(execution_from_derivation(run))
+        n = run.run_size()
+        assert max(l.bits for l in labels.values()) == n - 1
+
+
+class TestLinearRecursionCompactness:
+    def test_logarithmic_with_small_constant(self, running_spec):
+        """Theorem 3 on the running example: max bits ~ c*log2(n) + C."""
+        scheme = DRL(running_spec)
+        measurements = []
+        for size in (200, 800, 3200):
+            run = small_run(running_spec, size, seed=size)
+            labels = scheme.label_derivation(run)
+            run_labels = [labels[v] for v in run.graph.vertices()]
+            measurements.append(
+                (run.run_size(), max(scheme.label_bits(l) for l in run_labels))
+            )
+        for (n1, b1), (n2, b2) in zip(measurements, measurements[1:]):
+            doublings = math.log2(n2 / n1)
+            assert b2 - b1 <= 6 * doublings + 6
+
+
+class TestExample15:
+    def test_path_grammar_allows_compact_execution_labels(self):
+        """Example 15: runs of Figure 12 are paths, so labeling by
+        insertion position is compact -- the naive bitset scheme is
+        overkill but position indexes alone decide reachability."""
+        spec = fig12_path_grammar()
+        run = small_run(spec, 150, seed=1)
+        exe = execution_from_derivation(run)
+        position = {ins.vid: i for i, ins in enumerate(exe)}
+        from repro.graphs.reachability import reaches
+
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(2)
+        for _ in range(2000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            # on a path, topological position decides reachability
+            assert reaches(g, a, b) == (position[a] <= position[b])

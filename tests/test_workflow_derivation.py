@@ -1,0 +1,190 @@
+"""Tests for the derivation engine and random run generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DerivationError
+from repro.graphs.reachability import reaches
+from repro.workflow.derivation import (
+    DerivationEngine,
+    DerivationPolicy,
+    random_derivation,
+    replay_prefix,
+    sample_run,
+)
+
+
+class TestEngineBasics:
+    def test_begin_instantiates_start_graph(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        inst = eng.begin()
+        assert inst.key == "g0"
+        assert len(eng.graph) == 3  # s0, L, t0
+        assert set(eng.pending.values()) == {"L"}
+
+    def test_begin_twice_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        with pytest.raises(DerivationError):
+            eng.begin()
+
+    def test_expand_before_begin_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        with pytest.raises(DerivationError):
+            eng.expand(0, "L#0")
+
+    def test_expand_non_pending_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        inst = eng.begin()
+        source = inst.mapping[0]  # s0 is atomic
+        with pytest.raises(DerivationError):
+            eng.expand(source, "L#0")
+
+    def test_expand_with_wrong_impl_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        with pytest.raises(DerivationError):
+            eng.expand(loop_vid, "A#0")
+
+    def test_copies_on_plain_composite_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        eng.expand(loop_vid, "L#0", copies=1)
+        fork_vid = next(v for v, h in eng.pending.items() if h == "F")
+        eng.expand(fork_vid, "F#0", copies=2)
+        a_vid = next(v for v, h in eng.pending.items() if h == "A")
+        with pytest.raises(DerivationError):
+            eng.expand(a_vid, "A#1", copies=2)
+
+    def test_zero_copies_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        with pytest.raises(DerivationError):
+            eng.expand(loop_vid, "L#0", copies=0)
+
+
+class TestSeriesParallelSemantics:
+    def test_loop_copies_chained_in_series(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        step = eng.expand(loop_vid, "L#0", copies=3)
+        template = running_spec.graph("L#0")
+        sinks = [c.mapping[template.sink] for c in step.copies]
+        sources = [c.mapping[template.source] for c in step.copies]
+        assert eng.graph.has_edge(sinks[0], sources[1])
+        assert eng.graph.has_edge(sinks[1], sources[2])
+        # copy 1 reaches copy 3, not vice versa
+        assert reaches(eng.graph, sources[0], sinks[2])
+        assert not reaches(eng.graph, sources[2], sinks[0])
+
+    def test_fork_copies_parallel(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        loop_vid = next(iter(eng.pending))
+        eng.expand(loop_vid, "L#0")
+        fork_vid = next(v for v, h in eng.pending.items() if h == "F")
+        step = eng.expand(fork_vid, "F#0", copies=3)
+        template = running_spec.graph("F#0")
+        sources = [c.mapping[template.source] for c in step.copies]
+        sinks = [c.mapping[template.sink] for c in step.copies]
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert not reaches(eng.graph, sources[i], sinks[j])
+
+    def test_finish_requires_completion(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        with pytest.raises(DerivationError):
+            eng.finish()
+
+
+class TestRandomDerivation:
+    def test_terminates_and_is_atomic_only(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=120)
+        derivation = random_derivation(running_spec, policy)
+        for v in derivation.graph.vertices():
+            assert running_spec.is_atomic(derivation.graph.name(v))
+
+    def test_run_graph_is_two_terminal_dag(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=100)
+        derivation = random_derivation(running_spec, policy)
+        g = derivation.graph
+        g.validate()
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_deterministic_given_seed(self, running_spec):
+        p1 = DerivationPolicy(rng=random.Random(5), target_size=80)
+        p2 = DerivationPolicy(rng=random.Random(5), target_size=80)
+        d1 = random_derivation(running_spec, p1)
+        d2 = random_derivation(running_spec, p2)
+        assert sorted(d1.graph.edges()) == sorted(d2.graph.edges())
+
+    def test_shuffled_order_still_valid(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=100, shuffle_order=True)
+        derivation = random_derivation(running_spec, policy)
+        derivation.graph.validate()
+
+    def test_all_instances_cover_run(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=60)
+        derivation = random_derivation(running_spec, policy)
+        mapped = set()
+        for inst in derivation.all_instances():
+            template = running_spec.graph(inst.key)
+            for tv in template.vertices():
+                if running_spec.is_atomic(template.name(tv)):
+                    mapped.add(inst.mapping[tv])
+        assert mapped == set(derivation.graph.vertices())
+
+
+class TestSampleRun:
+    @pytest.mark.parametrize("target", [100, 400, 1000])
+    def test_size_near_target(self, running_spec, target):
+        derivation = sample_run(running_spec, target, random.Random(target))
+        assert abs(derivation.run_size() - target) / target <= 0.5
+
+    def test_works_for_bioaid(self, bioaid_spec):
+        derivation = sample_run(bioaid_spec, 500, random.Random(3))
+        assert derivation.run_size() > 200
+        derivation.graph.validate()
+
+
+class TestReplayPrefix:
+    def test_full_replay_matches_final_graph(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=80)
+        derivation = random_derivation(running_spec, policy)
+        replayed = replay_prefix(
+            running_spec, derivation, len(derivation.steps)
+        )
+        assert sorted(replayed.edges()) == sorted(derivation.graph.edges())
+
+    def test_prefix_graphs_are_valid(self, running_spec, rng):
+        policy = DerivationPolicy(rng=rng, target_size=60)
+        derivation = random_derivation(running_spec, policy)
+        for upto in range(len(derivation.steps) + 1):
+            replay_prefix(running_spec, derivation, upto).validate()
+
+    def test_prefix_preserves_reachability(self, running_spec, rng):
+        # Remark 1: each step preserves reachability among existing vertices.
+        policy = DerivationPolicy(rng=rng, target_size=60)
+        derivation = random_derivation(running_spec, policy)
+        previous = None
+        for upto in range(len(derivation.steps) + 1):
+            current = replay_prefix(running_spec, derivation, upto)
+            if previous is not None:
+                replaced = derivation.steps[upto - 1].target
+                shared = [
+                    v for v in previous.vertices() if v != replaced
+                ]
+                for u in shared:
+                    for v in shared:
+                        assert reaches(previous, u, v) == reaches(current, u, v)
+            previous = current

@@ -1,0 +1,93 @@
+"""Tests for execution sequences (Definition 8's input model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.workflow.derivation import DerivationEngine
+from repro.workflow.execution import (
+    deterministic_insertion_order,
+    execution_from_derivation,
+)
+
+from tests.conftest import small_run
+
+
+class TestExecutionGeneration:
+    def test_covers_all_vertices_once(self, running_spec):
+        run = small_run(running_spec, 120, seed=1)
+        exe = execution_from_derivation(run)
+        vids = [ins.vid for ins in exe]
+        assert sorted(vids) == sorted(run.graph.vertices())
+        assert len(set(vids)) == len(vids)
+
+    def test_insertions_topological(self, running_spec):
+        run = small_run(running_spec, 120, seed=2)
+        exe = execution_from_derivation(run, random.Random(3))
+        seen = set()
+        for ins in exe:
+            assert ins.preds <= seen
+            seen.add(ins.vid)
+
+    def test_replay_reproduces_run_graph(self, running_spec):
+        run = small_run(running_spec, 100, seed=4)
+        exe = execution_from_derivation(run, random.Random(5))
+        replayed = exe.replay()
+        assert sorted(replayed.edges()) == sorted(run.graph.edges())
+
+    def test_replay_rejects_forward_reference(self, running_spec):
+        run = small_run(running_spec, 60, seed=6)
+        exe = execution_from_derivation(run)
+        exe.insertions.reverse()
+        with pytest.raises(ExecutionError):
+            exe.replay()
+
+    def test_incomplete_derivation_rejected(self, running_spec):
+        eng = DerivationEngine(running_spec)
+        eng.begin()
+        assert eng.derivation is not None
+        with pytest.raises(ExecutionError):
+            execution_from_derivation(eng.derivation)
+
+    def test_origins_attached(self, running_spec):
+        run = small_run(running_spec, 80, seed=7)
+        exe = execution_from_derivation(run)
+        for ins in exe:
+            assert ins.origin is not None
+            key, token, tv = ins.origin
+            template = running_spec.graph(key)
+            assert template.name(tv) == ins.name
+
+    def test_origin_tokens_group_instances(self, running_spec):
+        run = small_run(running_spec, 80, seed=8)
+        exe = execution_from_derivation(run)
+        by_token = {}
+        for ins in exe:
+            key, token, _ = ins.origin
+            by_token.setdefault(token, set()).add(key)
+        for keys in by_token.values():
+            assert len(keys) == 1  # one graph per instance copy
+
+
+class TestDeterministicOrder:
+    def test_is_topological(self, running_spec):
+        run = small_run(running_spec, 100, seed=9)
+        order = deterministic_insertion_order(run.graph)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in run.graph.edges():
+            assert pos[u] < pos[v]
+
+    def test_prefers_smaller_vertex_ids(self, running_spec):
+        run = small_run(running_spec, 100, seed=10)
+        order = deterministic_insertion_order(run.graph)
+        # the first insertion is the run's source, which has the smallest id
+        assert order[0] == min(run.graph.sources())
+
+    def test_stable(self, running_spec):
+        run = small_run(running_spec, 100, seed=11)
+        a = deterministic_insertion_order(run.graph)
+        b = deterministic_insertion_order(run.graph)
+        assert a == b

@@ -1,0 +1,158 @@
+"""Tests for grammar analysis: induces, recursion, classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    bioaid,
+    fig12_path_grammar,
+    running_example,
+    synthetic_spec,
+    theorem1_grammar,
+)
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.grammar import (
+    GrammarClass,
+    analyze_grammar,
+    direct_induces,
+    induces_closure,
+)
+from repro.workflow.specification import START_KEY, make_spec
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+class TestInduces:
+    def test_direct_induces_running_example(self, running_spec):
+        rel = direct_induces(running_spec)
+        assert "F" in rel["L"]
+        assert "A" in rel["F"]
+        assert {"B", "C"} <= rel["A"]
+        assert "A" in rel["C"]
+
+    def test_closure_is_reflexive(self, running_spec):
+        closure = induces_closure(running_spec)
+        for name in running_spec.composite_names:
+            assert name in closure[name]
+
+    def test_closure_transitivity(self, running_spec):
+        closure = induces_closure(running_spec)
+        # L |-> F |-> A |-> C |-> A: L induces everything below it
+        assert {"F", "A", "B", "C"} <= closure["L"]
+        # Example 6: A induces B and C; C induces A
+        assert {"B", "C"} <= closure["A"]
+        assert "A" in closure["C"]
+        # but B induces nothing composite (only itself and its atomics)
+        composites = running_spec.composite_names
+        assert closure["B"] & composites == {"B"}
+
+
+class TestRecursiveVertices:
+    def test_running_example_recursive_vertices(self, running_spec):
+        info = analyze_grammar(running_spec)
+        h3 = running_spec.graph("A#0")
+        rec = info.recursive_vertices["A#0"]
+        assert len(rec) == 1
+        (v,) = rec
+        assert h3.name(v) == "C"  # Example 6
+
+    def test_h6_recursive_vertex(self, running_spec):
+        info = analyze_grammar(running_spec)
+        h6 = running_spec.graph("C#0")
+        rec = info.recursive_vertices["C#0"]
+        assert len(rec) == 1
+        assert h6.name(next(iter(rec))) == "A"
+
+    def test_start_graph_never_recursive(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert info.recursive_vertices[START_KEY] == frozenset()
+
+    def test_designated_is_the_unique_recursive_vertex(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert info.designated_recursive["A#0"] in info.recursive_vertices["A#0"]
+        assert info.designated_recursive["A#1"] is None
+        assert info.is_designated("A#0", info.designated_recursive["A#0"])
+
+
+class TestClassification:
+    def test_running_example_linear(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert info.grammar_class is GrammarClass.LINEAR_RECURSIVE
+        assert info.is_recursive
+        assert info.is_linear
+        assert not info.parallel_recursive
+
+    def test_theorem1_parallel_recursive(self, theorem1_spec):
+        info = analyze_grammar(theorem1_spec)
+        assert info.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        assert info.parallel_recursive  # Example 7 / Definition 13
+
+    def test_fig12_series_recursive_not_parallel(self):
+        info = analyze_grammar(fig12_path_grammar())
+        assert info.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        assert not info.parallel_recursive  # the open-problem class
+
+    def test_bioaid_linear(self):
+        info = analyze_grammar(bioaid())
+        assert info.grammar_class is GrammarClass.LINEAR_RECURSIVE
+
+    def test_bioaid_norec_nonrecursive(self):
+        info = analyze_grammar(bioaid(recursive=False))
+        assert info.grammar_class is GrammarClass.NON_RECURSIVE
+        assert not info.is_recursive
+
+    def test_synthetic_families(self):
+        assert (
+            analyze_grammar(synthetic_spec(10, 5, linear=True)).grammar_class
+            is GrammarClass.LINEAR_RECURSIVE
+        )
+        nonlinear = analyze_grammar(synthetic_spec(10, 5, linear=False))
+        assert nonlinear.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        assert nonlinear.parallel_recursive
+
+    def test_recursive_loop_body_is_nonlinear(self):
+        # Lemma 5.1: a loop whose body recurses back to the loop yields
+        # S(h, h) productions with two recursive vertices.
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["sx", "Y", "tx"])
+        hy = chain(["sy", "X", "ty"])
+        hy2 = chain(["sy2", "ty2"])
+        spec = make_spec(
+            g0, [("X", hx), ("Y", hy), ("Y", hy2)], loops=["X"], name="looprec"
+        )
+        info = analyze_grammar(spec)
+        assert info.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        # loop bodies are never R-compressed
+        assert info.designated_recursive["X#0"] is None
+
+    def test_recursive_fork_body_is_parallel_recursive(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["sx", "Y", "tx"])
+        hy = chain(["sy", "X", "ty"])
+        hy2 = chain(["sy2", "ty2"])
+        spec = make_spec(
+            g0, [("X", hx), ("Y", hy), ("Y", hy2)], forks=["X"], name="forkrec"
+        )
+        info = analyze_grammar(spec)
+        assert info.grammar_class is GrammarClass.NONLINEAR_RECURSIVE
+        assert info.parallel_recursive
+
+
+class TestEscapeImplementations:
+    def test_escape_prefers_non_recursive_bodies(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert info.escape_impl["A"] == "A#1"  # h4 has no recursion
+
+    def test_escape_exists_for_every_composite(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert set(info.escape_impl) == running_spec.composite_names
+
+    def test_productive_contains_all_names(self, running_spec):
+        info = analyze_grammar(running_spec)
+        assert running_spec.composite_names <= info.productive
+        assert running_spec.atomic_names <= info.productive

@@ -1,0 +1,73 @@
+"""Tests for the Theorem 4 differential-production construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import fig12_path_grammar, running_example, theorem1_grammar
+from repro.datasets.synthetic import layered_spec, synthetic_spec
+from repro.errors import UnsupportedWorkflowError
+from repro.graphs.reachability import reaches
+from repro.workflow.lowerbound import differential_production
+
+
+def assert_gadget_property(gadget):
+    """The defining Theorem 4 property of ``A := h*``."""
+    g = gadget.graph
+    # both recursive vertices carry the head name
+    assert g.name(gadget.recursive_a) == gadget.head
+    assert g.name(gadget.recursive_b) == gadget.head
+    # the differential vertex reaches exactly one of them
+    reaches_a = reaches(g, gadget.differential, gadget.recursive_a)
+    reaches_b = reaches(g, gadget.differential, gadget.recursive_b)
+    assert reaches_a != reaches_b, (
+        f"differential vertex must split the pair "
+        f"(reaches_a={reaches_a}, reaches_b={reaches_b})"
+    )
+    g.validate()
+
+
+class TestConstruction:
+    def test_theorem1_grammar_parallel_case(self, theorem1_spec):
+        gadget = differential_production(theorem1_spec)
+        assert gadget.head == "A"
+        assert gadget.case == "parallel"
+        assert_gadget_property(gadget)
+
+    def test_fig12_grammar_series_case(self):
+        gadget = differential_production(fig12_path_grammar())
+        assert gadget.case == "series"
+        assert_gadget_property(gadget)
+
+    def test_nonlinear_synthetic(self):
+        spec = synthetic_spec(8, 5, linear=False)
+        gadget = differential_production(spec)
+        assert gadget.case == "parallel"
+        assert_gadget_property(gadget)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_layered_parallel_family(self, seed):
+        spec = layered_spec(
+            kinds=["plain"], sub_size=7, recursion="parallel", seed=seed
+        )
+        gadget = differential_production(spec)
+        assert_gadget_property(gadget)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_layered_linear_chained_recursion(self, seed):
+        # linear per-production recursion is rejected
+        spec = layered_spec(
+            kinds=["plain"], sub_size=7, recursion="linear", seed=seed
+        )
+        with pytest.raises(UnsupportedWorkflowError):
+            differential_production(spec)
+
+
+class TestRejections:
+    def test_linear_grammar_rejected(self, running_spec):
+        with pytest.raises(UnsupportedWorkflowError):
+            differential_production(running_spec)
+
+    def test_non_recursive_rejected(self, bioaid_norec_spec):
+        with pytest.raises(UnsupportedWorkflowError):
+            differential_production(bioaid_norec_spec)

@@ -1,0 +1,137 @@
+"""Tests for Section 5.3 specification normalization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    bioaid,
+    running_example,
+    synthetic_spec,
+    theorem1_grammar,
+)
+from repro.graphs.reachability import reaches
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.labeling.drl import DRL
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+from repro.workflow.grammar import analyze_grammar
+from repro.workflow.normalize import NameMap, normalize_specification
+from repro.workflow.specification import make_spec
+from repro.workflow.validation import (
+    check_naming_conditions,
+    naming_condition_violations,
+)
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+class TestIdentityCases:
+    def test_satisfying_spec_returned_unchanged(self, running_spec):
+        norm, name_map = normalize_specification(running_spec)
+        assert norm is running_spec
+        assert name_map.to_original == {}
+
+    def test_bioaid_unchanged(self):
+        spec = bioaid()
+        norm, _ = normalize_specification(spec)
+        assert norm is spec
+
+
+class TestConditionRepair:
+    def test_theorem1_grammar_normalizes(self, theorem1_spec):
+        norm, name_map = normalize_specification(theorem1_spec)
+        assert naming_condition_violations(norm) == []
+        check_naming_conditions(norm)
+        # the duplicated composite A became an alias with the same bodies
+        assert "A~2" in norm.composite_names
+        assert name_map.original("A~2") == "A"
+        assert len(norm.impl_keys("A~2")) == len(theorem1_spec.impl_keys("A"))
+
+    def test_nonlinear_synthetic_normalizes(self):
+        spec = synthetic_spec(8, 5, linear=False)
+        norm, _ = normalize_specification(spec)
+        check_naming_conditions(norm)
+
+    def test_duplicate_atomic_names_renamed(self):
+        g0 = chain(["s", "X", "t"])
+        hx = TwoTerminalGraph.build(
+            [(0, "sx"), (1, "work"), (2, "work"), (3, "tx")],
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        spec = make_spec(g0, [("X", hx)], name="dup-atomic")
+        norm, name_map = normalize_specification(spec)
+        check_naming_conditions(norm)
+        body = norm.graph(norm.impl_keys("X")[0])
+        names = sorted(body.names())
+        assert "work" in names and "work~2" in names
+        assert name_map.original("work~2") == "work"
+
+    def test_shared_terminal_names_get_dummies(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["s", "tx"])  # source name collides with g0's
+        spec = make_spec(g0, [("X", hx)], name="dup-terminal")
+        norm, _ = normalize_specification(spec)
+        check_naming_conditions(norm)
+        # one of the graphs was wrapped with a dummy module
+        sizes = [len(norm.graph(k)) for k in norm.graph_keys()]
+        assert sum(sizes) > sum(len(spec.graph(k)) for k in spec.graph_keys())
+
+    def test_grammar_class_preserved(self, theorem1_spec):
+        norm, _ = normalize_specification(theorem1_spec)
+        before = analyze_grammar(theorem1_spec)
+        after = analyze_grammar(norm)
+        assert before.grammar_class is after.grammar_class
+        assert before.parallel_recursive == after.parallel_recursive
+
+
+class TestNormalizedExecution:
+    """The point of normalizing: name-based inference becomes possible."""
+
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [theorem1_grammar, lambda: synthetic_spec(8, 5, linear=False)],
+    )
+    def test_name_mode_execution_on_normalized_spec(self, spec_factory):
+        spec = spec_factory()
+        norm, _ = normalize_specification(spec)
+        scheme = DRL(norm, r_mode="one_r")
+        run = sample_run(norm, 180, random.Random(4))
+        exe = execution_from_derivation(run, random.Random(5))
+        labels = DRLExecutionLabeler(scheme, mode="name").run(exe)
+        g = run.graph
+        vs = sorted(g.vertices())
+        rng = random.Random(6)
+        for _ in range(3000):
+            a, b = rng.choice(vs), rng.choice(vs)
+            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+
+    def test_runs_report_original_names(self, theorem1_spec):
+        norm, name_map = normalize_specification(theorem1_spec)
+        run = sample_run(norm, 120, random.Random(7))
+        originals = {name_map.original(run.graph.name(v)) for v in run.graph.vertices()}
+        # every normalized vertex name maps back to the original alphabet
+        assert originals <= set(theorem1_spec.names) | {"src", "snk"} | {
+            n.split("~")[0] for n in originals
+        }
+        for v in run.graph.vertices():
+            name = name_map.original(run.graph.name(v))
+            assert "~" not in name
+
+
+class TestNameMap:
+    def test_identity_for_untouched_names(self):
+        name_map = NameMap()
+        assert name_map.original("anything") == "anything"
+
+    def test_record_and_lookup(self):
+        name_map = NameMap()
+        name_map.record("A~2", "A")
+        assert name_map.original("A~2") == "A"

@@ -1,0 +1,118 @@
+"""Tests for the Specification container (Definition 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import running_example
+from repro.errors import SpecificationError
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import START_KEY, make_spec
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+class TestNameSets:
+    def test_running_example_names(self, running_spec):
+        assert running_spec.composite_names == {"L", "F", "A", "B", "C"}
+        assert {"s0", "t0", "s3", "t4"} <= running_spec.atomic_names
+        assert running_spec.names == (
+            running_spec.atomic_names | running_spec.composite_names
+        )
+
+    def test_is_atomic_loop_fork(self, running_spec):
+        assert running_spec.is_atomic("s0")
+        assert not running_spec.is_atomic("A")
+        assert running_spec.is_loop("L")
+        assert not running_spec.is_loop("F")
+        assert running_spec.is_fork("F")
+        assert not running_spec.is_fork("L")
+
+
+class TestGraphAccess:
+    def test_graph_keys_start_first(self, running_spec):
+        keys = list(running_spec.graph_keys())
+        assert keys[0] == START_KEY
+        assert set(keys) == {START_KEY, "L#0", "F#0", "A#0", "A#1", "B#0", "C#0"}
+
+    def test_impl_keys_ordered(self, running_spec):
+        assert running_spec.impl_keys("A") == ["A#0", "A#1"]
+
+    def test_impl_keys_unknown_head(self, running_spec):
+        with pytest.raises(SpecificationError):
+            running_spec.impl_keys("Z")
+
+    def test_head_of(self, running_spec):
+        assert running_spec.head_of(START_KEY) is None
+        assert running_spec.head_of("A#1") == "A"
+
+    def test_graph_lookup(self, running_spec):
+        g = running_spec.graph("B#0")
+        assert sorted(g.names()) == ["s5", "t5"]
+
+    def test_unknown_graph_key(self, running_spec):
+        with pytest.raises(SpecificationError):
+            running_spec.graph("nope")
+
+    def test_graphs_to_label_is_G_of_S(self, running_spec):
+        table = running_spec.graphs_to_label()
+        assert len(table) == 7  # g0 + 6 implementations
+
+
+class TestStatistics:
+    def test_max_graph_size(self, running_spec):
+        assert running_spec.max_graph_size == 4  # h3 = s3,B,C,t3
+
+    def test_average_graph_size(self, running_spec):
+        sizes = [len(running_spec.graph(k)) for k in running_spec.graph_keys()]
+        assert running_spec.average_graph_size == pytest.approx(
+            sum(sizes) / len(sizes)
+        )
+
+    def test_stats_shape(self, running_spec):
+        stats = running_spec.stats()
+        assert stats["composites"] == 5
+        assert stats["loops"] == 1
+        assert stats["forks"] == 4 - 3  # exactly one fork
+
+
+class TestMakeSpecValidation:
+    def test_valid_spec_builds(self):
+        running_example()  # validates internally
+
+    def test_loop_name_without_impl_rejected(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["sx", "tx"])
+        with pytest.raises(SpecificationError):
+            make_spec(g0, [("X", hx)], loops=["Y"])
+
+    def test_loop_and_fork_overlap_rejected(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["sx", "tx"])
+        with pytest.raises(SpecificationError):
+            make_spec(g0, [("X", hx)], loops=["X"], forks=["X"])
+
+    def test_composite_terminal_rejected(self):
+        g0 = chain(["s", "X", "t"])
+        # X's implementation starts with a composite source
+        hx = chain(["Y", "tx"])
+        hy = chain(["sy", "ty"])
+        with pytest.raises(SpecificationError):
+            make_spec(g0, [("X", hx), ("Y", hy)])
+
+    def test_unproductive_spec_rejected(self):
+        g0 = chain(["s", "X", "t"])
+        # X can only ever derive another X: no terminating implementation
+        hx = chain(["sx", "X", "tx"])
+        with pytest.raises(SpecificationError):
+            make_spec(g0, [("X", hx)])
+
+    def test_validation_can_be_skipped(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["sx", "X", "tx"])
+        spec = make_spec(g0, [("X", hx)], validate=False)
+        assert spec.composite_names == {"X"}

@@ -1,0 +1,81 @@
+"""Tests for run statistics."""
+
+from __future__ import annotations
+
+from repro.workflow.stats import run_stats
+
+from tests.conftest import small_run
+from tests.test_parsetree_explicit import build_running_tree
+
+
+class TestRunStats:
+    def test_basic_counts(self, running_spec):
+        run = small_run(running_spec, 150, seed=1)
+        stats = run_stats(run)
+        assert stats.run_size == run.run_size()
+        assert stats.edge_count == run.graph.edge_count()
+        assert sum(stats.module_counts.values()) == stats.run_size
+
+    def test_loop_and_fork_activations(self, running_spec):
+        run, tree = build_running_tree(
+            running_spec, loop_copies=3, fork_copies=2, recursion_depth=1
+        )
+        stats = run_stats(run, tree=tree)
+        assert stats.loop_iterations["L"] == [3]
+        # one fork activation per loop copy, each of width 2
+        assert stats.fork_widths["F"] == [2, 2, 2]
+
+    def test_recursion_chain_lengths(self, running_spec):
+        run, tree = build_running_tree(
+            running_spec, loop_copies=1, fork_copies=1, recursion_depth=3
+        )
+        stats = run_stats(run, tree=tree)
+        assert stats.recursion_chain_lengths
+        assert max(stats.recursion_chain_lengths) >= 3
+
+    def test_tree_depth_bound(self, running_spec):
+        run = small_run(running_spec, 200, seed=2)
+        stats = run_stats(run)
+        assert stats.tree_depth <= stats.tree_depth_bound
+
+    def test_summary_mentions_key_facts(self, running_spec):
+        run, tree = build_running_tree(running_spec, loop_copies=2)
+        stats = run_stats(run, tree=tree)
+        text = stats.summary()
+        assert "run:" in text
+        assert "parse tree:" in text
+        assert "loop L" in text
+        assert "top modules" in text
+
+    def test_works_on_bioaid(self, bioaid_spec):
+        run = small_run(bioaid_spec, 300, seed=3)
+        stats = run_stats(run)
+        assert stats.run_size > 100
+        assert stats.summary()
+
+
+class TestRenderTree:
+    def test_render_contains_special_nodes(self, running_spec):
+        from repro.parsetree.render import render_tree
+
+        _, tree = build_running_tree(
+            running_spec, loop_copies=2, fork_copies=2, recursion_depth=1
+        )
+        art = render_tree(tree)
+        assert "<L>" in art
+        assert "<F>" in art
+        assert "<R>" in art
+        assert "g0" in art
+
+    def test_render_truncates_depth(self, running_spec):
+        from repro.parsetree.render import render_tree
+
+        _, tree = build_running_tree(running_spec, loop_copies=2)
+        art = render_tree(tree, max_depth=1)
+        assert "child(ren)" in art
+
+    def test_render_empty_tree(self, running_spec):
+        from repro.parsetree.explicit import ExplicitParseTree
+        from repro.parsetree.render import render_tree
+
+        assert "empty" in render_tree(ExplicitParseTree(running_spec))

@@ -1,0 +1,77 @@
+"""Tests for specification validation and the naming conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import bioaid, running_example, synthetic_spec, theorem1_grammar
+from repro.errors import SpecificationError
+from repro.graphs.two_terminal import TwoTerminalGraph
+from repro.workflow.specification import make_spec
+from repro.workflow.validation import (
+    check_naming_conditions,
+    naming_condition_violations,
+    validate_specification,
+)
+
+
+def chain(names):
+    return TwoTerminalGraph.build(
+        list(enumerate(names)), [(i, i + 1) for i in range(len(names) - 1)]
+    )
+
+
+class TestStructuralValidation:
+    def test_running_example_valid(self, running_spec):
+        validate_specification(running_spec)
+
+    def test_bioaid_valid(self):
+        validate_specification(bioaid())
+        validate_specification(bioaid(recursive=False))
+
+    def test_synthetic_valid(self):
+        validate_specification(synthetic_spec(12, 6, linear=True))
+        validate_specification(synthetic_spec(12, 5, linear=False))
+
+    def test_invalid_graph_rejected(self):
+        dag = TwoTerminalGraph.build(
+            [(0, "s"), (1, "X"), (2, "t"), (3, "dead")],
+            [(0, 1), (1, 2), (0, 3)],
+            source=0,
+            sink=2,
+        )
+        with pytest.raises(SpecificationError):
+            make_spec(dag, [("X", chain(["sx", "tx"]))])
+
+
+class TestNamingConditions:
+    def test_running_example_satisfies_conditions(self, running_spec):
+        assert naming_condition_violations(running_spec) == []
+        check_naming_conditions(running_spec)
+
+    def test_bioaid_satisfies_conditions(self):
+        check_naming_conditions(bioaid())
+        check_naming_conditions(bioaid(recursive=False))
+
+    def test_linear_synthetic_satisfies_conditions(self):
+        check_naming_conditions(synthetic_spec(10, 5, linear=True))
+
+    def test_theorem1_violates_condition1(self):
+        # h1 repeats the name "A": condition 1 fails
+        problems = naming_condition_violations(theorem1_grammar())
+        assert any("duplicate" in p for p in problems)
+        with pytest.raises(SpecificationError):
+            check_naming_conditions(theorem1_grammar())
+
+    def test_duplicate_terminal_name_across_graphs_detected(self):
+        g0 = chain(["s", "X", "t"])
+        hx = chain(["s", "tx"])  # reuses g0's source name
+        spec = make_spec(g0, [("X", hx)], name="dupterm")
+        problems = naming_condition_violations(spec)
+        assert any("occurs" in p for p in problems)
+
+    def test_nonlinear_synthetic_violates_conditions(self):
+        # the nonlinear body repeats the REC name
+        spec = synthetic_spec(10, 5, linear=False)
+        problems = naming_condition_violations(spec)
+        assert problems  # duplicate "REC" inside hrec
