@@ -1,0 +1,162 @@
+"""Service benchmarks: ingest throughput and batch-query QPS.
+
+Measures the provenance query service end to end (in process, so the
+numbers isolate engine cost from socket cost): events/sec through the
+session ingest path, batch-query QPS with a cold versus warm cache, and
+query throughput spread across many concurrent sessions.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py --benchmark-only
+
+or standalone for a quick plain-text report::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.datasets import running_example
+from repro.service import QueryEngine, SessionManager
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+RUN_SIZE = 2000
+BATCH = 2000
+
+
+def _prepared_run(seed=0, size=RUN_SIZE):
+    spec = running_example()
+    run = sample_run(spec, size, random.Random(seed))
+    return spec, run, execution_from_derivation(run)
+
+
+def _pairs(run, count, seed=1):
+    vids = sorted(run.graph.vertices())
+    rng = random.Random(seed)
+    return [(rng.choice(vids), rng.choice(vids)) for _ in range(count)]
+
+
+def _loaded_engine(cache_size=65536):
+    spec, run, execution = _prepared_run()
+    manager = SessionManager()
+    engine = QueryEngine(manager, cache_size=cache_size)
+    manager.create("bench", spec)
+    engine.ingest("bench", execution.insertions)
+    return engine, run, execution
+
+
+def test_service_ingest_throughput(benchmark):
+    spec, run, execution = _prepared_run()
+    manager = SessionManager()
+    engine = QueryEngine(manager)
+    counter = iter(range(10 ** 9))
+
+    def ingest():
+        name = f"run-{next(counter)}"
+        manager.create(name, spec)
+        engine.ingest(name, execution.insertions)
+        manager.close(name)
+
+    benchmark(ingest)
+    events = len(execution)
+    benchmark.extra_info["events_per_round"] = events
+    benchmark.extra_info["events_per_sec"] = events / benchmark.stats["mean"]
+
+
+def test_service_batch_query_cold(benchmark):
+    engine, run, _ = _loaded_engine(cache_size=0)  # no cache: always cold
+    pairs = _pairs(run, BATCH)
+    benchmark(lambda: engine.query_many("bench", pairs))
+    benchmark.extra_info["qps"] = BATCH / benchmark.stats["mean"]
+
+
+def test_service_batch_query_warm(benchmark):
+    engine, run, _ = _loaded_engine()
+    pairs = _pairs(run, BATCH)
+    engine.query_many("bench", pairs)  # populate the cache
+    benchmark(lambda: engine.query_many("bench", pairs))
+    benchmark.extra_info["qps"] = BATCH / benchmark.stats["mean"]
+    benchmark.extra_info["hit_rate"] = engine.stats().hit_rate
+
+
+def test_service_multi_session_queries(benchmark):
+    spec, run, execution = _prepared_run(size=500)
+    manager = SessionManager()
+    engine = QueryEngine(manager)
+    names = [f"s{i}" for i in range(8)]
+    for name in names:
+        manager.create(name, spec)
+        engine.ingest(name, execution.insertions)
+    pairs = _pairs(run, BATCH // len(names))
+
+    def fan_out():
+        for name in names:
+            engine.query_many(name, pairs)
+
+    benchmark(fan_out)
+    total = len(names) * len(pairs)
+    benchmark.extra_info["qps"] = total / benchmark.stats["mean"]
+
+
+# ---------------------------------------------------------------------------
+# standalone report
+# ---------------------------------------------------------------------------
+
+
+def _timed(fn, repeat=5):
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    spec, run, execution = _prepared_run()
+    events = len(execution)
+
+    manager = SessionManager()
+    engine = QueryEngine(manager)
+    counter = iter(range(10 ** 9))
+
+    def ingest_once():
+        name = f"run-{next(counter)}"
+        manager.create(name, spec)
+        engine.ingest(name, execution.insertions)
+        manager.close(name)
+
+    ingest_seconds = _timed(ingest_once)
+    print(
+        f"ingest:            {events} events in {ingest_seconds * 1e3:.1f} ms "
+        f"-> {events / ingest_seconds:,.0f} events/sec"
+    )
+
+    pairs = _pairs(run, BATCH)
+    cold_engine, _, _ = _loaded_engine(cache_size=0)
+    cold = _timed(lambda: cold_engine.query_many("bench", pairs))
+    print(
+        f"batch query cold:  {BATCH} pairs in {cold * 1e3:.1f} ms "
+        f"-> {BATCH / cold:,.0f} QPS"
+    )
+
+    warm_engine, _, _ = _loaded_engine()
+    warm_engine.query_many("bench", pairs)
+    warm = _timed(lambda: warm_engine.query_many("bench", pairs))
+    print(
+        f"batch query warm:  {BATCH} pairs in {warm * 1e3:.1f} ms "
+        f"-> {BATCH / warm:,.0f} QPS ({cold / warm:.1f}x cold)"
+    )
+
+    if warm >= cold:
+        print("WARNING: warm cache was not faster than cold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,21 @@ Quickstart::
 
     v, w = execution.insertions[0].vid, execution.insertions[-1].vid
     scheme.query(labeler.label(v), labeler.label(w))   # v ~> w ?
+
+As a service (many concurrent runs, batch queries, caching)::
+
+    from repro import QueryEngine, SessionManager
+
+    manager = SessionManager()
+    engine = QueryEngine(manager)
+    manager.create("run-1", "bioaid")            # any builtin or spec file
+    engine.ingest("run-1", execution.insertions)
+    engine.query_many("run-1", [(v, w), (w, v)])  # cached batch answers
+
+or over the wire: ``python -m repro serve --port 7464`` hosts the same
+engine behind a JSON-lines TCP protocol (see :mod:`repro.service` and
+``docs/SERVICE.md``), with live-session checkpoint/restore via
+:func:`checkpoint_session` / :func:`restore_session`.
 """
 
 from repro.errors import (
@@ -35,7 +50,10 @@ from repro.errors import (
     GraphError,
     LabelingError,
     NotTwoTerminalError,
+    ProtocolError,
     ReproError,
+    ServiceError,
+    SessionNotFoundError,
     SpecificationError,
     UnsupportedWorkflowError,
 )
@@ -74,12 +92,25 @@ from repro.labeling import (
 )
 from repro.datasets import (
     bioaid,
+    builtin_spec_names,
     fig12_path_grammar,
     running_example,
+    spec_by_name,
     synthetic_spec,
     theorem1_grammar,
 )
 from repro.provenance import ProvenanceStore
+from repro.service import (
+    QueryEngine,
+    ReproServer,
+    ReproService,
+    ServiceClient,
+    ServiceStats,
+    Session,
+    SessionManager,
+    checkpoint_session,
+    restore_session,
+)
 
 __version__ = "1.0.0"
 
@@ -94,6 +125,9 @@ __all__ = [
     "ExecutionError",
     "LabelingError",
     "UnsupportedWorkflowError",
+    "ServiceError",
+    "SessionNotFoundError",
+    "ProtocolError",
     # graphs
     "NamedDAG",
     "TwoTerminalGraph",
@@ -133,7 +167,19 @@ __all__ = [
     "fig12_path_grammar",
     "bioaid",
     "synthetic_spec",
+    "builtin_spec_names",
+    "spec_by_name",
     # provenance
     "ProvenanceStore",
+    # service
+    "Session",
+    "SessionManager",
+    "QueryEngine",
+    "ServiceStats",
+    "ReproService",
+    "ReproServer",
+    "ServiceClient",
+    "checkpoint_session",
+    "restore_session",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro query SPEC LABELS A B          # reachability from labels
     python -m repro normalize SPEC -o OUT          # Section 5.3 rewriting
     python -m repro bench [EXPERIMENT...]          # Section 7 tables
+    python -m repro serve [--port P | --stdio]     # provenance query service
 
 Specifications and execution logs are read/written as JSON or XML,
 chosen by file extension (``.json`` / ``.xml``).
@@ -17,15 +18,12 @@ from __future__ import annotations
 
 import argparse
 import random
-from pathlib import Path
 from typing import List, Optional
 
 from repro.io import (
     load_execution_json,
     load_execution_xml,
     load_labels,
-    load_specification_json,
-    load_specification_xml,
     save_execution_json,
     save_execution_xml,
     save_labels,
@@ -40,12 +38,6 @@ from repro.workflow.grammar import analyze_grammar
 from repro.workflow.normalize import normalize_specification
 from repro.workflow.specification import Specification
 from repro.workflow.validation import naming_condition_violations
-
-
-def _load_spec(path: str) -> Specification:
-    if path.endswith(".xml"):
-        return load_specification_xml(path)
-    return load_specification_json(path)
 
 
 def _save_spec(spec: Specification, path: str) -> None:
@@ -63,21 +55,13 @@ def _load_execution(path: str):
 
 def _builtin_or_file(name: str) -> Specification:
     """Resolve a spec argument: a bundled dataset name or a file path."""
-    from repro.datasets import bioaid, running_example, synthetic_spec
+    from repro.errors import ServiceError
+    from repro.service.sessions import resolve_spec
 
-    builtins = {
-        "running-example": running_example,
-        "bioaid": bioaid,
-        "bioaid-norec": lambda: bioaid(recursive=False),
-        "synthetic": synthetic_spec,
-    }
-    if name in builtins:
-        return builtins[name]()
-    if not Path(name).exists():
-        raise SystemExit(
-            f"spec {name!r} is neither a file nor one of {sorted(builtins)}"
-        )
-    return _load_spec(name)
+    try:
+        return resolve_spec(name)
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +151,31 @@ def cmd_bench(args) -> int:
     return bench_main(["bench"] + args.experiments)
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import ReproServer, ReproService, serve_stdio
+
+    if args.selftest:
+        from repro.service.selftest import run_selftest
+
+        return run_selftest(
+            spec_name=args.spec, size=args.size, seed=args.seed
+        )
+    service = ReproService(cache_size=args.cache_size)
+    if args.stdio:
+        import sys
+
+        return serve_stdio(service, sys.stdin, sys.stdout)
+    server = ReproServer((args.host, args.port), service)
+    print(f"repro service listening on {args.host}:{server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -214,6 +223,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate the paper's tables")
     p.add_argument("experiments", nargs="*")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve", help="run the provenance query service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--stdio", action="store_true",
+                   help="speak the protocol over stdin/stdout instead")
+    p.add_argument("--cache-size", type=int, default=65536,
+                   help="query cache capacity, in entries")
+    p.add_argument("--selftest", action="store_true",
+                   help="run one scripted session end-to-end and exit")
+    p.add_argument("--spec", default="running-example",
+                   help="selftest: spec to exercise")
+    p.add_argument("--size", type=int, default=300,
+                   help="selftest: run size in vertices")
+    p.add_argument("--seed", type=int, default=0,
+                   help="selftest: RNG seed")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -11,6 +11,8 @@
   recursion).
 """
 
+from typing import Callable, Dict
+
 from repro.datasets.examples import (
     fig12_path_grammar,
     running_example,
@@ -19,10 +21,45 @@ from repro.datasets.examples import (
 from repro.datasets.bioaid import bioaid
 from repro.datasets.synthetic import synthetic_spec
 
+# Named specification factories usable anywhere a spec argument is
+# accepted (CLI spec arguments, service ``create_session`` requests).
+_BUILTIN_SPECS: Dict[str, Callable] = {
+    "running-example": running_example,
+    "theorem1": theorem1_grammar,
+    "fig12-path": fig12_path_grammar,
+    "bioaid": bioaid,
+    "bioaid-norec": lambda: bioaid(recursive=False),
+    "synthetic": synthetic_spec,
+}
+
+
+def builtin_spec_names():
+    """Names accepted by :func:`spec_by_name`, sorted."""
+    return sorted(_BUILTIN_SPECS)
+
+
+def spec_by_name(name: str):
+    """Instantiate a bundled specification by its registry name.
+
+    Raises :class:`KeyError` for unknown names; callers decide how to
+    surface that (the CLI exits, the service maps it to an error reply).
+    """
+    try:
+        factory = _BUILTIN_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builtin spec {name!r}; expected one of "
+            f"{builtin_spec_names()}"
+        ) from None
+    return factory()
+
+
 __all__ = [
     "running_example",
     "theorem1_grammar",
     "fig12_path_grammar",
     "bioaid",
     "synthetic_spec",
+    "builtin_spec_names",
+    "spec_by_name",
 ]

@@ -46,3 +46,15 @@ class UnsupportedWorkflowError(LabelingError):
     Raised e.g. when the static SKL scheme is asked to label a run of a
     recursive specification.
     """
+
+
+class ServiceError(ReproError):
+    """An invalid operation against the provenance query service."""
+
+
+class SessionNotFoundError(ServiceError):
+    """A service request named a session that does not exist."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or unsupported service protocol message."""

@@ -13,6 +13,8 @@ equivalent and a binary label store:
 from repro.io.jsonio import (
     execution_from_json,
     execution_to_json,
+    insertion_from_json,
+    insertion_to_json,
     load_execution_json,
     load_specification_json,
     save_execution_json,
@@ -47,6 +49,8 @@ __all__ = [
     "load_specification_json",
     "execution_to_json",
     "execution_from_json",
+    "insertion_to_json",
+    "insertion_from_json",
     "save_execution_json",
     "load_execution_json",
     "save_labels",

@@ -102,38 +102,25 @@ def load_specification_json(path) -> Specification:
 # ---------------------------------------------------------------------------
 
 
-def execution_to_json(
-    insertions: Iterable[Insertion], spec_name: str = ""
-) -> Dict:
-    """Serialize an insertion stream to a JSON-compatible dictionary."""
-    events = []
-    for ins in insertions:
-        event: Dict = {
-            "vid": ins.vid,
-            "name": ins.name,
-            "preds": sorted(ins.preds),
-        }
-        if ins.origin is not None:
-            key, token, tv = ins.origin
-            event["origin"] = {"key": key, "token": token, "tv": tv}
-        if ins.slot is not None:
-            token, tv = ins.slot
-            event["slot"] = {"token": token, "tv": tv}
-        events.append(event)
-    return {
-        "format": _EXEC_FORMAT,
-        "version": _VERSION,
-        "spec": spec_name,
-        "insertions": events,
+def insertion_to_json(ins: Insertion) -> Dict:
+    """Serialize a single insertion event to a JSON-compatible dictionary."""
+    event: Dict = {
+        "vid": ins.vid,
+        "name": ins.name,
+        "preds": sorted(ins.preds),
     }
+    if ins.origin is not None:
+        key, token, tv = ins.origin
+        event["origin"] = {"key": key, "token": token, "tv": tv}
+    if ins.slot is not None:
+        token, tv = ins.slot
+        event["slot"] = {"token": token, "tv": tv}
+    return event
 
 
-def execution_from_json(doc: Dict) -> List[Insertion]:
-    """Rebuild an insertion stream from :func:`execution_to_json` output."""
-    if doc.get("format") != _EXEC_FORMAT:
-        raise FormatError(f"not an execution document: {doc.get('format')!r}")
-    insertions: List[Insertion] = []
-    for event in doc.get("insertions", []):
+def insertion_from_json(event: Dict) -> Insertion:
+    """Rebuild one insertion from :func:`insertion_to_json` output."""
+    try:
         origin = None
         if "origin" in event:
             origin = (
@@ -144,16 +131,34 @@ def execution_from_json(doc: Dict) -> List[Insertion]:
         slot = None
         if "slot" in event:
             slot = (event["slot"]["token"], event["slot"]["tv"])
-        insertions.append(
-            Insertion(
-                vid=event["vid"],
-                name=event["name"],
-                preds=frozenset(event["preds"]),
-                origin=origin,
-                slot=slot,
-            )
+        return Insertion(
+            vid=event["vid"],
+            name=event["name"],
+            preds=frozenset(event["preds"]),
+            origin=origin,
+            slot=slot,
         )
-    return insertions
+    except (KeyError, TypeError) as exc:
+        raise FormatError(f"malformed insertion event: {exc}") from None
+
+
+def execution_to_json(
+    insertions: Iterable[Insertion], spec_name: str = ""
+) -> Dict:
+    """Serialize an insertion stream to a JSON-compatible dictionary."""
+    return {
+        "format": _EXEC_FORMAT,
+        "version": _VERSION,
+        "spec": spec_name,
+        "insertions": [insertion_to_json(ins) for ins in insertions],
+    }
+
+
+def execution_from_json(doc: Dict) -> List[Insertion]:
+    """Rebuild an insertion stream from :func:`execution_to_json` output."""
+    if doc.get("format") != _EXEC_FORMAT:
+        raise FormatError(f"not an execution document: {doc.get('format')!r}")
+    return [insertion_from_json(event) for event in doc.get("insertions", [])]
 
 
 def save_execution_json(insertions: Iterable[Insertion], path, spec_name="") -> None:

@@ -1,0 +1,39 @@
+"""A concurrent multi-run provenance query service.
+
+The library labels one execution at a time, in process.  This package
+turns that capability into a long-lived *service*: many named runs
+hosted concurrently (:mod:`repro.service.sessions`), single and batch
+reachability queries answered through a version-aware LRU cache
+(:mod:`repro.service.engine`), a JSON-lines wire protocol
+(:mod:`repro.service.protocol`) served over TCP or stdio
+(:mod:`repro.service.server`, :mod:`repro.service.client`), and
+checkpoint/recovery of live sessions built on the label store
+(:mod:`repro.service.checkpoint`).
+
+Because DRL labels are assigned on-the-fly and never change, the
+service answers provenance queries about a run *while that run is
+still executing* -- the paper's central capability, lifted to a
+serveable system.
+"""
+
+from repro.service.checkpoint import checkpoint_session, restore_session
+from repro.service.client import ServiceClient
+from repro.service.engine import QueryEngine, ServiceStats
+from repro.service.protocol import Request, Response
+from repro.service.server import ReproServer, ReproService, serve_stdio
+from repro.service.sessions import Session, SessionManager
+
+__all__ = [
+    "Session",
+    "SessionManager",
+    "QueryEngine",
+    "ServiceStats",
+    "Request",
+    "Response",
+    "ReproService",
+    "ReproServer",
+    "ServiceClient",
+    "serve_stdio",
+    "checkpoint_session",
+    "restore_session",
+]

@@ -1,0 +1,130 @@
+"""A blocking JSON-lines client for the service.
+
+Thin by design: one socket, one in-flight request, remote failures
+re-raised as the same :mod:`repro.errors` classes the library raises in
+process (via the protocol's error-code mapping), so code written
+against the in-process API ports to the remote service unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    Request,
+    decode_response,
+    encode_request,
+    insertions_to_wire,
+    raise_for_response,
+)
+
+
+class ServiceClient:
+    """Talks to a :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **params: Any) -> Any:
+        """One request/response round trip; returns the result object."""
+        self._next_id += 1
+        request = Request(op=op, params=params, id=self._next_id)
+        self._writer.write(encode_request(request))
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        response = decode_response(line)
+        if response.id is not None and response.id != request.id:
+            raise ProtocolError(
+                f"response id {response.id!r} does not match "
+                f"request id {request.id!r}"
+            )
+        return raise_for_response(response)
+
+    # ------------------------------------------------------------------
+    # convenience wrappers, one per operation
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        name: str,
+        spec: Optional[str] = None,
+        skeleton: str = "tcl",
+        mode: str = "logged",
+        checkpoint: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "name": name, "skeleton": skeleton, "mode": mode,
+        }
+        if checkpoint is not None:
+            params["checkpoint"] = checkpoint
+        elif spec is not None:
+            params["spec"] = spec
+        else:
+            raise ProtocolError(
+                "create_session needs either 'spec' or 'checkpoint'"
+            )
+        return self.call("create_session", **params)
+
+    def ingest(self, session: str, insertions: Iterable) -> Dict[str, Any]:
+        return self.call(
+            "ingest",
+            session=session,
+            insertions=insertions_to_wire(insertions),
+        )
+
+    def query(self, session: str, source: int, target: int) -> bool:
+        result = self.call(
+            "query", session=session, source=source, target=target
+        )
+        return bool(result["answer"])
+
+    def query_batch(
+        self, session: str, pairs: Sequence[Tuple[int, int]]
+    ) -> List[bool]:
+        result = self.call(
+            "query_batch",
+            session=session,
+            pairs=[[source, target] for source, target in pairs],
+        )
+        return [bool(answer) for answer in result["answers"]]
+
+    def snapshot(self, session: str, path: str) -> Dict[str, Any]:
+        return self.call("snapshot", session=session, path=str(path))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def close_session(self, session: str) -> Dict[str, Any]:
+        return self.call("close", session=session)
+
+    def list_sessions(self) -> List[str]:
+        return list(self.call("list_sessions")["sessions"])
+
+    def ping(self) -> bool:
+        return bool(self.call("ping")["pong"])
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self.call("shutdown")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (the server keeps running)."""
+        for stream in (self._reader, self._writer):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,202 @@
+"""The query engine: batch reachability with a version-aware LRU cache.
+
+Queries are answered from two decoded labels in O(1) (Algorithm 4), so
+the per-query cost is dominated by dispatch overhead; the engine
+amortizes it two ways:
+
+* **batching** -- :meth:`QueryEngine.query_many` answers thousands of
+  ``(source, target)`` pairs per call, resolving the session and its
+  version once for the whole batch;
+* **caching** -- results are memoized in an LRU cache keyed by
+  ``(session uid, version, source, target)``.  The uid is unique per
+  session *instance* (a name reused after a close gets a fresh uid, so
+  it can never hit its predecessor's entries); the version counter is
+  bumped on every ingest, so an insert invalidates all of a session's
+  cached answers *implicitly*: their keys simply stop being
+  generated.  Stale entries age out of the LRU tail.  No per-entry
+  invalidation work is ever done on the write path, keeping ingest as
+  fast as the labeler allows.  (Labels are write-once and insertions
+  never add edges between existing vertices, so today's answers could
+  outlive the version; keying by version is the conservative choice
+  that stays correct if a future scheme ever relabels or rewires.)
+
+Hit/miss/latency counters are exposed as a :class:`ServiceStats`
+snapshot for monitoring and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LabelingError
+from repro.service.sessions import Session, SessionManager
+
+QueryKey = Tuple[int, int, int, int]  # (session uid, version, source, target)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the engine's counters."""
+
+    sessions: int
+    ingested: int
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    cache_entries: int
+    cache_capacity: int
+    query_seconds: float
+    ingest_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        doc = asdict(self)
+        doc["hit_rate"] = self.hit_rate
+        return doc
+
+
+class QueryEngine:
+    """Answers reachability queries over a :class:`SessionManager`."""
+
+    def __init__(
+        self, manager: SessionManager, cache_size: int = 65536
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.manager = manager
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[QueryKey, bool]" = OrderedDict()
+        self._lock = threading.Lock()  # guards cache + counters
+        self._ingested = 0
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._query_seconds = 0.0
+        self._ingest_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, session_name: str, source: int, target: int) -> bool:
+        """Cached reachability ``source ~> target`` in one session."""
+        return self.query_many(session_name, [(source, target)])[0]
+
+    def query_many(
+        self, session_name: str, pairs: Iterable[Sequence[int]]
+    ) -> List[bool]:
+        """Answer a batch of ``(source, target)`` pairs.
+
+        The session version is read once, so the whole batch is answered
+        against one consistent snapshot; concurrent inserts make future
+        batches miss the cache but never corrupt this one (labels are
+        write-once).  Raises :class:`LabelingError` when a pair names a
+        vertex that has not been inserted yet.
+        """
+        session = self.manager.get(session_name)
+        started = time.perf_counter()
+        with session.lock:
+            version = session.version
+        labels = session.labeler.labels
+        scheme = session.scheme
+        # phase 1: probe the cache for the whole batch in one lock hold
+        answers: List[Optional[bool]] = []
+        missing: List[Tuple[int, int, int]] = []  # (position, source, target)
+        with self._lock:
+            for position, pair in enumerate(pairs):
+                source, target = pair[0], pair[1]
+                key = (session.uid, version, source, target)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                answers.append(cached)
+                if cached is None:
+                    missing.append((position, source, target))
+        # phase 2: compute misses without the lock -- labels are
+        # write-once, so concurrent batches computing the same answer
+        # agree, and other sessions' queries proceed in parallel
+        for position, source, target in missing:
+            answers[position] = scheme.query(
+                self._label(labels, session, source),
+                self._label(labels, session, target),
+            )
+        # phase 3: store results and counters in a second lock hold
+        with self._lock:
+            if self.cache_size:
+                for position, source, target in missing:
+                    self._cache[(session.uid, version, source, target)] = (
+                        answers[position]
+                    )
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            self._queries += len(answers)
+            self._hits += len(answers) - len(missing)
+            self._misses += len(missing)
+            self._query_seconds += time.perf_counter() - started
+        return answers
+
+    @staticmethod
+    def _label(labels, session: Session, vid: int):
+        try:
+            return labels[vid]
+        except KeyError:
+            raise LabelingError(
+                f"session {session.name!r} has no vertex {vid}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # ingest accounting (the write path itself lives on the session)
+    # ------------------------------------------------------------------
+    def ingest(self, session_name: str, insertions) -> Tuple[int, int]:
+        """Ingest a batch into a session; returns ``(count, version)``."""
+        session = self.manager.get(session_name)
+        started = time.perf_counter()
+        count = session.ingest_many(insertions)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._ingested += count
+            self._ingest_seconds += elapsed
+        return count, session.version
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def drop_session_entries(self, session: Session) -> int:
+        """Evict a closed session's entries eagerly; returns the count.
+
+        Optional hygiene: a closed session's uid is never queried
+        again, so its entries could only age out of the LRU tail --
+        evicting frees the capacity immediately.  Entries repopulated
+        by an in-flight batch racing the close are equally unreachable
+        and equally harmless.
+        """
+        with self._lock:
+            stale = [k for k in self._cache if k[0] == session.uid]
+            for key in stale:
+                del self._cache[key]
+            return len(stale)
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                sessions=len(self.manager),
+                ingested=self._ingested,
+                queries=self._queries,
+                cache_hits=self._hits,
+                cache_misses=self._misses,
+                cache_entries=len(self._cache),
+                cache_capacity=self.cache_size,
+                query_seconds=self._query_seconds,
+                ingest_seconds=self._ingest_seconds,
+            )

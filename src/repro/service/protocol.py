@@ -1,0 +1,223 @@
+"""The JSON-lines wire protocol of the provenance query service.
+
+Every message is one JSON object per line.  Requests carry an ``op``,
+an optional client-chosen ``id`` (echoed back verbatim) and op-specific
+parameters; responses carry ``ok`` plus either a ``result`` object or
+an ``error``/``code`` pair.  Error codes map one-to-one onto the
+:mod:`repro.errors` hierarchy so a remote caller can re-raise the same
+exception class the library would have raised in process.
+
+Operations::
+
+    create_session   name, spec[, skeleton, mode, checkpoint]
+    ingest           session, insertions=[event...]   (one or many)
+    query            session, source, target
+    query_batch      session, pairs=[[v, w]...]
+    snapshot         session, path
+    stats
+    close            session
+    list_sessions
+    ping
+    shutdown
+
+Insertion events use the exact execution-log JSON schema of
+:func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
+can be streamed to the service without transformation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from repro.errors import (
+    DerivationError,
+    ExecutionError,
+    GraphError,
+    LabelingError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    SessionNotFoundError,
+    SpecificationError,
+    UnsupportedWorkflowError,
+)
+from repro.io.jsonio import insertion_from_json, insertion_to_json
+from repro.io.xmlio import FormatError
+from repro.workflow.execution import Insertion
+
+OPS = (
+    "create_session",
+    "ingest",
+    "query",
+    "query_batch",
+    "snapshot",
+    "stats",
+    "close",
+    "list_sessions",
+    "ping",
+    "shutdown",
+)
+
+# error code <-> exception class (most specific classes first so that
+# code_for_exception resolves subclasses to their own code).
+_CODE_TO_ERROR: Dict[str, Type[ReproError]] = {
+    "no-session": SessionNotFoundError,
+    "protocol": ProtocolError,
+    "service": ServiceError,
+    "unsupported-workflow": UnsupportedWorkflowError,
+    "labeling": LabelingError,
+    "execution": ExecutionError,
+    "derivation": DerivationError,
+    "specification": SpecificationError,
+    "graph": GraphError,
+    "error": ReproError,
+}
+_ERROR_TO_CODE = {cls: code for code, cls in _CODE_TO_ERROR.items()}
+
+
+@dataclass
+class Request:
+    """One decoded client request."""
+
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[Any] = None
+
+    def require(self, name: str) -> Any:
+        try:
+            return self.params[name]
+        except KeyError:
+            raise ProtocolError(
+                f"op {self.op!r} requires parameter {name!r}"
+            ) from None
+
+
+@dataclass
+class Response:
+    """One server reply; ``ok`` decides which payload fields are set."""
+
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+    code: Optional[str] = None
+    id: Optional[Any] = None
+
+
+# ---------------------------------------------------------------------------
+# encoding / decoding
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request: Request) -> str:
+    """Serialize a request to one newline-terminated JSON line."""
+    doc: Dict[str, Any] = {"op": request.op}
+    if request.id is not None:
+        doc["id"] = request.id
+    doc.update(request.params)
+    return json.dumps(doc) + "\n"
+
+
+def decode_request(line: str) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` when bad."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = doc.pop("op", None)
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    request_id = doc.pop("id", None)
+    return Request(op=op, params=doc, id=request_id)
+
+
+def encode_response(response: Response) -> str:
+    """Serialize a response to one newline-terminated JSON line."""
+    doc: Dict[str, Any] = {"ok": response.ok}
+    if response.id is not None:
+        doc["id"] = response.id
+    if response.ok:
+        doc["result"] = response.result
+    else:
+        doc["error"] = response.error
+        doc["code"] = response.code
+    return json.dumps(doc) + "\n"
+
+
+def decode_response(line: str) -> Response:
+    """Parse one response line; raises :class:`ProtocolError` when bad."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ProtocolError("response must be a JSON object with 'ok'")
+    return Response(
+        ok=bool(doc["ok"]),
+        result=doc.get("result"),
+        error=doc.get("error"),
+        code=doc.get("code"),
+        id=doc.get("id"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# error mapping
+# ---------------------------------------------------------------------------
+
+
+def code_for_exception(exc: BaseException) -> str:
+    """The wire code of a library exception ('error' for the base)."""
+    for cls in type(exc).__mro__:
+        code = _ERROR_TO_CODE.get(cls)
+        if code is not None:
+            return code
+    return "error"
+
+
+def exception_for_code(code: Optional[str], message: str) -> ReproError:
+    """Rebuild the library exception a failed response stands for."""
+    cls = _CODE_TO_ERROR.get(code or "", ReproError)
+    return cls(message)
+
+
+def error_response(exc: BaseException, request_id: Any = None) -> Response:
+    """The failure response reporting ``exc`` to the client."""
+    return Response(
+        ok=False,
+        error=str(exc),
+        code=code_for_exception(exc),
+        id=request_id,
+    )
+
+
+def raise_for_response(response: Response) -> Any:
+    """Return a response's result, re-raising mapped remote failures."""
+    if response.ok:
+        return response.result
+    raise exception_for_code(response.code, response.error or "remote error")
+
+
+# ---------------------------------------------------------------------------
+# insertion payloads
+# ---------------------------------------------------------------------------
+
+
+def insertions_to_wire(insertions) -> List[Dict[str, Any]]:
+    """Serialize insertions for an ``ingest`` request."""
+    return [insertion_to_json(ins) for ins in insertions]
+
+
+def insertions_from_wire(events: Any) -> List[Insertion]:
+    """Decode an ``ingest`` payload (a list of insertion events)."""
+    if isinstance(events, dict):  # a single bare event is accepted
+        events = [events]
+    if not isinstance(events, list):
+        raise ProtocolError("'insertions' must be an event or event list")
+    try:
+        return [insertion_from_json(event) for event in events]
+    except FormatError as exc:
+        raise ProtocolError(f"bad insertion event: {exc}") from None

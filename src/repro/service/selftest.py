@@ -1,0 +1,133 @@
+"""End-to-end smoke test: ``repro serve --selftest``.
+
+Spins up a real :class:`ReproServer` on an ephemeral loopback port,
+drives one scripted session through the wire protocol -- create,
+batched ingest, single and batch queries, snapshot, restore, close,
+shutdown -- and verifies every answer against BFS ground truth on the
+materialized run graph.  Returns nonzero on any mismatch, so CI can
+exercise the server without a separate client harness.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.graphs.reachability import reaches
+from repro.service.client import ServiceClient
+from repro.service.server import ReproServer
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+
+def run_selftest(
+    spec_name: str = "running-example",
+    size: int = 300,
+    queries: int = 400,
+    seed: int = 0,
+    verbose: bool = True,
+) -> int:
+    """Run the scripted session; returns 0 on success, 1 on mismatch."""
+    failures: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"selftest: {message}")
+
+    rng = random.Random(seed)
+    server = ReproServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    say(f"server listening on 127.0.0.1:{server.port}")
+    try:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            check(client.ping(), "ping failed")
+            info = client.create_session("selftest", spec_name)
+            check(info["vertices"] == 0, "fresh session not empty")
+
+            run = sample_run(
+                client_spec(spec_name), size, random.Random(seed)
+            )
+            execution = execution_from_derivation(run)
+            graph = run.graph
+            say(
+                f"derived a {len(execution)}-vertex run of {spec_name!r}; "
+                "ingesting in batches"
+            )
+            events = execution.insertions
+            half = len(events) // 2
+            client.ingest("selftest", events[:half])
+            # queries are answerable mid-run, before ingest completes
+            vids_so_far = sorted(ins.vid for ins in events[:half])
+            mid_pairs = _sample_pairs(vids_so_far, min(50, queries), rng)
+            mid_answers = client.query_batch("selftest", mid_pairs)
+            for (a, b), answer in zip(mid_pairs, mid_answers):
+                check(
+                    answer == reaches(graph, a, b),
+                    f"mid-run query {a}~>{b}: got {answer}",
+                )
+            client.ingest("selftest", events[half:])
+
+            vids = sorted(graph.vertices())
+            pairs = _sample_pairs(vids, queries, rng)
+            answers = client.query_batch("selftest", pairs)
+            wrong = sum(
+                1
+                for (a, b), answer in zip(pairs, answers)
+                if answer != reaches(graph, a, b)
+            )
+            check(wrong == 0, f"{wrong}/{len(pairs)} batch answers wrong")
+            say(f"{len(pairs)} batch queries verified against BFS")
+
+            warm = client.query_batch("selftest", pairs)
+            check(warm == answers, "warm-cache answers diverged")
+            stats = client.stats()
+            check(stats["cache_hits"] >= len(pairs), "cache never hit")
+
+            with tempfile.TemporaryDirectory() as tmp:
+                ckpt = Path(tmp) / "ckpt"
+                client.snapshot("selftest", str(ckpt))
+                client.create_session("restored", checkpoint=str(ckpt))
+                restored = client.query_batch("restored", pairs)
+                check(
+                    restored == answers,
+                    "restored session answers diverged",
+                )
+                say("checkpoint -> restore round trip verified")
+                client.close_session("restored")
+
+            client.close_session("selftest")
+            client.shutdown_server()
+        thread.join(timeout=10)
+        check(not thread.is_alive(), "server did not shut down")
+    finally:
+        server.server_close()
+
+    if failures:
+        for failure in failures:
+            print(f"selftest FAILED: {failure}")
+        return 1
+    say("all checks passed")
+    return 0
+
+
+def client_spec(spec_name: str):
+    """The same specification the server will instantiate."""
+    from repro.service.sessions import resolve_spec
+
+    return resolve_spec(spec_name)
+
+
+def _sample_pairs(
+    vids: List[int], count: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    return [
+        (rng.choice(vids), rng.choice(vids)) for _ in range(count)
+    ]

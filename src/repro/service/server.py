@@ -1,0 +1,236 @@
+"""The service process: protocol dispatch over TCP or stdio.
+
+:class:`ReproService` is the transport-independent core -- it owns a
+:class:`SessionManager` and a :class:`QueryEngine` and turns one
+decoded :class:`Request` into one :class:`Response`.  Two transports
+drive it:
+
+* :class:`ReproServer`, a ``socketserver.ThreadingTCPServer`` speaking
+  the JSON-lines protocol, one handler thread per connection (sessions
+  are shared across connections; the session and engine locks make the
+  shared state safe);
+* :func:`serve_stdio`, the same loop over a file pair, for subprocess
+  embedding and piping recorded executions through ``repro serve``.
+
+A ``shutdown`` request stops the TCP server gracefully: in-flight
+requests finish, then ``serve_forever`` returns.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Callable, Dict, Optional, TextIO
+
+from repro.errors import ProtocolError
+from repro.service.checkpoint import checkpoint_session, restore_session
+from repro.service.engine import QueryEngine
+from repro.service.protocol import (
+    Request,
+    Response,
+    decode_request,
+    encode_response,
+    error_response,
+    insertions_from_wire,
+)
+from repro.service.sessions import SessionManager
+
+DEFAULT_PORT = 7464  # "RL" on a phone keypad, roughly
+
+
+class ReproService:
+    """Dispatches protocol requests against hosted sessions."""
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        engine: Optional[QueryEngine] = None,
+        cache_size: int = 65536,
+    ) -> None:
+        self.manager = manager or SessionManager()
+        self.engine = engine or QueryEngine(self.manager, cache_size)
+        self.shutdown_requested = threading.Event()
+        self._ops: Dict[str, Callable[[Request], Any]] = {
+            "create_session": self._op_create_session,
+            "ingest": self._op_ingest,
+            "query": self._op_query,
+            "query_batch": self._op_query_batch,
+            "snapshot": self._op_snapshot,
+            "stats": self._op_stats,
+            "close": self._op_close,
+            "list_sessions": self._op_list_sessions,
+            "ping": self._op_ping,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Answer one request; any failure becomes a failure response.
+
+        Library errors keep their mapped code; anything else (a bad
+        parameter shape the op handler tripped over, an OS error from a
+        checkpoint path...) is reported as the generic ``error`` code so
+        one poisoned request can never kill the connection or, under
+        stdio, the whole server process.
+        """
+        try:
+            handler = self._ops.get(request.op)
+            if handler is None:
+                raise ProtocolError(f"unknown op {request.op!r}")
+            return Response(ok=True, result=handler(request), id=request.id)
+        except Exception as exc:
+            # error_response maps ReproError subclasses to their wire
+            # codes and anything else to the generic 'error' code
+            return error_response(exc, request.id)
+
+    def handle_line(self, line: str) -> str:
+        """Answer one raw protocol line with one raw response line."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return encode_response(error_response(exc))
+        return encode_response(self.handle(request))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _op_create_session(self, request: Request) -> Dict[str, Any]:
+        name = request.require("name")
+        checkpoint = request.params.get("checkpoint")
+        if checkpoint is not None:
+            if not isinstance(checkpoint, str):
+                raise ProtocolError("'checkpoint' must be a directory path")
+            session = restore_session(self.manager, checkpoint, name=name)
+        else:
+            spec = request.params.get("spec")
+            if not isinstance(spec, str):
+                raise ProtocolError(
+                    "create_session needs 'spec' (a builtin name or "
+                    "server-side file path) or 'checkpoint'"
+                )
+            session = self.manager.create(
+                name,
+                spec,
+                skeleton=request.params.get("skeleton", "tcl"),
+                mode=request.params.get("mode", "logged"),
+            )
+        return {
+            "session": session.name,
+            "spec": session.spec.name,
+            "vertices": len(session),
+            "version": session.version,
+        }
+
+    def _op_ingest(self, request: Request) -> Dict[str, Any]:
+        name = request.require("session")
+        insertions = insertions_from_wire(request.require("insertions"))
+        count, version = self.engine.ingest(name, insertions)
+        return {"ingested": count, "version": version}
+
+    def _op_query(self, request: Request) -> Dict[str, Any]:
+        source = request.require("source")
+        target = request.require("target")
+        if not isinstance(source, int) or not isinstance(target, int):
+            raise ProtocolError("'source' and 'target' must be vertex ids")
+        answer = self.engine.query(request.require("session"), source, target)
+        return {"answer": answer}
+
+    def _op_query_batch(self, request: Request) -> Dict[str, Any]:
+        pairs = request.require("pairs")
+        if not isinstance(pairs, list) or any(
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or not all(isinstance(vid, int) for vid in pair)
+            for pair in pairs
+        ):
+            raise ProtocolError(
+                "'pairs' must be a list of [source, target] vertex ids"
+            )
+        answers = self.engine.query_many(request.require("session"), pairs)
+        return {"answers": answers}
+
+    def _op_snapshot(self, request: Request) -> Dict[str, Any]:
+        session = self.manager.get(request.require("session"))
+        path = checkpoint_session(session, request.require("path"))
+        return {
+            "path": str(path),
+            "version": session.version,
+            "vertices": len(session),
+        }
+
+    def _op_stats(self, request: Request) -> Dict[str, Any]:
+        return self.engine.stats().to_dict()
+
+    def _op_close(self, request: Request) -> Dict[str, Any]:
+        name = request.require("session")
+        session = self.manager.close(name)
+        evicted = self.engine.drop_session_entries(session)
+        return {
+            "closed": session.name,
+            "vertices": len(session),
+            "cache_evicted": evicted,
+        }
+
+    def _op_list_sessions(self, request: Request) -> Dict[str, Any]:
+        return {"sessions": self.manager.names()}
+
+    def _op_ping(self, request: Request) -> Dict[str, Any]:
+        return {"pong": True}
+
+    def _op_shutdown(self, request: Request) -> Dict[str, Any]:
+        self.shutdown_requested.set()
+        return {"stopping": True}
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    def handle(self) -> None:
+        service: ReproService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            self.wfile.write(service.handle_line(line).encode("utf-8"))
+            self.wfile.flush()
+            if service.shutdown_requested.is_set():
+                self.server.trigger_shutdown()  # type: ignore[attr-defined]
+                break
+
+
+class ReproServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-lines TCP server around a :class:`ReproService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: Optional[ReproService] = None):
+        self.service = service or ReproService()
+        super().__init__(address, _LineHandler)
+
+    def trigger_shutdown(self) -> None:
+        """Stop ``serve_forever`` without blocking the handler thread."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve_stdio(
+    service: ReproService, infile: TextIO, outfile: TextIO
+) -> int:
+    """Drive the protocol over a file pair until EOF or ``shutdown``."""
+    for line in infile:
+        if not line.strip():
+            continue
+        outfile.write(service.handle_line(line))
+        outfile.flush()
+        if service.shutdown_requested.is_set():
+            break
+    return 0

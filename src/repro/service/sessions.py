@@ -1,0 +1,227 @@
+"""Session hosting: many labeled runs living side by side.
+
+A :class:`Session` owns everything one running workflow needs -- the
+specification, the DRL scheme, the on-the-fly execution labeler, the
+raw insertion log (kept for checkpointing) and a lock serializing
+writers.  A :class:`SessionManager` hosts many sessions under distinct
+names so a single service process can track many concurrent workflow
+executions, the way a workflow engine tracks many active runs.
+
+Concurrency model
+-----------------
+Each session carries a ``threading.Lock`` held for the duration of an
+insertion (labeling mutates the labeler's parse tree) and a
+monotonically increasing ``version`` counter, bumped once per ingest
+batch.  Labels are write-once -- once a vertex is labeled its label is
+final (Theorem 3) -- so readers never need the lock to *use* a label;
+they only read ``version`` under the lock to get a consistent cache
+key (see :mod:`repro.service.engine`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.datasets import spec_by_name
+from repro.errors import ServiceError, SessionNotFoundError
+from repro.labeling.drl import DRL, Label
+from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.workflow.execution import Insertion
+from repro.workflow.specification import Specification
+
+SpecLike = Union[Specification, str]
+
+
+def resolve_spec(spec: SpecLike) -> Specification:
+    """Turn a spec argument into a :class:`Specification`.
+
+    Accepts an already-built specification, the name of a bundled
+    dataset (``bioaid``, ``running-example``, ``synthetic``, ...) or a
+    path to a ``.json`` / ``.xml`` spec file.
+    """
+    if isinstance(spec, Specification):
+        return spec
+    try:
+        return spec_by_name(spec)
+    except KeyError:
+        pass
+    path = Path(spec)
+    if not path.exists():
+        from repro.datasets import builtin_spec_names
+
+        raise ServiceError(
+            f"spec {spec!r} is neither a file nor one of "
+            f"{builtin_spec_names()}"
+        )
+    if path.suffix == ".xml":
+        from repro.io import load_specification_xml
+
+        return load_specification_xml(path)
+    from repro.io import load_specification_json
+
+    return load_specification_json(path)
+
+
+# process-wide unique session instance ids: names can be reused after a
+# close, uids never are, so caches keyed by uid cannot serve a dead
+# session's answers to its successor
+_next_uid = itertools.count(1).__next__
+
+
+class Session:
+    """One hosted run: a spec, a live labeler, and its insertion log."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: Specification,
+        skeleton: str = "tcl",
+        mode: str = "logged",
+    ) -> None:
+        self.uid = _next_uid()
+        self.name = name
+        self.spec = spec
+        self.skeleton = skeleton
+        self.mode = mode
+        self.scheme = DRL(spec, skeleton=skeleton)
+        self.labeler = DRLExecutionLabeler(self.scheme, mode=mode)
+        self.lock = threading.Lock()
+        self.version = 0
+        self.log: List[Insertion] = []
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # writers (serialized by the session lock)
+    # ------------------------------------------------------------------
+    def ingest(self, insertion: Insertion) -> Label:
+        """Insert one vertex; its label is final immediately."""
+        with self.lock:
+            self._check_open()
+            label = self.labeler.insert(insertion)
+            self.log.append(insertion)
+            self.version += 1
+            return label
+
+    def ingest_many(self, insertions: Iterable[Insertion]) -> int:
+        """Insert a batch under one lock hold; one version bump per batch.
+
+        Labels are write-once, so a batch cannot be rolled back: if an
+        insertion is rejected mid-batch, the earlier events stay applied
+        (their labels are already final and correct), the error
+        propagates to the caller, and the insertion log records exactly
+        what was applied -- ``len(session)`` / a checkpoint tells the
+        client where to resume.  The version is bumped whenever at least
+        one event was applied, including on a failed batch.
+        """
+        with self.lock:
+            self._check_open()
+            count = 0
+            try:
+                for insertion in insertions:
+                    self.labeler.insert(insertion)
+                    self.log.append(insertion)
+                    count += 1
+            finally:
+                if count:
+                    self.version += 1
+            return count
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ServiceError(f"session {self.name!r} is closed")
+
+    # ------------------------------------------------------------------
+    # readers (lock-free: labels are write-once)
+    # ------------------------------------------------------------------
+    def label(self, vid: int) -> Label:
+        """The final label of an already inserted vertex."""
+        return self.labeler.label(vid)
+
+    def query(self, source: int, target: int) -> bool:
+        """Uncached reachability ``source ~> target`` from labels alone."""
+        return self.scheme.query(self.label(source), self.label(target))
+
+    def snapshot_state(self) -> Tuple[int, Dict[int, Label], List[Insertion]]:
+        """A consistent ``(version, labels, log)`` copy for checkpointing."""
+        with self.lock:
+            return self.version, dict(self.labeler.labels), list(self.log)
+
+    def __len__(self) -> int:
+        return len(self.labeler.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session({self.name!r}, spec={self.spec.name!r}, "
+            f"vertices={len(self)}, version={self.version})"
+        )
+
+
+class SessionManager:
+    """Hosts many named sessions; thread-safe create/get/close."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    def create(
+        self,
+        name: str,
+        spec: SpecLike,
+        skeleton: str = "tcl",
+        mode: str = "logged",
+    ) -> Session:
+        """Create (and register) a fresh session named ``name``."""
+        specification = resolve_spec(spec)
+        session = Session(name, specification, skeleton=skeleton, mode=mode)
+        with self._lock:
+            if name in self._sessions:
+                raise ServiceError(f"session {name!r} already exists")
+            self._sessions[name] = session
+        return session
+
+    def adopt(self, session: Session) -> Session:
+        """Register an externally built session (checkpoint restore)."""
+        with self._lock:
+            if session.name in self._sessions:
+                raise ServiceError(
+                    f"session {session.name!r} already exists"
+                )
+            self._sessions[session.name] = session
+        return session
+
+    def get(self, name: str) -> Session:
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise SessionNotFoundError(
+                    f"no session named {name!r}"
+                ) from None
+
+    def close(self, name: str) -> Session:
+        """Remove a session; its in-memory state becomes unreachable."""
+        with self._lock:
+            try:
+                session = self._sessions.pop(name)
+            except KeyError:
+                raise SessionNotFoundError(
+                    f"no session named {name!r}"
+                ) from None
+        with session.lock:
+            session.closed = True
+        return session
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sessions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,651 @@
+"""Tests for the provenance query service (repro.service)."""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.datasets import running_example
+from repro.errors import (
+    ExecutionError,
+    LabelingError,
+    ProtocolError,
+    ServiceError,
+    SessionNotFoundError,
+)
+from repro.graphs.reachability import reaches
+from repro.service import (
+    QueryEngine,
+    ReproServer,
+    ServiceClient,
+    SessionManager,
+    checkpoint_session,
+    restore_session,
+)
+from repro.service.protocol import (
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+    raise_for_response,
+)
+from repro.service.server import ReproService
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+
+def make_execution(spec, size=200, seed=0):
+    run = sample_run(spec, size, random.Random(seed))
+    return run, execution_from_derivation(run)
+
+
+@pytest.fixture(scope="module")
+def run_and_execution(running_spec):
+    return make_execution(running_spec)
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+
+
+class TestSessionManager:
+    def test_create_get_close(self, running_spec):
+        manager = SessionManager()
+        session = manager.create("a", running_spec)
+        assert manager.get("a") is session
+        assert "a" in manager and len(manager) == 1
+        closed = manager.close("a")
+        assert closed is session
+        assert "a" not in manager
+
+    def test_create_from_builtin_name(self):
+        manager = SessionManager()
+        session = manager.create("a", "running-example")
+        assert session.spec.name == "running-example"
+
+    def test_create_from_spec_file(self, tmp_path, running_spec):
+        from repro.io import save_specification_json
+
+        path = tmp_path / "spec.json"
+        save_specification_json(running_spec, path)
+        manager = SessionManager()
+        session = manager.create("a", str(path))
+        assert session.spec.name == running_spec.name
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ServiceError):
+            SessionManager().create("a", "no-such-spec")
+
+    def test_duplicate_name_rejected(self, running_spec):
+        manager = SessionManager()
+        manager.create("a", running_spec)
+        with pytest.raises(ServiceError):
+            manager.create("a", running_spec)
+
+    def test_unknown_session(self):
+        with pytest.raises(SessionNotFoundError):
+            SessionManager().get("ghost")
+
+    def test_closed_session_rejects_ingest(
+        self, running_spec, run_and_execution
+    ):
+        _, execution = run_and_execution
+        manager = SessionManager()
+        session = manager.create("a", running_spec)
+        manager.close("a")
+        with pytest.raises(ServiceError):
+            session.ingest(execution.insertions[0])
+
+    def test_version_bumps(self, running_spec, run_and_execution):
+        _, execution = run_and_execution
+        manager = SessionManager()
+        session = manager.create("a", running_spec)
+        assert session.version == 0
+        session.ingest(execution.insertions[0])
+        assert session.version == 1
+        session.ingest_many(execution.insertions[1:10])
+        assert session.version == 2  # one bump per batch
+        session.ingest_many([])
+        assert session.version == 2  # empty batch is a no-op
+
+    def test_failed_batch_keeps_applied_prefix(
+        self, running_spec, run_and_execution
+    ):
+        """Labels are write-once: a failed batch keeps its applied
+        prefix, bumps the version, and reports the failure."""
+        _, execution = run_and_execution
+        manager = SessionManager()
+        session = manager.create("a", running_spec)
+        events = list(execution.insertions[:10])
+        poisoned = events[:5] + [events[0]] + events[5:]  # duplicate vid
+        with pytest.raises(ExecutionError):
+            session.ingest_many(poisoned)
+        assert len(session) == 5  # the applied prefix survives
+        assert session.version == 1  # partial batches still bump
+        session.ingest_many(events[5:])  # resume from the prefix
+        assert len(session) == 10
+
+
+# ---------------------------------------------------------------------------
+# query engine
+# ---------------------------------------------------------------------------
+
+
+class TestQueryEngine:
+    def test_batch_matches_ground_truth(
+        self, running_spec, run_and_execution
+    ):
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        rng = random.Random(7)
+        pairs = [
+            (rng.choice(vids), rng.choice(vids)) for _ in range(500)
+        ]
+        answers = engine.query_many("a", pairs)
+        expected = [reaches(run.graph, a, b) for a, b in pairs]
+        assert answers == expected
+
+    def test_cache_hits_on_repeat(self, running_spec, run_and_execution):
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        pairs = [(vids[0], vids[-1]), (vids[-1], vids[0])]
+        engine.query_many("a", pairs)
+        before = engine.stats()
+        engine.query_many("a", pairs)
+        after = engine.stats()
+        assert after.cache_hits == before.cache_hits + len(pairs)
+        assert after.cache_misses == before.cache_misses
+        assert after.hit_rate > 0
+
+    def test_insert_invalidates_cache(self, running_spec):
+        run, execution = make_execution(running_spec, size=150, seed=3)
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        events = execution.insertions
+        engine.ingest("a", events[:-1])
+        pair = (events[0].vid, events[1].vid)
+        engine.query("a", *pair)
+        engine.query("a", *pair)
+        assert engine.stats().cache_hits == 1
+        engine.ingest("a", events[-1:])  # version bump
+        engine.query("a", *pair)
+        stats = engine.stats()
+        assert stats.cache_hits == 1  # old entry no longer addressed
+        assert stats.cache_misses == 2
+
+    def test_lru_eviction(self, running_spec, run_and_execution):
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager, cache_size=2)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        engine.query("a", vids[0], vids[1])
+        engine.query("a", vids[0], vids[2])
+        engine.query("a", vids[0], vids[3])  # evicts the first entry
+        assert engine.stats().cache_entries == 2
+        engine.query("a", vids[0], vids[1])
+        assert engine.stats().cache_hits == 0
+
+    def test_zero_cache_disables_caching(
+        self, running_spec, run_and_execution
+    ):
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager, cache_size=0)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        engine.query("a", vids[0], vids[1])
+        engine.query("a", vids[0], vids[1])
+        stats = engine.stats()
+        assert stats.cache_hits == 0 and stats.cache_entries == 0
+
+    def test_unknown_vertex(self, running_spec, run_and_execution):
+        _, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        with pytest.raises(LabelingError):
+            engine.query("a", 10 ** 9, 0)
+
+    def test_reused_name_never_hits_old_cache(self, running_spec):
+        """Closing a session and reusing its name must not serve the
+        dead session's cached answers (sessions have unique uids)."""
+        run1, exec1 = make_execution(running_spec, size=150, seed=41)
+        run2, exec2 = make_execution(running_spec, size=150, seed=42)
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("r", running_spec)
+        engine.ingest("r", exec1.insertions)
+        vids1 = sorted(run1.graph.vertices())
+        pairs1 = [(a, b) for a in vids1[:12] for b in vids1[:12]]
+        engine.query_many("r", pairs1)  # populate the cache
+
+        manager.close("r")
+        manager.create("r", running_spec)
+        engine.ingest("r", exec2.insertions)
+        vids2 = sorted(run2.graph.vertices())
+        pairs2 = [(a, b) for a in vids2[:12] for b in vids2[:12]]
+        answers = engine.query_many("r", pairs2)
+        expected = [reaches(run2.graph, a, b) for a, b in pairs2]
+        assert answers == expected
+
+    def test_queries_live_mid_run(self, running_spec):
+        """The paper's headline: answers while the run is executing."""
+        run, execution = make_execution(running_spec, size=200, seed=5)
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        events = execution.insertions
+        engine.ingest("a", events[: len(events) // 2])
+        seen = sorted(ins.vid for ins in events[: len(events) // 2])
+        rng = random.Random(11)
+        pairs = [(rng.choice(seen), rng.choice(seen)) for _ in range(100)]
+        answers = engine.query_many("a", pairs)
+        expected = [reaches(run.graph, a, b) for a, b in pairs]
+        assert answers == expected
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        request = Request(
+            op="query", params={"session": "a", "source": 1, "target": 2},
+            id=42,
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+
+    def test_response_round_trip(self):
+        response = Response(ok=True, result={"answer": True}, id=7)
+        decoded = decode_response(encode_response(response))
+        assert decoded == response
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(json.dumps({"op": "explode"}))
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("{not json")
+        with pytest.raises(ProtocolError):
+            decode_response("[1, 2]")
+
+    def test_error_mapping_round_trip(self):
+        for exc in (
+            SessionNotFoundError("gone"),
+            ExecutionError("bad insert"),
+            LabelingError("no label"),
+            ProtocolError("bad line"),
+        ):
+            response = decode_response(
+                encode_response(error_response(exc, request_id=1))
+            )
+            with pytest.raises(type(exc)):
+                raise_for_response(response)
+
+    def test_missing_parameter(self):
+        service = ReproService()
+        response = service.handle(Request(op="query", params={}))
+        assert not response.ok
+        assert response.code == "protocol"
+
+    def test_malformed_pairs_rejected_not_fatal(self):
+        service = ReproService()
+        service.manager.create("s", "running-example")
+        for pairs in ([[1]], [[1, 2, 3]], "oops", [["a", "b"]]):
+            response = service.handle(
+                Request(op="query_batch",
+                        params={"session": "s", "pairs": pairs})
+            )
+            assert not response.ok and response.code == "protocol"
+        response = service.handle(
+            Request(op="query",
+                    params={"session": "s", "source": [1], "target": 0})
+        )
+        assert not response.ok and response.code == "protocol"
+
+    def test_unexpected_exceptions_become_responses(self):
+        """A poisoned request must never escape handle() and kill the
+        connection (TCP) or the server process (stdio)."""
+        service = ReproService()
+        response = service.handle(
+            Request(op="create_session",
+                    params={"name": "c", "checkpoint": 12345})
+        )
+        assert not response.ok
+        response = service.handle(Request(op="ping"))
+        assert response.ok  # the service is still serving
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_mid_run_round_trip(self, running_spec, tmp_path):
+        """A session checkpointed mid-execution and restored answers
+        every query identically to the uninterrupted session."""
+        run, execution = make_execution(running_spec, size=250, seed=9)
+        events = execution.insertions
+        half = len(events) // 2
+
+        manager = SessionManager()
+        live = manager.create("live", running_spec)
+        live.ingest_many(events[:half])
+        checkpoint_session(live, tmp_path / "ckpt")
+        live.ingest_many(events[half:])  # the uninterrupted session
+
+        other = SessionManager()
+        restored = restore_session(other, tmp_path / "ckpt")
+        assert restored.name == "live"
+        assert len(restored) == half
+        restored.ingest_many(events[half:])  # resume after recovery
+
+        vids = sorted(run.graph.vertices())
+        rng = random.Random(13)
+        for _ in range(300):
+            a, b = rng.choice(vids), rng.choice(vids)
+            assert restored.query(a, b) == live.query(a, b)
+        assert restored.labeler.labels == live.labeler.labels
+
+    def test_restore_under_new_name(self, running_spec, tmp_path):
+        _, execution = make_execution(running_spec, size=100, seed=1)
+        manager = SessionManager()
+        live = manager.create("live", running_spec)
+        live.ingest_many(execution.insertions)
+        checkpoint_session(live, tmp_path / "ckpt")
+        restored = restore_session(manager, tmp_path / "ckpt", name="copy")
+        assert restored.name == "copy"
+        assert manager.get("copy") is restored
+        assert restored.labeler.labels == live.labeler.labels
+
+    def test_corrupt_labels_detected(self, running_spec, tmp_path):
+        _, execution = make_execution(running_spec, size=80, seed=2)
+        manager = SessionManager()
+        live = manager.create("live", running_spec)
+        live.ingest_many(execution.insertions)
+        path = checkpoint_session(live, tmp_path / "ckpt")
+        labels = json.loads((path / "labels.json").read_text())
+        key = next(iter(labels["labels"]))
+        labels["labels"].pop(key)
+        (path / "labels.json").write_text(json.dumps(labels))
+        with pytest.raises(ServiceError):
+            restore_session(SessionManager(), path)
+
+    def test_not_a_checkpoint(self, tmp_path):
+        with pytest.raises(ServiceError):
+            restore_session(SessionManager(), tmp_path)
+
+    def test_recheckpoint_same_directory(self, running_spec, tmp_path):
+        """A later checkpoint of the same session overwrites cleanly
+        and no .tmp staging files are left behind."""
+        _, execution = make_execution(running_spec, size=120, seed=14)
+        events = execution.insertions
+        manager = SessionManager()
+        live = manager.create("live", running_spec)
+        live.ingest_many(events[: len(events) // 2])
+        checkpoint_session(live, tmp_path / "ckpt")
+        live.ingest_many(events[len(events) // 2 :])
+        path = checkpoint_session(live, tmp_path / "ckpt")
+        assert not list(path.glob("*.tmp"))
+        restored = restore_session(SessionManager(), path)
+        assert len(restored) == len(events)
+
+    def test_mixed_generation_detected(self, running_spec, tmp_path):
+        """A manifest left over from an older generation (crash between
+        staged renames) is reported, not replayed into wrong state."""
+        _, execution = make_execution(running_spec, size=120, seed=15)
+        events = execution.insertions
+        manager = SessionManager()
+        live = manager.create("live", running_spec)
+        live.ingest_many(events[:40])
+        path = checkpoint_session(live, tmp_path / "ckpt")
+        old_manifest = (path / "manifest.json").read_text()
+        live.ingest_many(events[40:])
+        checkpoint_session(live, path)
+        (path / "manifest.json").write_text(old_manifest)  # stale manifest
+        with pytest.raises(ServiceError, match="inconsistent"):
+            restore_session(SessionManager(), path)
+
+
+# ---------------------------------------------------------------------------
+# server / client end-to-end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def server():
+    server = ReproServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestServer:
+    def test_end_to_end(self, server, running_spec, tmp_path):
+        run, execution = make_execution(running_spec, size=150, seed=4)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+            client.create_session("demo", "running-example")
+            assert client.list_sessions() == ["demo"]
+            info = client.ingest("demo", execution.insertions)
+            assert info["ingested"] == len(execution)
+
+            vids = sorted(run.graph.vertices())
+            rng = random.Random(17)
+            pairs = [
+                (rng.choice(vids), rng.choice(vids)) for _ in range(200)
+            ]
+            answers = client.query_batch("demo", pairs)
+            expected = [reaches(run.graph, a, b) for a, b in pairs]
+            assert answers == expected
+            a, b = pairs[0]
+            assert client.query("demo", a, b) == expected[0]
+
+            snap = client.snapshot("demo", str(tmp_path / "ckpt"))
+            assert snap["vertices"] == len(execution)
+            client.create_session(
+                "demo2", checkpoint=str(tmp_path / "ckpt")
+            )
+            assert client.query_batch("demo2", pairs) == expected
+
+            stats = client.stats()
+            assert stats["sessions"] == 2
+            assert stats["queries"] >= 2 * len(pairs) + 1
+            assert client.close_session("demo")["closed"] == "demo"
+
+    def test_remote_errors_are_mapped(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(SessionNotFoundError):
+                client.query("ghost", 0, 1)
+            with pytest.raises(ServiceError):
+                client.create_session("x", "no-such-spec")
+
+    def test_two_connections_share_sessions(self, server, running_spec):
+        _, execution = make_execution(running_spec, size=100, seed=6)
+        with ServiceClient("127.0.0.1", server.port) as writer:
+            writer.create_session("shared", "running-example")
+            writer.ingest("shared", execution.insertions)
+            with ServiceClient("127.0.0.1", server.port) as reader:
+                assert "shared" in reader.list_sessions()
+                first = execution.insertions[0].vid
+                last = execution.insertions[-1].vid
+                assert reader.query("shared", first, last) is True
+
+    def test_stdio_transport(self, running_spec):
+        import io as io_module
+
+        from repro.service.server import serve_stdio
+
+        _, execution = make_execution(running_spec, size=60, seed=8)
+        lines = [
+            json.dumps(
+                {"op": "create_session", "id": 1, "name": "s",
+                 "spec": "running-example"}
+            ),
+            json.dumps(
+                {"op": "ingest", "id": 2, "session": "s",
+                 "insertions": [
+                     {"vid": ins.vid, "name": ins.name,
+                      "preds": sorted(ins.preds),
+                      "origin": {"key": ins.origin[0],
+                                 "token": ins.origin[1],
+                                 "tv": ins.origin[2]},
+                      **({"slot": {"token": ins.slot[0],
+                                   "tv": ins.slot[1]}}
+                         if ins.slot else {})}
+                     for ins in execution.insertions
+                 ]}
+            ),
+            json.dumps({"op": "stats", "id": 3}),
+            json.dumps({"op": "shutdown", "id": 4}),
+            json.dumps({"op": "ping", "id": 5}),  # after shutdown: unread
+        ]
+        infile = io_module.StringIO("\n".join(lines) + "\n")
+        outfile = io_module.StringIO()
+        assert serve_stdio(ReproService(), infile, outfile) == 0
+        replies = [
+            json.loads(line)
+            for line in outfile.getvalue().splitlines()
+        ]
+        assert len(replies) == 4  # the loop stops at shutdown
+        assert all(reply["ok"] for reply in replies)
+        assert replies[1]["result"]["ingested"] == len(execution)
+
+
+class TestSelftest:
+    def test_cli_selftest_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--selftest", "--size", "150"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# concurrency soak
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_ingest_and_query_soak(self, running_spec):
+        """One writer streams a run in while readers batch-query the
+        already-labeled prefix; every answer must match ground truth."""
+        run, execution = make_execution(running_spec, size=400, seed=21)
+        manager = SessionManager()
+        engine = QueryEngine(manager, cache_size=4096)
+        manager.create("soak", running_spec)
+        events = execution.insertions
+        done = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                for start in range(0, len(events), 16):
+                    engine.ingest("soak", events[start : start + 16])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader(seed):
+            rng = random.Random(seed)
+            try:
+                while not done.is_set():
+                    session = manager.get("soak")
+                    with session.lock:
+                        seen = list(session.labeler.labels)
+                    if len(seen) < 2:
+                        continue
+                    pairs = [
+                        (rng.choice(seen), rng.choice(seen))
+                        for _ in range(50)
+                    ]
+                    answers = engine.query_many("soak", pairs)
+                    for (a, b), answer in zip(pairs, answers):
+                        if answer != reaches(run.graph, a, b):
+                            errors.append(
+                                AssertionError(f"wrong answer {a}~>{b}")
+                            )
+                            return
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(manager.get("soak")) == len(events)
+
+    def test_concurrent_sessions(self, running_spec):
+        """Many sessions ingesting in parallel stay fully isolated."""
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        runs = {}
+        for i in range(4):
+            name = f"s{i}"
+            run, execution = make_execution(
+                running_spec, size=120, seed=30 + i
+            )
+            runs[name] = (run, execution)
+            manager.create(name, running_spec)
+
+        errors = []
+
+        def work(name):
+            run, execution = runs[name]
+            try:
+                engine.ingest(name, execution.insertions)
+                vids = sorted(run.graph.vertices())
+                rng = random.Random(name)
+                pairs = [
+                    (rng.choice(vids), rng.choice(vids))
+                    for _ in range(100)
+                ]
+                answers = engine.query_many(name, pairs)
+                expected = [reaches(run.graph, a, b) for a, b in pairs]
+                assert answers == expected
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=work, args=(name,)) for name in runs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert engine.stats().ingested == sum(
+            len(execution) for _, execution in runs.values()
+        )
