@@ -1,0 +1,194 @@
+"""Registry-driven cross-scheme comparison benchmark.
+
+Iterates every scheme in :mod:`repro.schemes.registry` over a common
+graph family (BioAID-like non-recursive runs, plus one path-grammar run
+so the path-position scheme participates) and measures, per scheme:
+
+* construction time (ms) -- insertion replay for dynamic schemes,
+  whole-graph build for static ones;
+* query throughput (queries/sec over sampled vertex pairs);
+* total and max label storage (bits).
+
+Schemes that cannot label a workload are *recorded* with their skip
+reason (SKL on recursive grammars, path-position on non-path runs, the
+tree transform hitting its blow-up guard), never silently dropped.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_schemes.py --benchmark-only
+
+or standalone, which also writes ``BENCH_schemes.json``::
+
+    PYTHONPATH=src python benchmarks/bench_schemes.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List
+
+from repro.bench.harness import build_registry_schemes
+from repro.datasets import bioaid, fig12_path_grammar
+from repro.schemes import Workload
+from repro.schemes import registry as scheme_registry
+from repro.workflow.derivation import sample_run
+
+RUN_SIZES = (500, 1000, 2000)
+PATH_RUN_SIZE = 300
+QUERY_PAIRS = 3000
+OUTPUT = "BENCH_schemes.json"
+
+
+def _workloads() -> List[Dict[str, object]]:
+    """The common graph family every registered scheme is measured on."""
+    families = []
+    spec = bioaid(recursive=False)
+    for size in RUN_SIZES:
+        run = sample_run(spec, size, random.Random(size))
+        families.append(
+            {
+                "family": "bioaid-norec",
+                "run_size": run.run_size(),
+                "workload": Workload.from_run(spec, run),
+            }
+        )
+    path_spec = fig12_path_grammar()
+    path_run = sample_run(path_spec, PATH_RUN_SIZE, random.Random(7))
+    families.append(
+        {
+            "family": "fig12-path",
+            "run_size": path_run.run_size(),
+            "workload": Workload.from_run(path_spec, path_run),
+        }
+    )
+    return families
+
+
+def _measure(entry: Dict[str, object]) -> List[Dict[str, object]]:
+    """One row per registered scheme on one workload."""
+    workload: Workload = entry["workload"]
+    graph = workload.graph
+    vertices = sorted(graph.vertices())
+    rng = random.Random(11)
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices))
+        for _ in range(QUERY_PAIRS)
+    ]
+    rows: List[Dict[str, object]] = []
+    for build in build_registry_schemes(workload):
+        row: Dict[str, object] = {
+            "family": entry["family"],
+            "run_size": entry["run_size"],
+            "scheme": build.name,
+        }
+        if not build.built:
+            row["skip"] = build.skip_reason
+            rows.append(row)
+            continue
+        scheme = build.scheme
+        started = time.perf_counter()
+        for a, b in pairs:
+            scheme.reaches(a, b)
+        query_seconds = time.perf_counter() - started
+        row.update(
+            {
+                "build_ms": build.seconds * 1e3,
+                "queries_per_sec": len(pairs) / query_seconds,
+                "total_bits": scheme.total_bits(),
+                "max_bits": max(
+                    scheme.label_bits_of(v) for v in vertices
+                ),
+                "exact": scheme.capabilities.exact,
+                "dynamic": scheme.capabilities.dynamic,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def _all_rows() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for entry in _workloads():
+        rows.extend(_measure(entry))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def test_scheme_comparison_rows(benchmark):
+    rows = benchmark.pedantic(_all_rows, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {k: str(v) for k, v in row.items()} for row in rows
+    ]
+    measured = [row for row in rows if "skip" not in row]
+    # every registered scheme must be measured on at least one workload
+    covered = {row["scheme"] for row in measured}
+    assert covered == set(scheme_registry.available())
+    # exact answers come from every scheme, so throughput is comparable
+    for row in measured:
+        assert row["queries_per_sec"] > 0
+        assert row["total_bits"] > 0
+
+
+def test_drl_beats_naive_storage(benchmark):
+    spec = bioaid(recursive=False)
+    run = sample_run(spec, 2000, random.Random(3))
+    workload = Workload.from_run(spec, run)
+
+    def build_both():
+        return {
+            b.name: b.scheme
+            for b in build_registry_schemes(workload, names=["drl", "naive"])
+        }
+
+    built = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert built["drl"].total_bits() < built["naive"].total_bits() / 4
+
+
+# ---------------------------------------------------------------------------
+# standalone report
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    rows = _all_rows()
+    print(
+        f"{'family':<14} {'n':>6} {'scheme':<15} {'build_ms':>9} "
+        f"{'kq/s':>8} {'total_bits':>11} {'max_bits':>9}"
+    )
+    for row in rows:
+        if "skip" in row:
+            print(
+                f"{row['family']:<14} {row['run_size']:>6} "
+                f"{row['scheme']:<15} skipped: {row['skip']}"
+            )
+            continue
+        print(
+            f"{row['family']:<14} {row['run_size']:>6} {row['scheme']:<15} "
+            f"{row['build_ms']:>9.1f} {row['queries_per_sec'] / 1e3:>8.1f} "
+            f"{row['total_bits']:>11} {row['max_bits']:>9}"
+        )
+    document = {
+        "benchmark": "schemes",
+        "query_pairs": QUERY_PAIRS,
+        "schemes": scheme_registry.describe(),
+        "rows": rows,
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"\nwrote {OUTPUT}")
+    measured = {row["scheme"] for row in rows if "skip" not in row}
+    missing = set(scheme_registry.available()) - measured
+    if missing:
+        print(f"ERROR: schemes never measured on any workload: {missing}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

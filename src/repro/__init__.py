@@ -41,6 +41,21 @@ or over the wire: ``python -m repro serve --port 7464`` hosts the same
 engine behind a JSON-lines TCP protocol (see :mod:`repro.service` and
 ``docs/SERVICE.md``), with live-session checkpoint/restore via
 :func:`checkpoint_session` / :func:`restore_session`.
+
+Every labeling backend conforms to one capability-typed protocol
+(:mod:`repro.schemes`): build any registered scheme by name and query
+it through the single ``reaches`` method::
+
+    from repro.schemes import Workload, registry
+
+    workload = Workload.from_run(spec, run)
+    for name in registry.available():            # drl, grail, twohop, ...
+        if registry.get(name).supports(workload) is None:
+            index = registry.build(name, workload)
+            index.reaches(v, w)
+
+Sessions host any *dynamic* scheme (``manager.create(..., scheme="naive")``,
+``repro serve``/``repro label`` take ``--scheme``).
 """
 
 from repro.errors import (
@@ -100,6 +115,13 @@ from repro.datasets import (
     theorem1_grammar,
 )
 from repro.provenance import ProvenanceStore
+from repro.schemes import (
+    DynamicScheme,
+    Scheme,
+    SchemeCapabilities,
+    StaticScheme,
+    Workload,
+)
 from repro.service import (
     QueryEngine,
     ReproServer,
@@ -171,6 +193,12 @@ __all__ = [
     "spec_by_name",
     # provenance
     "ProvenanceStore",
+    # schemes
+    "Scheme",
+    "StaticScheme",
+    "DynamicScheme",
+    "SchemeCapabilities",
+    "Workload",
     # service
     "Session",
     "SessionManager",

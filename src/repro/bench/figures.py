@@ -207,10 +207,15 @@ def fig19_nonlinear(config: BenchConfig) -> Table:
 
 
 def fig20_drl_vs_skl_length(config: BenchConfig) -> Table:
-    """Figure 20: DRL vs SKL max label length (slope 1 vs slope 3)."""
+    """Figure 20: DRL vs SKL max label length (slope 1 vs slope 3).
+
+    Both series come out of the scheme registry: the dynamic DRL labels
+    the insertion stream, the static SKL labels the frozen run.
+    """
+    from repro.bench.harness import build_registry_schemes
+    from repro.schemes import Workload
+
     spec = bioaid(recursive=False)
-    drl = DRL(spec, skeleton="tcl")
-    skl = SKL(spec, skeleton="tcl")
     table = Table(
         id="fig20",
         title="Max label length (bits): DRL (dynamic) vs SKL (static)",
@@ -219,13 +224,23 @@ def fig20_drl_vs_skl_length(config: BenchConfig) -> Table:
         "large runs",
     )
     for size in run_ladder(config):
-        drl_max, skl_max = [], []
+        maxima = {"drl": [], "skl": []}
         for run in sampled_runs(spec, size, config, tag=20):
-            labels = _run_vertex_labels(drl, run)
-            drl_max.append(max(drl.label_bits(l) for l in labels.values()))
-            skl_labels = skl.label_run(run)
-            skl_max.append(max(skl.label_bits(l) for l in skl_labels.values()))
-        table.add(size, sum(drl_max) / len(drl_max), sum(skl_max) / len(skl_max))
+            workload = Workload.from_run(spec, run)
+            for build in build_registry_schemes(
+                workload, names=["drl", "skl"]
+            ):
+                maxima[build.name].append(
+                    max(
+                        build.scheme.label_bits_of(v)
+                        for v in run.graph.vertices()
+                    )
+                )
+        table.add(
+            size,
+            sum(maxima["drl"]) / len(maxima["drl"]),
+            sum(maxima["skl"]) / len(maxima["skl"]),
+        )
     return table
 
 
@@ -460,13 +475,14 @@ def baseline_comparison(config: BenchConfig) -> Table:
 
     The paper's Section 1 surveys general reachability indexes (chain
     decomposition [15], GRAIL [24]); this table measures what they cost
-    on workflow runs against the specification-aware DRL labels.
+    on workflow runs against the specification-aware DRL labels.  All
+    four columns come out of the scheme registry -- the drivers no
+    longer hand-construct any index.
     """
-    from repro.labeling.chains import ChainIndex
-    from repro.labeling.grail import GrailIndex
+    from repro.bench.harness import build_registry_schemes
+    from repro.schemes import Workload
 
     spec = bioaid()
-    drl = DRL(spec, skeleton="tcl")
     table = Table(
         id="abl-baselines",
         title="DRL vs general DAG indexes (BioAID runs)",
@@ -489,33 +505,40 @@ def baseline_comparison(config: BenchConfig) -> Table:
         run = sampled_runs(spec, size, config, tag=41)[0]
         graph = run.graph
         vertices = sorted(graph.vertices())
-        labels = _run_vertex_labels(drl, run)
-        grail = GrailIndex(graph, traversals=3, rng=random.Random(size))
-        chains = ChainIndex(graph)
-        naive = NaiveDynamicScheme()
-        for v in graph.topological_order():
-            naive.insert(v, preds=graph.predecessors(v))
+        workload = Workload.from_run(spec, run)
+        built = {
+            b.name: b.scheme
+            for b in build_registry_schemes(
+                workload,
+                names=["drl", "grail", "chains", "naive"],
+                options={
+                    "grail": {"traversals": 3, "rng": random.Random(size)}
+                },
+            )
+        }
         queries = max(500, config.queries // 10)
         pairs = [
             (rng.choice(vertices), rng.choice(vertices)) for _ in range(queries)
         ]
-        chain_labels = {v: chains.label(v) for v in vertices}
 
-        def timed_pairs(fn):
-            _, seconds = time_call(lambda: [fn(a, b) for a, b in pairs])
+        def timed_pairs(scheme):
+            _, seconds = time_call(
+                lambda: [scheme.reaches(a, b) for a, b in pairs]
+            )
             return seconds / queries * 1e6
+
+        def max_bits(scheme):
+            return max(scheme.label_bits_of(v) for v in vertices)
 
         table.add(
             run.run_size(),
-            max(drl.label_bits(l) for l in labels.values()),
-            max(grail.label(v).bits for v in vertices),
-            max(chains.label_bits(chain_labels[v]) for v in vertices),
-            max(naive.label(v).bits for v in vertices),
-            timed_pairs(lambda a, b: drl.query(labels[a], labels[b])),
-            timed_pairs(grail.reaches),
-            timed_pairs(
-                lambda a, b: ChainIndex.query(chain_labels[a], chain_labels[b])
-            ),
+            max_bits(built["drl"]),
+            max_bits(built["grail"]),
+            max_bits(built["chains"]),
+            max_bits(built["naive"]),
+            timed_pairs(built["drl"]),
+            timed_pairs(built["grail"]),
+            timed_pairs(built["chains"]),
         )
     return table
 

@@ -1,4 +1,11 @@
-"""Shared benchmark utilities: configuration, timing, table formatting."""
+"""Shared benchmark utilities: configuration, timing, table formatting,
+and registry-driven scheme construction.
+
+Benchmarks that compare labeling schemes iterate the scheme registry
+(:func:`build_registry_schemes`) instead of hand-constructing scheme
+objects, so a newly registered scheme shows up in every comparison
+without touching the drivers.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +13,11 @@ import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import UnsupportedWorkflowError
+from repro.schemes import Workload
+from repro.schemes import registry as scheme_registry
 from repro.workflow.derivation import Derivation, sample_run
 from repro.workflow.specification import Specification
 
@@ -86,6 +96,54 @@ def time_per_query(
     for a, b in pairs:
         query(a, b)
     return (time.perf_counter() - start) / max(1, count)
+
+
+@dataclass
+class SchemeBuild:
+    """One registry scheme built (or skipped) on one workload."""
+
+    name: str
+    scheme: Optional[object]
+    seconds: float
+    skip_reason: Optional[str] = None
+
+    @property
+    def built(self) -> bool:
+        return self.scheme is not None
+
+
+def build_registry_schemes(
+    workload: Workload,
+    names: Optional[Sequence[str]] = None,
+    options: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[SchemeBuild]:
+    """Build every (requested) registered scheme on one workload, timed.
+
+    Schemes that do not support the workload -- or abort mid-build, like
+    the tree transform hitting its blow-up guard -- are returned with a
+    ``skip_reason`` instead of silently dropped, so comparison tables
+    can show *why* a column is missing.  ``options`` maps scheme names
+    to extra ``build`` keyword arguments.
+    """
+    options = options or {}
+    builds: List[SchemeBuild] = []
+    for name in names if names is not None else scheme_registry.available():
+        cls = scheme_registry.get(name)
+        reason = cls.supports(workload)
+        if reason is not None:
+            builds.append(SchemeBuild(name, None, 0.0, reason))
+            continue
+        try:
+            scheme, seconds = time_call(
+                lambda: scheme_registry.build(
+                    name, workload, **options.get(name, {})
+                )
+            )
+        except UnsupportedWorkflowError as exc:
+            builds.append(SchemeBuild(name, None, 0.0, str(exc)))
+            continue
+        builds.append(SchemeBuild(name, scheme, seconds))
+    return builds
 
 
 @dataclass

@@ -6,9 +6,14 @@ Subcommands::
     python -m repro derive SPEC -o EXEC [--size N] # sample a run, write log
     python -m repro label SPEC EXEC -o LABELS      # label a log on-the-fly
     python -m repro query SPEC LABELS A B          # reachability from labels
+    python -m repro schemes                        # list labeling backends
     python -m repro normalize SPEC -o OUT          # Section 5.3 rewriting
     python -m repro bench [EXPERIMENT...]          # Section 7 tables
     python -m repro serve [--port P | --stdio]     # provenance query service
+
+``label`` and ``serve`` take ``--scheme`` to pick any registered
+*dynamic* labeling backend (``drl`` by default; see ``repro schemes``);
+``query`` reads the scheme back from the label store, which records it.
 
 Specifications and execution logs are read/written as JSON or XML,
 chosen by file extension (``.json`` / ``.xml``).
@@ -23,15 +28,15 @@ from typing import List, Optional
 from repro.io import (
     load_execution_json,
     load_execution_xml,
-    load_labels,
+    load_label_store,
     save_execution_json,
     save_execution_xml,
     save_labels,
     save_specification_json,
     save_specification_xml,
 )
-from repro.labeling.drl import DRL
-from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.errors import ReproError, ServiceError
+from repro.schemes import registry as scheme_registry
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
 from repro.workflow.grammar import analyze_grammar
@@ -55,7 +60,6 @@ def _load_execution(path: str):
 
 def _builtin_or_file(name: str) -> Specification:
     """Resolve a spec argument: a bundled dataset name or a file path."""
-    from repro.errors import ServiceError
     from repro.service.sessions import resolve_spec
 
     try:
@@ -108,14 +112,18 @@ def cmd_derive(args) -> int:
 def cmd_label(args) -> int:
     spec = _builtin_or_file(args.spec)
     insertions = _load_execution(args.execution)
-    scheme = DRL(spec, skeleton=args.skeleton)
-    labeler = DRLExecutionLabeler(scheme, mode=args.mode)
+    try:
+        scheme = scheme_registry.open_dynamic(
+            args.scheme, spec, skeleton=args.skeleton, mode=args.mode
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
     for insertion in insertions:
-        labeler.insert(insertion)
-    save_labels(labeler.labels, spec, args.out)
-    bits = [scheme.label_bits(l) for l in labeler.labels.values()]
+        scheme.insert(insertion)
+    save_labels(dict(scheme.labels), spec, args.out, scheme=scheme.name)
+    bits = [scheme.label_bits_of(v) for v in scheme.labeled_vertices()]
     print(
-        f"labeled {len(bits)} vertices -> {args.out} "
+        f"labeled {len(bits)} vertices with {scheme.name!r} -> {args.out} "
         f"(max {max(bits)} bits, avg {sum(bits) / len(bits):.1f})"
     )
     return 0
@@ -123,15 +131,29 @@ def cmd_label(args) -> int:
 
 def cmd_query(args) -> int:
     spec = _builtin_or_file(args.spec)
-    labels = load_labels(spec, args.labels)
-    scheme = DRL(spec, skeleton=args.skeleton)
+    scheme_name, labels = load_label_store(spec, args.labels)
+    scheme = scheme_registry.open_dynamic(
+        scheme_name, spec, skeleton=args.skeleton
+    )
     try:
         label_a, label_b = labels[args.source], labels[args.target]
     except KeyError as exc:
         raise SystemExit(f"vertex {exc} has no stored label")
-    answer = scheme.query(label_a, label_b)
-    print(f"{args.source} ~> {args.target}: {answer}")
+    answer = scheme.reaches_labels(label_a, label_b)
+    print(f"{args.source} ~> {args.target}: {answer}  [{scheme_name}]")
     return 0 if answer else 1
+
+
+def cmd_schemes(args) -> int:
+    for record in scheme_registry.describe():
+        kind = "dynamic" if record["dynamic"] else "static"
+        exact = "exact" if record["exact"] else "filter+fallback"
+        spec = "spec-aware" if record["needs_spec"] else "spec-free"
+        print(
+            f"{record['name']:<15} {kind:<8} {exact:<16} {spec:<11} "
+            f"{record['summary']}"
+        )
+    return 0
 
 
 def cmd_normalize(args) -> int:
@@ -155,10 +177,13 @@ def cmd_serve(args) -> int:
     from repro.service.server import ReproServer, ReproService, serve_stdio
 
     if args.selftest:
-        from repro.service.selftest import run_selftest
+        from repro.service.selftest import run_selftest, run_selftest_all_dynamic
 
+        if args.scheme == "all":
+            return run_selftest_all_dynamic(size=args.size, seed=args.seed)
         return run_selftest(
-            spec_name=args.spec, size=args.size, seed=args.seed
+            spec_name=args.spec, size=args.size, seed=args.seed,
+            scheme=args.scheme,
         )
     service = ReproService(cache_size=args.cache_size)
     if args.stdio:
@@ -199,10 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random topological order instead of deterministic")
     p.set_defaults(func=cmd_derive)
 
+    dynamic_schemes = scheme_registry.available(dynamic=True)
+
     p = sub.add_parser("label", help="label an execution log on-the-fly")
     p.add_argument("spec")
     p.add_argument("execution")
     p.add_argument("-o", "--out", required=True)
+    p.add_argument("--scheme", choices=dynamic_schemes, default="drl",
+                   help="dynamic labeling backend (see 'repro schemes')")
     p.add_argument("--skeleton", choices=["tcl", "bfs"], default="tcl")
     p.add_argument("--mode", choices=["name", "logged"], default="logged")
     p.set_defaults(func=cmd_label)
@@ -214,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target", type=int)
     p.add_argument("--skeleton", choices=["tcl", "bfs"], default="tcl")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("schemes", help="list the registered labeling backends")
+    p.set_defaults(func=cmd_schemes)
 
     p = sub.add_parser("normalize", help="rewrite to the naming conditions")
     p.add_argument("spec")
@@ -234,8 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query cache capacity, in entries")
     p.add_argument("--selftest", action="store_true",
                    help="run one scripted session end-to-end and exit")
-    p.add_argument("--spec", default="running-example",
-                   help="selftest: spec to exercise")
+    p.add_argument("--scheme", choices=dynamic_schemes + ["all"],
+                   default="drl",
+                   help="selftest: dynamic scheme to exercise "
+                        "('all' sweeps every registered one)")
+    p.add_argument("--spec", default=None,
+                   help="selftest: spec to exercise (default: one the "
+                        "chosen scheme supports)")
     p.add_argument("--size", type=int, default=300,
                    help="selftest: run size in vertices")
     p.add_argument("--seed", type=int, default=0,

@@ -22,7 +22,7 @@ from repro.io.jsonio import (
     specification_from_json,
     specification_to_json,
 )
-from repro.io.labelstore import load_labels, save_labels
+from repro.io.labelstore import load_label_store, load_labels, save_labels
 from repro.io.xmlio import (
     execution_from_xml,
     execution_to_xml,
@@ -55,4 +55,5 @@ __all__ = [
     "load_execution_json",
     "save_labels",
     "load_labels",
+    "load_label_store",
 ]

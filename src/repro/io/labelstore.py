@@ -1,21 +1,24 @@
 """Persisted label maps: the compact binary codec on disk.
 
 A label store is a JSON document mapping vertex ids to base64-encoded
-bitstrings produced by :class:`repro.labeling.serialize.LabelCodec`.
-This is what a provenance system would keep next to its execution log:
-labels are written once (they never change) and loaded back to answer
-queries without re-labeling the run.
+bitstrings produced by the scheme's codec (resolved through
+:func:`repro.labeling.serialize.codec_for_scheme`, so any registered
+dynamic scheme -- ``drl``, ``naive``, ``path-position`` -- persists
+through the same format).  The document records which scheme produced
+the labels; loading dispatches on that name, so a store is
+self-describing.  This is what a provenance system would keep next to
+its execution log: labels are written once (they never change) and
+loaded back to answer queries without re-labeling the run.
 """
 
 from __future__ import annotations
 
 import base64
 import json
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.io.xmlio import FormatError
-from repro.labeling.drl import Label
-from repro.labeling.serialize import LabelCodec
+from repro.labeling.serialize import codec_for_scheme
 from repro.workflow.specification import Specification
 
 _FORMAT = "repro-labels"
@@ -23,10 +26,13 @@ _VERSION = 1
 
 
 def save_labels(
-    labels: Dict[int, Label], spec: Specification, path
+    labels: Dict[int, object],
+    spec: Specification,
+    path,
+    scheme: str = "drl",
 ) -> None:
-    """Encode and write a vertex -> label map."""
-    codec = LabelCodec(spec)
+    """Encode and write a vertex -> label map under one scheme's codec."""
+    codec = codec_for_scheme(scheme, spec)
     entries = {}
     for vid, label in labels.items():
         payload, bits = codec.encode(label)
@@ -38,21 +44,35 @@ def save_labels(
         "format": _FORMAT,
         "version": _VERSION,
         "spec": spec.name,
+        "scheme": scheme,
         "labels": entries,
     }
     with open(path, "w") as handle:
         json.dump(document, handle)
 
 
-def load_labels(spec: Specification, path) -> Dict[int, Label]:
-    """Read a vertex -> label map written by :func:`save_labels`."""
+def load_label_store(
+    spec: Specification, path
+) -> Tuple[str, Dict[int, object]]:
+    """Read a label store; returns ``(scheme name, vid -> label)``.
+
+    Stores written before the scheme field existed decode as ``drl``
+    (the only scheme that could have written them).
+    """
     with open(path) as handle:
         document = json.load(handle)
     if document.get("format") != _FORMAT:
         raise FormatError(f"not a label store: {document.get('format')!r}")
-    codec = LabelCodec(spec)
-    labels: Dict[int, Label] = {}
+    scheme = document.get("scheme", "drl")
+    codec = codec_for_scheme(scheme, spec)
+    labels: Dict[int, object] = {}
     for vid, entry in document.get("labels", {}).items():
         payload = base64.b64decode(entry["data"])
         labels[int(vid)] = codec.decode(payload, entry["bits"])
+    return scheme, labels
+
+
+def load_labels(spec: Specification, path) -> Dict[int, object]:
+    """Read just the vertex -> label map written by :func:`save_labels`."""
+    _, labels = load_label_store(spec, path)
     return labels

@@ -83,6 +83,11 @@ class NaiveDynamicScheme:
         except KeyError:
             raise LabelingError(f"vertex {vid} has no label") from None
 
+    @property
+    def labels(self) -> Dict[int, NaiveLabel]:
+        """The live vid -> label map (labels are write-once)."""
+        return self._labels
+
     # ------------------------------------------------------------------
     @staticmethod
     def query(label_v: NaiveLabel, label_w: NaiveLabel) -> bool:

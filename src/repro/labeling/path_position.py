@@ -95,6 +95,11 @@ class PathPositionScheme:
         except KeyError:
             raise LabelingError(f"vertex {vid} has no label") from None
 
+    @property
+    def labels(self) -> Dict[int, PositionLabel]:
+        """The live vid -> label map (labels are write-once)."""
+        return self._labels
+
     # ------------------------------------------------------------------
     @staticmethod
     def query(label_u: PositionLabel, label_v: PositionLabel) -> bool:

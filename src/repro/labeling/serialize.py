@@ -1,9 +1,9 @@
-"""Binary serialization of DRL labels.
+"""Binary serialization of reachability labels, keyed by scheme name.
 
 The bit accounting of :meth:`DRL.label_bits` claims a label fits in so
 many bits; this module makes the claim concrete by actually encoding
 labels into a self-delimiting bitstring and decoding them back.  The
-wire format per entry:
+wire format per DRL entry:
 
 * ``index``    -- Elias-gamma coded (self-delimiting, ~2 log i bits);
 * ``kind``     -- 2 bits (N=0, L=1, F=2, R=3);
@@ -15,15 +15,25 @@ wire format per entry:
 The encoded size is within a small constant factor of the accounted
 size (gamma coding doubles the index bits to make them self-delimiting);
 round-tripping is exact, which the property tests assert.
+
+Since the scheme layer (:mod:`repro.schemes`) made labeling pluggable,
+persistence dispatches on *registered scheme names*: every dynamic
+scheme the service can host has a codec here (``drl``, ``naive``,
+``path-position``), resolved via :meth:`LabelCodec.for_scheme` /
+:func:`codec_for_scheme`, and extensions can :func:`register_codec`
+their own.  Every codec exposes the same two-method surface
+(``encode(label) -> (payload, bit_length)`` / ``decode(payload,
+bit_length) -> label``), which is all :mod:`repro.io.labelstore` needs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import LabelingError
 from repro.labeling.bits import pointer_bits
 from repro.labeling.drl import Entry, Label, SkeletonRef
+from repro.labeling.naive_dynamic import NaiveLabel
 from repro.parsetree.explicit import NodeKind
 from repro.workflow.specification import Specification
 
@@ -106,7 +116,21 @@ class BitReader:
 
 
 class LabelCodec:
-    """Encode/decode DRL labels for one specification."""
+    """Encode/decode DRL labels for one specification.
+
+    :meth:`for_scheme` is the dispatch point for other schemes' labels:
+    it resolves a registered scheme name to that scheme's codec (this
+    class for ``'drl'``).
+    """
+
+    scheme = "drl"
+
+    @classmethod
+    def for_scheme(
+        cls, scheme: str, spec: Optional[Specification] = None
+    ):
+        """The codec for a registered scheme's labels."""
+        return codec_for_scheme(scheme, spec)
 
     def __init__(self, spec: Specification) -> None:
         self.spec = spec
@@ -160,3 +184,79 @@ class LabelCodec:
                 Entry(index=index, kind=kind, skl=skl, rec1=rec1, rec2=rec2)
             )
         return tuple(entries)
+
+
+class NaiveLabelCodec:
+    """Codec for the Section 3.2 scheme: gamma rank + ``i - 1`` ancestor bits."""
+
+    scheme = "naive"
+
+    def __init__(self, spec: Optional[Specification] = None) -> None:
+        self.spec = spec  # unused: the naive scheme is spec-free
+
+    def encode(self, label: NaiveLabel) -> Tuple[bytes, int]:
+        writer = BitWriter()
+        writer.write_gamma(label.index - 1)
+        writer.write_uint(label.ancestors, label.index - 1)
+        return writer.to_bytes(), len(writer)
+
+    def decode(self, payload: bytes, bit_length: int) -> NaiveLabel:
+        reader = BitReader(payload, bit_length)
+        index = reader.read_gamma() + 1
+        ancestors = reader.read_uint(index - 1)
+        return NaiveLabel(index=index, ancestors=ancestors)
+
+
+class PositionLabelCodec:
+    """Codec for path-position labels: one gamma-coded integer."""
+
+    scheme = "path-position"
+
+    def __init__(self, spec: Optional[Specification] = None) -> None:
+        self.spec = spec  # unused: positions carry no spec references
+
+    def encode(self, label: int) -> Tuple[bytes, int]:
+        writer = BitWriter()
+        writer.write_gamma(label)
+        return writer.to_bytes(), len(writer)
+
+    def decode(self, payload: bytes, bit_length: int) -> int:
+        reader = BitReader(payload, bit_length)
+        return reader.read_gamma()
+
+
+# ---------------------------------------------------------------------------
+# scheme-name dispatch
+# ---------------------------------------------------------------------------
+
+# scheme name -> codec factory; a factory takes the (possibly None)
+# specification and returns an encode/decode object.
+_CODEC_FACTORIES: Dict[str, Callable[[Optional[Specification]], object]] = {}
+
+
+def register_codec(
+    scheme: str, factory: Callable[[Optional[Specification]], object]
+) -> None:
+    """Register (or override) the label codec for one scheme name."""
+    _CODEC_FACTORIES[scheme.strip().lower()] = factory
+
+
+register_codec("drl", lambda spec: LabelCodec(spec))
+register_codec("naive", NaiveLabelCodec)
+register_codec("path-position", PositionLabelCodec)
+
+
+def codec_for_scheme(scheme: str, spec: Optional[Specification] = None):
+    """The codec registered for ``scheme``; :class:`LabelingError` if none.
+
+    Static schemes have no persistence codec on purpose -- their labels
+    are rebuilt from the frozen graph, not stored incrementally.
+    """
+    try:
+        factory = _CODEC_FACTORIES[scheme.strip().lower()]
+    except KeyError:
+        raise LabelingError(
+            f"no label codec registered for scheme {scheme!r}; "
+            f"persistable schemes: {sorted(_CODEC_FACTORIES)}"
+        ) from None
+    return factory(spec)

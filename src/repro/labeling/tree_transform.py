@@ -102,6 +102,10 @@ class TreeTransformIndex:
         """Accounted size: two counters per tree copy."""
         return sum(uint_bits(a) + uint_bits(b) for a, b in label)
 
+    def total_bits(self) -> int:
+        """Total index size in bits."""
+        return sum(self.label_bits(l) for l in self._labels.values())
+
     def max_copies(self) -> int:
         """The largest number of tree copies any vertex received."""
         return max(len(label) for label in self._labels.values())

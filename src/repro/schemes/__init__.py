@@ -1,0 +1,40 @@
+"""Pluggable reachability schemes behind one capability-typed protocol.
+
+* :mod:`repro.schemes.base` -- the protocol: :class:`Scheme` with the
+  one canonical ``reaches(u, v)`` query method, split into
+  :class:`StaticScheme` (frozen DAG) and :class:`DynamicScheme`
+  (incremental ``insert``), plus :class:`SchemeCapabilities` flags
+  (``dynamic``, ``exact``, ``needs_spec``) and the :class:`Workload`
+  construction context.
+* :mod:`repro.schemes.adapters` -- thin adapters conforming every
+  labeling class (DRL, naive, SKL, GRAIL, 2-hop, chains, tree
+  transform, path positions) without changing their per-scheme math.
+* :mod:`repro.schemes.registry` -- the name-keyed registry
+  (``get``/``register``/``available``/``open_dynamic``/``build``)
+  shared by the service (wire-visible ``scheme`` session field), the
+  CLI (``--scheme``) and the registry-driven benchmarks.
+"""
+
+from repro.schemes.base import (
+    DynamicScheme,
+    Scheme,
+    SchemeCapabilities,
+    StaticScheme,
+    Workload,
+)
+from repro.schemes import registry
+from repro.schemes import adapters as _adapters  # noqa: F401  (populates registry)
+from repro.schemes.registry import available, build, get, open_dynamic
+
+__all__ = [
+    "Scheme",
+    "StaticScheme",
+    "DynamicScheme",
+    "SchemeCapabilities",
+    "Workload",
+    "registry",
+    "get",
+    "available",
+    "build",
+    "open_dynamic",
+]

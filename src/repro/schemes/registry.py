@@ -1,0 +1,107 @@
+"""The name-keyed scheme registry.
+
+One flat namespace of reachability schemes, the piece every consumer
+shares: the service resolves a session's wire-visible ``scheme`` field
+here, the CLI turns ``--scheme`` arguments into labelers here, and the
+benchmarks/conformance tests iterate :func:`available` instead of
+hand-constructing scheme objects.
+
+Registering is declarative::
+
+    @register
+    class MyScheme(DynamicScheme):
+        name = "my-scheme"
+        capabilities = SchemeCapabilities(...)
+
+Names are case-insensitive and normalized to lower-case kebab form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from repro.errors import LabelingError, ServiceError
+from repro.schemes.base import DynamicScheme, Scheme, Workload
+from repro.workflow.specification import Specification
+
+_REGISTRY: Dict[str, Type[Scheme]] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register(cls: Type[Scheme]) -> Type[Scheme]:
+    """Class decorator: add a scheme class under its ``name``."""
+    name = _normalize(cls.name)
+    if not name or name == "abstract":
+        raise LabelingError(f"scheme class {cls.__name__} has no usable name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise LabelingError(
+            f"scheme name {name!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get(name: str) -> Type[Scheme]:
+    """The scheme class registered under ``name``.
+
+    Raises :class:`LabelingError` for unknown names (the service maps it
+    to its wire code, the CLI to an exit message).
+    """
+    try:
+        return _REGISTRY[_normalize(name)]
+    except KeyError:
+        raise LabelingError(
+            f"unknown scheme {name!r}; available: {available()}"
+        ) from None
+
+
+def available(dynamic: Optional[bool] = None) -> List[str]:
+    """Registered scheme names, sorted; filter by the dynamic capability."""
+    names = [
+        name
+        for name, cls in _REGISTRY.items()
+        if dynamic is None or cls.capabilities.dynamic == dynamic
+    ]
+    return sorted(names)
+
+
+def describe() -> List[Dict[str, Any]]:
+    """One capability record per registered scheme (wire-serializable)."""
+    records = []
+    for name in available():
+        cls = _REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        record: Dict[str, Any] = {"name": name}
+        record.update(cls.capabilities.to_dict())
+        record["summary"] = doc[0] if doc else ""
+        records.append(record)
+    return records
+
+
+def open_dynamic(
+    name: str, spec: Optional[Specification] = None, **options: Any
+) -> DynamicScheme:
+    """An empty dynamic scheme ready to ingest, validated by capability.
+
+    The service's session layer calls this with the wire-visible scheme
+    name; asking for a static scheme is a :class:`ServiceError` (static
+    schemes need the frozen run, which a live session never has).
+    """
+    cls = get(name)
+    if not cls.capabilities.dynamic:
+        raise ServiceError(
+            f"scheme {cls.name!r} is static (needs the whole run); "
+            f"dynamic schemes: {available(dynamic=True)}"
+        )
+    assert issubclass(cls, DynamicScheme)
+    return cls.open(spec, **options)
+
+
+def build(name: str, workload: Workload, **options: Any) -> Scheme:
+    """Build any registered scheme, fully labeled, over one workload."""
+    return get(name).build(workload, **options)

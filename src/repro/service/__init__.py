@@ -10,10 +10,14 @@ reachability queries answered through a version-aware LRU cache
 checkpoint/recovery of live sessions built on the label store
 (:mod:`repro.service.checkpoint`).
 
-Because DRL labels are assigned on-the-fly and never change, the
+Because dynamic labels are assigned on-the-fly and never change, the
 service answers provenance queries about a run *while that run is
 still executing* -- the paper's central capability, lifted to a
-serveable system.
+serveable system.  Each session's labeling backend is pluggable: the
+wire-visible ``scheme`` field names any registered *dynamic* scheme
+(:mod:`repro.schemes.registry`; DRL by default), the ``schemes``
+protocol op lists the available backends, and checkpoints record and
+restore the scheme they were written under.
 """
 
 from repro.service.checkpoint import checkpoint_session, restore_session

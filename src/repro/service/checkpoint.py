@@ -2,23 +2,25 @@
 
 A checkpoint is a directory of four JSON documents::
 
-    manifest.json   session name, spec name, skeleton/mode, version,
-                    vertex count, format tag
+    manifest.json   session name, spec name, scheme name, skeleton/mode,
+                    version, vertex count, format tag
     spec.json       the specification (repro.io.jsonio schema)
     log.json        the insertion log so far (execution-log schema)
     labels.json     the labels assigned so far (repro.io.labelstore,
-                    compact binary codec)
+                    compact binary codec dispatched on the scheme name)
 
 Labels are write-once, so a checkpoint never needs to rewrite earlier
 state: a later checkpoint of the same session is a strict superset of
 an earlier one, which makes the format append-friendly.
 
-Recovery replays the insertion log through a fresh labeler -- labeling
-is deterministic, so the replay reassigns exactly the labels the live
-session had -- and then verifies the recomputed labels against the
-stored ones, turning label persistence into an integrity check rather
-than a trusted input.  The restored session continues ingesting from
-where the checkpoint was taken.
+Recovery rebuilds the session under the *recorded scheme* and replays
+the insertion log through a fresh labeler -- labeling is deterministic,
+so the replay reassigns exactly the labels the live session had -- and
+then verifies the recomputed labels against the stored ones, turning
+label persistence into an integrity check rather than a trusted input.
+The restored session continues ingesting from where the checkpoint was
+taken.  Checkpoints written before the scheme field existed restore as
+``drl`` (the only scheme that could have written them).
 """
 
 from __future__ import annotations
@@ -35,7 +37,7 @@ from repro.io.jsonio import (
     specification_from_json,
     specification_to_json,
 )
-from repro.io.labelstore import load_labels, save_labels
+from repro.io.labelstore import load_label_store, save_labels
 from repro.service.sessions import Session, SessionManager
 
 _FORMAT = "repro-checkpoint"
@@ -61,6 +63,7 @@ def checkpoint_session(session: Session, directory) -> Path:
         "version": _VERSION,
         "session": session.name,
         "spec": session.spec.name,
+        "scheme": session.scheme_name,
         "skeleton": session.skeleton,
         "mode": session.mode,
         "session_version": version,
@@ -75,7 +78,12 @@ def checkpoint_session(session: Session, directory) -> Path:
     stage = [
         (_SPEC, lambda p: _dump(specification_to_json(session.spec), p)),
         (_LOG, lambda p: _dump(execution_to_json(log, session.spec.name), p)),
-        (_LABELS, lambda p: save_labels(labels, session.spec, p)),
+        (
+            _LABELS,
+            lambda p: save_labels(
+                labels, session.spec, p, scheme=session.scheme_name
+            ),
+        ),
         (_MANIFEST, lambda p: _dump(manifest, p, indent=2)),
     ]
     for filename, write in stage:
@@ -126,16 +134,24 @@ def restore_session(
             f"{manifest['vertices']} vertices but the log has "
             f"{len(log)} (mixed checkpoint generations?)"
         )
+    scheme = manifest.get("scheme", "drl")
     session = Session(
         name or manifest["session"],
         spec,
+        scheme=scheme,
         skeleton=manifest["skeleton"],
         mode=manifest["mode"],
     )
     session.ingest_many(log)
     session.version = manifest["session_version"]
-    stored = load_labels(spec, path / _LABELS)
-    if session.labeler.labels != stored:
+    stored_scheme, stored = load_label_store(spec, path / _LABELS)
+    if stored_scheme != session.scheme_name:
+        raise ServiceError(
+            f"checkpoint {path} is inconsistent: manifest records scheme "
+            f"{session.scheme_name!r} but the label store was written by "
+            f"{stored_scheme!r}"
+        )
+    if dict(session.scheme.labels) != stored:
         raise ServiceError(
             f"checkpoint {path} is corrupt: replayed labels diverge "
             "from the stored labels"

@@ -55,6 +55,7 @@ class ServiceClient:
         self,
         name: str,
         spec: Optional[str] = None,
+        scheme: str = "drl",
         skeleton: str = "tcl",
         mode: str = "logged",
         checkpoint: Optional[str] = None,
@@ -63,9 +64,12 @@ class ServiceClient:
             "name": name, "skeleton": skeleton, "mode": mode,
         }
         if checkpoint is not None:
+            # the checkpoint manifest records the scheme; sending one
+            # here would turn the default into a spurious mismatch
             params["checkpoint"] = checkpoint
         elif spec is not None:
             params["spec"] = spec
+            params["scheme"] = scheme
         else:
             raise ProtocolError(
                 "create_session needs either 'spec' or 'checkpoint'"
@@ -97,6 +101,10 @@ class ServiceClient:
 
     def snapshot(self, session: str, path: str) -> Dict[str, Any]:
         return self.call("snapshot", session=session, path=str(path))
+
+    def list_schemes(self) -> List[Dict[str, Any]]:
+        """Registered labeling backends with their capability flags."""
+        return list(self.call("schemes")["schemes"])
 
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")

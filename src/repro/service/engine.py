@@ -104,8 +104,8 @@ class QueryEngine:
         started = time.perf_counter()
         with session.lock:
             version = session.version
-        labels = session.labeler.labels
         scheme = session.scheme
+        labels = scheme.labels
         # phase 1: probe the cache for the whole batch in one lock hold
         answers: List[Optional[bool]] = []
         missing: List[Tuple[int, int, int]] = []  # (position, source, target)
@@ -121,9 +121,11 @@ class QueryEngine:
                     missing.append((position, source, target))
         # phase 2: compute misses without the lock -- labels are
         # write-once, so concurrent batches computing the same answer
-        # agree, and other sessions' queries proceed in parallel
+        # agree, and other sessions' queries proceed in parallel.  The
+        # scheme is whatever dynamic backend the session was opened
+        # with; reaches_labels is the one protocol query method.
         for position, source, target in missing:
-            answers[position] = scheme.query(
+            answers[position] = scheme.reaches_labels(
                 self._label(labels, session, source),
                 self._label(labels, session, target),
             )

@@ -9,16 +9,22 @@ exception class the library would have raised in process.
 
 Operations::
 
-    create_session   name, spec[, skeleton, mode, checkpoint]
+    create_session   name, spec[, scheme, skeleton, mode, checkpoint]
     ingest           session, insertions=[event...]   (one or many)
     query            session, source, target
     query_batch      session, pairs=[[v, w]...]
     snapshot         session, path
+    schemes          (lists the registered labeling backends)
     stats
     close            session
     list_sessions
     ping
     shutdown
+
+``scheme`` selects the session's labeling backend by registry name
+(``drl`` by default); ``schemes`` returns every registered backend with
+its capability flags so clients can discover which names are dynamic
+(hostable in a session) before opening one.
 
 Insertion events use the exact execution-log JSON schema of
 :func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
@@ -53,6 +59,7 @@ OPS = (
     "query",
     "query_batch",
     "snapshot",
+    "schemes",
     "stats",
     "close",
     "list_sessions",

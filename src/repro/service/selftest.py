@@ -1,11 +1,14 @@
-"""End-to-end smoke test: ``repro serve --selftest``.
+"""End-to-end smoke test: ``repro serve --selftest [--scheme NAME]``.
 
 Spins up a real :class:`ReproServer` on an ephemeral loopback port,
-drives one scripted session through the wire protocol -- create,
-batched ingest, single and batch queries, snapshot, restore, close,
-shutdown -- and verifies every answer against BFS ground truth on the
-materialized run graph.  Returns nonzero on any mismatch, so CI can
-exercise the server without a separate client harness.
+drives one scripted session through the wire protocol -- scheme
+discovery, create (under any registered *dynamic* scheme), batched
+ingest, single and batch queries, snapshot, restore, close, shutdown --
+and verifies every answer against BFS ground truth on the materialized
+run graph, plus that the checkpoint records the session's scheme and
+restores under it.  Returns nonzero on any mismatch, so CI can
+exercise the server once per dynamic scheme without a separate client
+harness.
 """
 
 from __future__ import annotations
@@ -14,24 +17,38 @@ import random
 import tempfile
 import threading
 from pathlib import Path
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graphs.reachability import reaches
+from repro.schemes import registry as scheme_registry
+from repro.service.checkpoint import load_manifest
 from repro.service.client import ServiceClient
 from repro.service.server import ReproServer
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
 
+# schemes whose run-language support is narrower than "any workflow"
+# get a compatible default specification
+_SPEC_FOR_SCHEME = {"path-position": "fig12-path"}
+
+
+def default_spec_for(scheme: str) -> str:
+    """The default selftest spec exercising ``scheme``."""
+    return _SPEC_FOR_SCHEME.get(scheme, "running-example")
+
 
 def run_selftest(
-    spec_name: str = "running-example",
+    spec_name: Optional[str] = None,
     size: int = 300,
     queries: int = 400,
     seed: int = 0,
+    scheme: str = "drl",
     verbose: bool = True,
 ) -> int:
     """Run the scripted session; returns 0 on success, 1 on mismatch."""
     failures: List[str] = []
+    if spec_name is None:
+        spec_name = default_spec_for(scheme)
 
     def check(condition: bool, message: str) -> None:
         if not condition:
@@ -49,8 +66,21 @@ def run_selftest(
     try:
         with ServiceClient("127.0.0.1", server.port) as client:
             check(client.ping(), "ping failed")
-            info = client.create_session("selftest", spec_name)
+            advertised = {s["name"]: s for s in client.list_schemes()}
+            check(
+                advertised.get(scheme, {}).get("dynamic", False),
+                f"scheme {scheme!r} not advertised as dynamic",
+            )
+            say(
+                f"{len(advertised)} schemes advertised; exercising "
+                f"{scheme!r} on {spec_name!r}"
+            )
+            info = client.create_session("selftest", spec_name, scheme=scheme)
             check(info["vertices"] == 0, "fresh session not empty")
+            check(
+                info.get("scheme") == scheme,
+                f"create reported scheme {info.get('scheme')!r}",
+            )
 
             run = sample_run(
                 client_spec(spec_name), size, random.Random(seed)
@@ -94,13 +124,29 @@ def run_selftest(
             with tempfile.TemporaryDirectory() as tmp:
                 ckpt = Path(tmp) / "ckpt"
                 client.snapshot("selftest", str(ckpt))
-                client.create_session("restored", checkpoint=str(ckpt))
+                manifest = load_manifest(ckpt)
+                check(
+                    manifest.get("scheme") == scheme,
+                    f"checkpoint recorded scheme {manifest.get('scheme')!r}, "
+                    f"expected {scheme!r}",
+                )
+                restored_info = client.create_session(
+                    "restored", checkpoint=str(ckpt)
+                )
+                check(
+                    restored_info.get("scheme") == scheme,
+                    f"restore reported scheme "
+                    f"{restored_info.get('scheme')!r}",
+                )
                 restored = client.query_batch("restored", pairs)
                 check(
                     restored == answers,
                     "restored session answers diverged",
                 )
-                say("checkpoint -> restore round trip verified")
+                say(
+                    f"checkpoint -> restore round trip verified "
+                    f"(scheme {scheme!r} recorded and restored)"
+                )
                 client.close_session("restored")
 
             client.close_session("selftest")
@@ -116,6 +162,21 @@ def run_selftest(
         return 1
     say("all checks passed")
     return 0
+
+
+def run_selftest_all_dynamic(
+    size: int = 300, queries: int = 400, seed: int = 0, verbose: bool = True
+) -> int:
+    """Run the selftest once per registered dynamic scheme."""
+    status = 0
+    for scheme in scheme_registry.available(dynamic=True):
+        if verbose:
+            print(f"selftest: === scheme {scheme!r} ===")
+        status |= run_selftest(
+            size=size, queries=queries, seed=seed, scheme=scheme,
+            verbose=verbose,
+        )
+    return status
 
 
 def client_spec(spec_name: str):

@@ -22,7 +22,7 @@ import socketserver
 import threading
 from typing import Any, Callable, Dict, Optional, TextIO
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServiceError
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
 from repro.service.protocol import (
@@ -56,6 +56,7 @@ class ReproService:
             "query": self._op_query,
             "query_batch": self._op_query_batch,
             "snapshot": self._op_snapshot,
+            "schemes": self._op_schemes,
             "stats": self._op_stats,
             "close": self._op_close,
             "list_sessions": self._op_list_sessions,
@@ -101,6 +102,13 @@ class ReproService:
             if not isinstance(checkpoint, str):
                 raise ProtocolError("'checkpoint' must be a directory path")
             session = restore_session(self.manager, checkpoint, name=name)
+            requested = request.params.get("scheme")
+            if requested is not None and requested != session.scheme_name:
+                self.manager.close(session.name)
+                raise ServiceError(
+                    f"checkpoint was written under scheme "
+                    f"{session.scheme_name!r}, not {requested!r}"
+                )
         else:
             spec = request.params.get("spec")
             if not isinstance(spec, str):
@@ -111,12 +119,14 @@ class ReproService:
             session = self.manager.create(
                 name,
                 spec,
+                scheme=request.params.get("scheme", "drl"),
                 skeleton=request.params.get("skeleton", "tcl"),
                 mode=request.params.get("mode", "logged"),
             )
         return {
             "session": session.name,
             "spec": session.spec.name,
+            "scheme": session.scheme_name,
             "vertices": len(session),
             "version": session.version,
         }
@@ -157,6 +167,11 @@ class ReproService:
             "version": session.version,
             "vertices": len(session),
         }
+
+    def _op_schemes(self, request: Request) -> Dict[str, Any]:
+        from repro.schemes import registry as scheme_registry
+
+        return {"schemes": scheme_registry.describe()}
 
     def _op_stats(self, request: Request) -> Dict[str, Any]:
         return self.engine.stats().to_dict()

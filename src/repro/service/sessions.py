@@ -1,11 +1,16 @@
 """Session hosting: many labeled runs living side by side.
 
 A :class:`Session` owns everything one running workflow needs -- the
-specification, the DRL scheme, the on-the-fly execution labeler, the
-raw insertion log (kept for checkpointing) and a lock serializing
-writers.  A :class:`SessionManager` hosts many sessions under distinct
-names so a single service process can track many concurrent workflow
-executions, the way a workflow engine tracks many active runs.
+specification, a pluggable *dynamic* labeling scheme resolved by name
+through :mod:`repro.schemes.registry` (DRL by default), the raw
+insertion log (kept for checkpointing) and a lock serializing writers.
+A :class:`SessionManager` hosts many sessions under distinct names so a
+single service process can track many concurrent workflow executions,
+the way a workflow engine tracks many active runs.
+
+The ``scheme`` name is wire-visible (``create_session``), persisted in
+checkpoints, and validated against the registry's dynamic capability:
+static schemes need the frozen run, which a live session never has.
 
 Concurrency model
 -----------------
@@ -27,8 +32,8 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.datasets import spec_by_name
 from repro.errors import ServiceError, SessionNotFoundError
-from repro.labeling.drl import DRL, Label
-from repro.labeling.drl_execution import DRLExecutionLabeler
+from repro.labeling.drl import Label
+from repro.schemes import registry as scheme_registry
 from repro.workflow.execution import Insertion
 from repro.workflow.specification import Specification
 
@@ -72,26 +77,35 @@ _next_uid = itertools.count(1).__next__
 
 
 class Session:
-    """One hosted run: a spec, a live labeler, and its insertion log."""
+    """One hosted run: a spec, a live dynamic scheme, its insertion log."""
 
     def __init__(
         self,
         name: str,
         spec: Specification,
+        scheme: str = "drl",
         skeleton: str = "tcl",
         mode: str = "logged",
     ) -> None:
         self.uid = _next_uid()
         self.name = name
         self.spec = spec
+        self.scheme_name = scheme_registry.get(scheme).name
         self.skeleton = skeleton
         self.mode = mode
-        self.scheme = DRL(spec, skeleton=skeleton)
-        self.labeler = DRLExecutionLabeler(self.scheme, mode=mode)
+        # validates the dynamic capability (ServiceError for static names)
+        self.scheme = scheme_registry.open_dynamic(
+            scheme, spec, skeleton=skeleton, mode=mode
+        )
         self.lock = threading.Lock()
         self.version = 0
         self.log: List[Insertion] = []
         self.closed = False
+
+    @property
+    def labeler(self):
+        """Back-compat alias: the scheme *is* the labeler now."""
+        return self.scheme
 
     # ------------------------------------------------------------------
     # writers (serialized by the session lock)
@@ -100,7 +114,7 @@ class Session:
         """Insert one vertex; its label is final immediately."""
         with self.lock:
             self._check_open()
-            label = self.labeler.insert(insertion)
+            label = self.scheme.insert(insertion)
             self.log.append(insertion)
             self.version += 1
             return label
@@ -121,7 +135,7 @@ class Session:
             count = 0
             try:
                 for insertion in insertions:
-                    self.labeler.insert(insertion)
+                    self.scheme.insert(insertion)
                     self.log.append(insertion)
                     count += 1
             finally:
@@ -138,24 +152,25 @@ class Session:
     # ------------------------------------------------------------------
     def label(self, vid: int) -> Label:
         """The final label of an already inserted vertex."""
-        return self.labeler.label(vid)
+        return self.scheme.label_of(vid)
 
     def query(self, source: int, target: int) -> bool:
         """Uncached reachability ``source ~> target`` from labels alone."""
-        return self.scheme.query(self.label(source), self.label(target))
+        return self.scheme.reaches(source, target)
 
     def snapshot_state(self) -> Tuple[int, Dict[int, Label], List[Insertion]]:
         """A consistent ``(version, labels, log)`` copy for checkpointing."""
         with self.lock:
-            return self.version, dict(self.labeler.labels), list(self.log)
+            return self.version, dict(self.scheme.labels), list(self.log)
 
     def __len__(self) -> int:
-        return len(self.labeler.labels)
+        return len(self.scheme.labels)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Session({self.name!r}, spec={self.spec.name!r}, "
-            f"vertices={len(self)}, version={self.version})"
+            f"scheme={self.scheme_name!r}, vertices={len(self)}, "
+            f"version={self.version})"
         )
 
 
@@ -170,12 +185,15 @@ class SessionManager:
         self,
         name: str,
         spec: SpecLike,
+        scheme: str = "drl",
         skeleton: str = "tcl",
         mode: str = "logged",
     ) -> Session:
         """Create (and register) a fresh session named ``name``."""
         specification = resolve_spec(spec)
-        session = Session(name, specification, skeleton=skeleton, mode=mode)
+        session = Session(
+            name, specification, scheme=scheme, skeleton=skeleton, mode=mode
+        )
         with self._lock:
             if name in self._sessions:
                 raise ServiceError(f"session {name!r} already exists")

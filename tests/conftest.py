@@ -48,6 +48,30 @@ def rng():
     return random.Random(0xC0FFEE)
 
 
+def assert_reaches_matches_bfs(graph, reaches_fn, sample=None, rng=None):
+    """Compare a vertex-level ``reaches(u, v)`` against BFS ground truth.
+
+    The one shared ground-truth loop for every reachability scheme
+    (per-scheme tests and the cross-scheme conformance suite both call
+    it): all pairs when ``sample`` is None, sampled pairs otherwise.
+    """
+    vertices = sorted(graph.vertices())
+    if sample is None:
+        pairs = itertools.product(vertices, vertices)
+    else:
+        rng = rng or random.Random(1)
+        pairs = (
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(sample)
+        )
+    for a, b in pairs:
+        expected = reaches(graph, a, b)
+        actual = reaches_fn(a, b)
+        assert actual == expected, (
+            f"reaches({a}:{graph.name(a)} -> {b}:{graph.name(b)}): "
+            f"scheme says {actual}, graph says {expected}"
+        )
+
+
 def assert_labels_correct(graph, labels, query, sample=None, rng=None):
     """Compare a labeling against BFS ground truth on ``graph``.
 

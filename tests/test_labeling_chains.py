@@ -13,7 +13,7 @@ from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
 from repro.graphs.reachability import reaches
 from repro.labeling.chains import ChainIndex, greedy_chain_decomposition
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 class TestDecomposition:
@@ -48,18 +48,15 @@ class TestQueries:
     def test_matches_bfs_on_random_dags(self, seed):
         g = random_two_terminal_dag(25, random.Random(seed)).dag
         index = ChainIndex(g)
-        for u, v in itertools.product(g.vertices(), repeat=2):
-            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+        assert_reaches_matches_bfs(g, index.reaches)
 
     def test_matches_bfs_on_workflow_runs(self, running_spec):
         run = small_run(running_spec, 180, seed=3)
         g = run.graph
         index = ChainIndex(g)
-        vs = sorted(g.vertices())
-        rng = random.Random(4)
-        for _ in range(4000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert index.reaches(a, b) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            g, index.reaches, sample=4000, rng=random.Random(4)
+        )
 
     def test_reflexive(self):
         g = random_chain(4).dag

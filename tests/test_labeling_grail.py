@@ -12,7 +12,7 @@ from repro.graphs.random_graphs import random_two_terminal_dag
 from repro.graphs.reachability import reaches
 from repro.labeling.grail import GrailIndex
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 class TestCorrectness:
@@ -21,18 +21,15 @@ class TestCorrectness:
         rng = random.Random(seed)
         g = random_two_terminal_dag(30, rng).dag
         index = GrailIndex(g, traversals=3, rng=random.Random(seed + 100))
-        for u, v in itertools.product(g.vertices(), repeat=2):
-            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+        assert_reaches_matches_bfs(g, index.reaches)
 
     def test_matches_bfs_on_workflow_runs(self, running_spec):
         run = small_run(running_spec, 200, seed=8)
         g = run.graph
         index = GrailIndex(g, traversals=4, rng=random.Random(9))
-        vs = sorted(g.vertices())
-        rng = random.Random(10)
-        for _ in range(4000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert index.reaches(a, b) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            g, index.reaches, sample=4000, rng=random.Random(10)
+        )
 
     def test_reflexive(self):
         g = random_two_terminal_dag(10, random.Random(1)).dag

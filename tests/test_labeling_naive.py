@@ -13,7 +13,7 @@ from repro.graphs.reachability import reaches
 from repro.labeling.naive_dynamic import NaiveDynamicScheme
 from repro.workflow.execution import execution_from_derivation
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 class TestBasics:
@@ -51,22 +51,21 @@ class TestCorrectness:
             scheme = NaiveDynamicScheme()
             for v in g.topological_order():
                 scheme.insert(v, preds=g.predecessors(v))
-            for a, b in itertools.product(g.vertices(), repeat=2):
-                assert scheme.query(scheme.label(a), scheme.label(b)) == reaches(
-                    g, a, b
-                ), (a, b)
+            assert_reaches_matches_bfs(
+                g, lambda a, b: scheme.query(scheme.label(a), scheme.label(b))
+            )
 
     def test_matches_bfs_on_workflow_executions(self, running_spec):
         run = small_run(running_spec, 150, seed=2)
         exe = execution_from_derivation(run, random.Random(3))
         scheme = NaiveDynamicScheme()
         labels = scheme.insert_all(exe)
-        g = run.graph
-        vs = sorted(g.vertices())
-        rng = random.Random(4)
-        for _ in range(5000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            run.graph,
+            lambda a, b: scheme.query(labels[a], labels[b]),
+            sample=5000,
+            rng=random.Random(4),
+        )
 
     def test_intermediate_correctness(self):
         # labels must answer correctly at every intermediate prefix

@@ -13,7 +13,7 @@ from repro.graphs.reachability import reaches
 from repro.labeling.path_position import PathPositionScheme, runs_are_paths
 from repro.workflow.execution import execution_from_derivation
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 class TestApplicability:
@@ -36,12 +36,12 @@ class TestCorrectness:
         run = small_run(spec, 150, seed=seed)
         scheme = PathPositionScheme(spec)
         labels = scheme.insert_all(execution_from_derivation(run))
-        g = run.graph
-        vs = sorted(g.vertices())
-        rng = random.Random(seed)
-        for _ in range(3000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert scheme.query(labels[a], labels[b]) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            run.graph,
+            lambda a, b: scheme.query(labels[a], labels[b]),
+            sample=3000,
+            rng=random.Random(seed),
+        )
 
     def test_compact_labels(self):
         """Example 15's point: a nonlinear grammar with O(log n) dynamic

@@ -13,7 +13,7 @@ from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
 from repro.graphs.reachability import reaches
 from repro.labeling.tree_transform import TreeTransformIndex
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 def diamond_chain(depth: int) -> NamedDAG:
@@ -40,11 +40,7 @@ class TestCorrectness:
     def test_matches_bfs_on_random_dags(self, seed):
         g = random_two_terminal_dag(18, random.Random(seed)).dag
         index = TreeTransformIndex(g)
-        for u, v in itertools.product(g.vertices(), repeat=2):
-            expected = reaches(g, u, v)
-            if u == v:
-                continue  # interval test is reflexive anyway
-            assert index.reaches(u, v) == expected, (u, v)
+        assert_reaches_matches_bfs(g, index.reaches)
 
     def test_reflexive(self):
         g = random_chain(5).dag
@@ -54,12 +50,9 @@ class TestCorrectness:
     def test_matches_bfs_on_small_runs(self, running_spec):
         run = small_run(running_spec, 80, seed=1)
         index = TreeTransformIndex(run.graph, max_tree_size=500_000)
-        g = run.graph
-        vs = sorted(g.vertices())
-        rng = random.Random(2)
-        for _ in range(2000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert index.reaches(a, b) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            run.graph, index.reaches, sample=2000, rng=random.Random(2)
+        )
 
     def test_unknown_vertex(self):
         g = random_chain(3).dag

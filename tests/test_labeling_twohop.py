@@ -12,7 +12,7 @@ from repro.graphs.random_graphs import random_chain, random_two_terminal_dag
 from repro.graphs.reachability import reaches
 from repro.labeling.twohop import TwoHopIndex
 
-from tests.conftest import small_run
+from tests.conftest import assert_reaches_matches_bfs, small_run
 
 
 class TestCorrectness:
@@ -20,18 +20,15 @@ class TestCorrectness:
     def test_matches_bfs_on_random_dags(self, seed):
         g = random_two_terminal_dag(25, random.Random(seed)).dag
         index = TwoHopIndex(g)
-        for u, v in itertools.product(g.vertices(), repeat=2):
-            assert index.reaches(u, v) == reaches(g, u, v), (u, v)
+        assert_reaches_matches_bfs(g, index.reaches)
 
     def test_matches_bfs_on_workflow_runs(self, running_spec):
         run = small_run(running_spec, 200, seed=1)
         g = run.graph
         index = TwoHopIndex(g)
-        vs = sorted(g.vertices())
-        rng = random.Random(2)
-        for _ in range(4000):
-            a, b = rng.choice(vs), rng.choice(vs)
-            assert index.reaches(a, b) == reaches(g, a, b)
+        assert_reaches_matches_bfs(
+            g, index.reaches, sample=4000, rng=random.Random(2)
+        )
 
     def test_reflexive(self):
         g = random_chain(5).dag
