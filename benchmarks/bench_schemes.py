@@ -42,11 +42,19 @@ OUTPUT = "BENCH_schemes.json"
 
 
 def _workloads() -> List[Dict[str, object]]:
-    """The common graph family every registered scheme is measured on."""
+    """The common graph family every registered scheme is measured on.
+
+    Rows are seeded from ``(family, size)`` -- seeding from the bare
+    size would replay the *same* RNG stream for two families that
+    happen to share a run size, correlating rows that are supposed to
+    be independent samples.
+    """
     families = []
     spec = bioaid(recursive=False)
     for size in RUN_SIZES:
-        run = sample_run(spec, size, random.Random(size))
+        run = sample_run(
+            spec, size, random.Random(f"bioaid-norec:{size}")
+        )
         families.append(
             {
                 "family": "bioaid-norec",
@@ -55,7 +63,11 @@ def _workloads() -> List[Dict[str, object]]:
             }
         )
     path_spec = fig12_path_grammar()
-    path_run = sample_run(path_spec, PATH_RUN_SIZE, random.Random(7))
+    path_run = sample_run(
+        path_spec,
+        PATH_RUN_SIZE,
+        random.Random(f"fig12-path:{PATH_RUN_SIZE}"),
+    )
     families.append(
         {
             "family": "fig12-path",

@@ -1,31 +1,61 @@
-"""Service benchmarks: ingest throughput and batch-query QPS.
+"""Service benchmarks: ingest throughput, batch-query QPS, shard scaling.
 
 Measures the provenance query service end to end (in process, so the
 numbers isolate engine cost from socket cost): events/sec through the
-session ingest path, batch-query QPS with a cold versus warm cache, and
-query throughput spread across many concurrent sessions.
+session ingest path, batch-query QPS with a cold versus warm cache,
+query throughput spread across many concurrent sessions, and -- the
+scaling story -- warm-cache QPS under a closed-loop
+:mod:`repro.loadgen` worker pool as the engine's lock striping grows
+across 1/2/4/8 shards.  Contention on the classic single lock is what
+the striping removes, so the shard sweep is run with every worker
+hammering its own session concurrently; on a multi-core runner the
+striped engines pull ahead, on one core the GIL flattens the curve
+(the report records ``cpu_count`` so the numbers stay interpretable).
 
 Run under pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_service.py --benchmark-only
 
-or standalone for a quick plain-text report::
+or standalone for a plain-text report plus ``BENCH_service.json``::
 
     PYTHONPATH=src python benchmarks/bench_service.py
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 
 from repro.datasets import running_example
+from repro.loadgen import Scenario, engine_driver_factory, run_scenario
 from repro.service import QueryEngine, SessionManager
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
 
 RUN_SIZE = 2000
 BATCH = 2000
+SHARD_COUNTS = (1, 2, 4, 8)
+SCALING_WORKERS = 8
+SCALING_DURATION = float(os.environ.get("BENCH_SCALING_SECONDS", "1.0"))
+OUTPUT = "BENCH_service.json"
+
+# pure warm-cache read load: everything ingested at prefill (no version
+# bumps afterwards), every query drawn from a small hot set so the
+# working set is fully cached after the first few batches
+WARM_SCENARIO = Scenario(
+    name="warm-shard-scaling",
+    summary="pure warm-cache reads, one hot session per worker",
+    spec="running-example",
+    sessions=SCALING_WORKERS,
+    run_size=400,
+    prefill=400,
+    query_fraction=1.0,
+    batch_pairs=256,
+    hot_fraction=1.0,
+    hot_keys=0.05,
+)
 
 
 def _prepared_run(seed=0, size=RUN_SIZE):
@@ -40,13 +70,40 @@ def _pairs(run, count, seed=1):
     return [(rng.choice(vids), rng.choice(vids)) for _ in range(count)]
 
 
-def _loaded_engine(cache_size=65536):
+def _loaded_engine(cache_size=65536, shards=1):
     spec, run, execution = _prepared_run()
     manager = SessionManager()
-    engine = QueryEngine(manager, cache_size=cache_size)
+    engine = QueryEngine(manager, cache_size=cache_size, shards=shards)
     manager.create("bench", spec)
     engine.ingest("bench", execution.insertions)
     return engine, run, execution
+
+
+def _warm_scaling_row(shards, duration=SCALING_DURATION, seed=0):
+    """Warm-cache QPS of one shard count under the closed-loop pool."""
+    manager = SessionManager()
+    engine = QueryEngine(manager, cache_size=1 << 17, shards=shards)
+    report = run_scenario(
+        WARM_SCENARIO,
+        engine_driver_factory(engine),
+        duration=duration,
+        workers=SCALING_WORKERS,
+        seed=seed,
+    )
+    stats = report.stats
+    return {
+        "shards": shards,
+        "workers": report.workers,
+        "qps": report.qps,
+        "queries": report.queries,
+        "hit_rate": stats.get("hit_rate"),
+        "errors": list(report.errors),
+    }
+
+
+def shard_scaling(duration=SCALING_DURATION):
+    """One warm-QPS row per shard count in :data:`SHARD_COUNTS`."""
+    return [_warm_scaling_row(shards, duration) for shards in SHARD_COUNTS]
 
 
 def test_service_ingest_throughput(benchmark):
@@ -83,10 +140,20 @@ def test_service_batch_query_warm(benchmark):
     benchmark.extra_info["hit_rate"] = engine.stats().hit_rate
 
 
+def test_service_batch_query_warm_striped(benchmark):
+    """The striped engine must not tax the single-caller warm path."""
+    engine, run, _ = _loaded_engine(shards=4)
+    pairs = _pairs(run, BATCH)
+    engine.query_many("bench", pairs)
+    benchmark(lambda: engine.query_many("bench", pairs))
+    benchmark.extra_info["qps"] = BATCH / benchmark.stats["mean"]
+    benchmark.extra_info["shards"] = 4
+
+
 def test_service_multi_session_queries(benchmark):
     spec, run, execution = _prepared_run(size=500)
     manager = SessionManager()
-    engine = QueryEngine(manager)
+    engine = QueryEngine(manager, shards=4)
     names = [f"s{i}" for i in range(8)]
     for name in names:
         manager.create(name, spec)
@@ -100,6 +167,20 @@ def test_service_multi_session_queries(benchmark):
     benchmark(fan_out)
     total = len(names) * len(pairs)
     benchmark.extra_info["qps"] = total / benchmark.stats["mean"]
+
+
+def test_shard_scaling_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: shard_scaling(duration=0.3), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = [
+        {k: str(v) for k, v in row.items()} for row in rows
+    ]
+    assert [row["shards"] for row in rows] == list(SHARD_COUNTS)
+    for row in rows:
+        assert not row["errors"]
+        assert row["qps"] > 0
+        assert row["hit_rate"] > 0.5  # the scaling load is warm
 
 
 # ---------------------------------------------------------------------------
@@ -152,8 +233,59 @@ def main() -> int:
         f"-> {BATCH / warm:,.0f} QPS ({cold / warm:.1f}x cold)"
     )
 
+    print(
+        f"shard scaling:     {SCALING_WORKERS} workers, warm cache, "
+        f"{SCALING_DURATION:.1f}s per shard count"
+    )
+    scaling_rows = shard_scaling()
+    baseline = scaling_rows[0]["qps"]
+    for row in scaling_rows:
+        ratio = row["qps"] / baseline if baseline else 0.0
+        print(
+            f"  {row['shards']} shard(s):   {row['qps']:>12,.0f} QPS "
+            f"({ratio:.2f}x 1-shard, hit rate {row['hit_rate']:.2f})"
+        )
+        for error in row["errors"]:
+            print(f"  ERROR: {error}")
+
+    by_shards = {row["shards"]: row["qps"] for row in scaling_rows}
+    scaling_4x = (
+        by_shards.get(4, 0.0) / by_shards[1] if by_shards.get(1) else 0.0
+    )
+
+    document = {
+        "benchmark": "service",
+        "cpu_count": os.cpu_count(),
+        "run_size": RUN_SIZE,
+        "batch": BATCH,
+        "ingest": {
+            "events": events,
+            "seconds": ingest_seconds,
+            "events_per_sec": events / ingest_seconds,
+        },
+        "batch_query": {
+            "cold_qps": BATCH / cold,
+            "warm_qps": BATCH / warm,
+            "warm_speedup": cold / warm,
+        },
+        "shard_scaling": {
+            "workers": SCALING_WORKERS,
+            "batch_pairs": WARM_SCENARIO.batch_pairs,
+            "duration": SCALING_DURATION,
+            "scenario": WARM_SCENARIO.to_dict(),
+            "rows": scaling_rows,
+            "qps_4_shards_over_1": scaling_4x,
+        },
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {OUTPUT}")
+
     if warm >= cold:
         print("WARNING: warm cache was not faster than cold")
+        return 1
+    if any(row["errors"] for row in scaling_rows):
+        print("ERROR: shard scaling rows reported failures")
         return 1
     return 0
 

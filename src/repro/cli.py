@@ -10,10 +10,15 @@ Subcommands::
     python -m repro normalize SPEC -o OUT          # Section 5.3 rewriting
     python -m repro bench [EXPERIMENT...]          # Section 7 tables
     python -m repro serve [--port P | --stdio]     # provenance query service
+    python -m repro loadgen [SCENARIO]             # drive a load scenario
 
 ``label`` and ``serve`` take ``--scheme`` to pick any registered
 *dynamic* labeling backend (``drl`` by default; see ``repro schemes``);
 ``query`` reads the scheme back from the label store, which records it.
+``serve`` and ``loadgen`` take ``--shards`` to stripe the session
+registry and query cache across independent locks; ``loadgen`` replays
+a named scenario (``repro loadgen --list``) against an in-process
+engine or, with ``--port``, a live server over TCP.
 
 Specifications and execution logs are read/written as JSON or XML,
 chosen by file extension (``.json`` / ``.xml``).
@@ -176,16 +181,20 @@ def cmd_bench(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service.server import ReproServer, ReproService, serve_stdio
 
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     if args.selftest:
         from repro.service.selftest import run_selftest, run_selftest_all_dynamic
 
         if args.scheme == "all":
-            return run_selftest_all_dynamic(size=args.size, seed=args.seed)
+            return run_selftest_all_dynamic(
+                size=args.size, seed=args.seed, shards=args.shards
+            )
         return run_selftest(
             spec_name=args.spec, size=args.size, seed=args.seed,
-            scheme=args.scheme,
+            scheme=args.scheme, shards=args.shards,
         )
-    service = ReproService(cache_size=args.cache_size)
+    service = ReproService(cache_size=args.cache_size, shards=args.shards)
     if args.stdio:
         import sys
 
@@ -199,6 +208,66 @@ def cmd_serve(args) -> int:
     finally:
         server.server_close()
     return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from repro.loadgen import (
+        client_driver_factory,
+        engine_driver_factory,
+        get_scenario,
+        run_scenario,
+        scenarios,
+    )
+
+    if args.list:
+        for name, scenario in sorted(scenarios().items()):
+            print(f"{name:<24} {scenario.summary}")
+        return 0
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    try:
+        scenario = get_scenario(args.scenario)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.port:
+        factory = client_driver_factory(args.host, args.port)
+        where = f"tcp://{args.host}:{args.port}"
+    else:
+        from repro.service import QueryEngine, SessionManager
+
+        manager = SessionManager(shards=args.shards)
+        engine = QueryEngine(
+            manager, cache_size=args.cache_size, shards=args.shards
+        )
+        factory = engine_driver_factory(engine)
+        where = f"in-process ({args.shards} shards)"
+    if not args.json:
+        print(
+            f"loadgen: scenario {scenario.name!r} for {args.duration:.1f}s "
+            f"against {where}"
+        )
+    report = run_scenario(
+        scenario,
+        factory,
+        duration=args.duration,
+        workers=args.workers,
+        seed=args.seed,
+        verify=args.verify,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"loadgen: {report.operations} ops in {report.elapsed:.2f}s -- "
+            f"{report.qps:,.0f} queries/sec ({report.queries} queries), "
+            f"{report.ingest_eps:,.0f} events/sec ({report.ingested} "
+            f"events), {report.sessions_created} sessions"
+        )
+        for error in report.errors:
+            print(f"loadgen: ERROR {error}")
+    return 0 if report.ok else 1
 
 
 # ---------------------------------------------------------------------------
@@ -264,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="speak the protocol over stdin/stdout instead")
     p.add_argument("--cache-size", type=int, default=65536,
                    help="query cache capacity, in entries")
+    p.add_argument("--shards", type=int, default=4,
+                   help="lock stripes for the session registry and "
+                        "query cache (1 = the classic single lock)")
     p.add_argument("--selftest", action="store_true",
                    help="run one scripted session end-to-end and exit")
     p.add_argument("--scheme", choices=dynamic_schemes + ["all"],
@@ -278,6 +350,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="selftest: RNG seed")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="replay a synthesized load scenario")
+    p.add_argument("scenario", nargs="?", default="mixed",
+                   help="scenario name (see --list); default: mixed")
+    p.add_argument("--list", action="store_true",
+                   help="list the scenario catalog and exit")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of closed-loop load per worker")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: the scenario's "
+                        "session count)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="in-process only: engine lock stripes")
+    p.add_argument("--cache-size", type=int, default=65536,
+                   help="in-process only: query cache capacity")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="drive a live server at this host (with --port)")
+    p.add_argument("--port", type=int, default=0,
+                   help="drive a live server over TCP instead of an "
+                        "in-process engine (0 = in-process)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload synthesis RNG seed")
+    p.add_argument("--verify", action="store_true",
+                   help="check every answer against BFS ground truth "
+                        "(slow; smoke tests)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -1,9 +1,22 @@
-"""A blocking JSON-lines client for the service.
+"""A blocking JSON-lines client for the service, with pipelining.
 
-Thin by design: one socket, one in-flight request, remote failures
-re-raised as the same :mod:`repro.errors` classes the library raises in
-process (via the protocol's error-code mapping), so code written
-against the in-process API ports to the remote service unchanged.
+Thin by design: one socket, remote failures re-raised as the same
+:mod:`repro.errors` classes the library raises in process (via the
+protocol's error-code mapping), so code written against the in-process
+API ports to the remote service unchanged.
+
+Two calling conventions share the connection:
+
+* :meth:`ServiceClient.call` -- one request, one response, in order;
+* :meth:`ServiceClient.pipeline` -- many requests written back-to-back
+  with a bounded in-flight window, responses matched to requests by
+  ``id`` (out-of-order delivery tolerated), results returned in request
+  order.  This amortizes one round trip over a whole request train;
+  :meth:`query_batch` uses it to split huge batches into chunks so no
+  single request exceeds the server's batch cap.
+
+The client is not thread-safe: use one ``ServiceClient`` per thread
+(connections are cheap; sessions are shared server-side).
 """
 
 from __future__ import annotations
@@ -14,11 +27,19 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ProtocolError
 from repro.service.protocol import (
     Request,
+    Response,
     decode_response,
     encode_request,
     insertions_to_wire,
     raise_for_response,
 )
+
+# default pipelined query_batch chunking: pairs per request and
+# requests in flight before the client starts draining responses (the
+# window bounds socket-buffer usage on both sides, avoiding the classic
+# pipelining deadlock where both peers block on full write buffers)
+PIPELINE_CHUNK = 1024
+PIPELINE_WINDOW = 8
 
 
 class ServiceClient:
@@ -37,16 +58,62 @@ class ServiceClient:
         request = Request(op=op, params=params, id=self._next_id)
         self._writer.write(encode_request(request))
         self._writer.flush()
-        line = self._reader.readline()
-        if not line:
-            raise ProtocolError("server closed the connection")
-        response = decode_response(line)
+        response = self._read_response()
         if response.id is not None and response.id != request.id:
             raise ProtocolError(
                 f"response id {response.id!r} does not match "
                 f"request id {request.id!r}"
             )
         return raise_for_response(response)
+
+    def pipeline(
+        self,
+        calls: Sequence[Tuple[str, Dict[str, Any]]],
+        window: int = PIPELINE_WINDOW,
+    ) -> List[Any]:
+        """Issue many ``(op, params)`` requests pipelined on one socket.
+
+        At most ``window`` requests are in flight at once; responses are
+        matched to requests by ``id`` so an out-of-order reply is
+        handled, not fatal.  Results come back in *request* order.  If
+        any request failed, every response is still drained first (the
+        connection stays usable), then the mapped exception of the
+        earliest failure is raised.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        requests: List[Request] = []
+        for op, params in calls:
+            self._next_id += 1
+            requests.append(Request(op=op, params=dict(params),
+                                    id=self._next_id))
+        responses: Dict[Any, Response] = {}
+        outstanding = set()
+        for request in requests:
+            self._writer.write(encode_request(request))
+            outstanding.add(request.id)
+            if len(outstanding) >= window:
+                self._writer.flush()
+                self._drain_one(outstanding, responses)
+        self._writer.flush()
+        while outstanding:
+            self._drain_one(outstanding, responses)
+        return [raise_for_response(responses[r.id]) for r in requests]
+
+    def _drain_one(self, outstanding: set, responses: Dict[Any, Response]):
+        response = self._read_response()
+        if response.id not in outstanding:
+            raise ProtocolError(
+                f"response id {response.id!r} matches no in-flight request"
+            )
+        outstanding.discard(response.id)
+        responses[response.id] = response
+
+    def _read_response(self) -> Response:
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode_response(line)
 
     # ------------------------------------------------------------------
     # convenience wrappers, one per operation
@@ -90,14 +157,51 @@ class ServiceClient:
         return bool(result["answer"])
 
     def query_batch(
-        self, session: str, pairs: Sequence[Tuple[int, int]]
+        self,
+        session: str,
+        pairs: Sequence[Tuple[int, int]],
+        chunk: Optional[int] = None,
+        window: int = PIPELINE_WINDOW,
     ) -> List[bool]:
-        result = self.call(
-            "query_batch",
-            session=session,
-            pairs=[[source, target] for source, target in pairs],
-        )
-        return [bool(answer) for answer in result["answers"]]
+        """Batched reachability; chunked and pipelined when asked.
+
+        With ``chunk`` set (or a batch larger than the default pipeline
+        chunk), the pairs are split into chunks of that size and issued
+        through :meth:`pipeline`, so arbitrarily large batches respect
+        the server's per-request cap while still costing roughly one
+        round trip.  Answers always come back in input order.
+        """
+        pairs = list(pairs)
+        if chunk is None and len(pairs) > PIPELINE_CHUNK:
+            chunk = PIPELINE_CHUNK
+        if chunk is not None and chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if chunk is None or len(pairs) <= chunk:
+            result = self.call(
+                "query_batch",
+                session=session,
+                pairs=[[source, target] for source, target in pairs],
+            )
+            return [bool(answer) for answer in result["answers"]]
+        calls = [
+            (
+                "query_batch",
+                {
+                    "session": session,
+                    "pairs": [
+                        [source, target]
+                        for source, target in pairs[start : start + chunk]
+                    ],
+                },
+            )
+            for start in range(0, len(pairs), chunk)
+        ]
+        results = self.pipeline(calls, window=window)
+        return [
+            bool(answer)
+            for result in results
+            for answer in result["answers"]
+        ]
 
     def snapshot(self, session: str, path: str) -> Dict[str, Any]:
         return self.call("snapshot", session=session, path=str(path))

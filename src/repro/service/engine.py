@@ -1,12 +1,13 @@
-"""The query engine: batch reachability with a version-aware LRU cache.
+"""The query engine: batch reachability over lock-striped LRU shards.
 
 Queries are answered from two decoded labels in O(1) (Algorithm 4), so
 the per-query cost is dominated by dispatch overhead; the engine
-amortizes it two ways:
+amortizes it three ways:
 
 * **batching** -- :meth:`QueryEngine.query_many` answers thousands of
   ``(source, target)`` pairs per call, resolving the session and its
-  version once for the whole batch;
+  version once for the whole batch and computing each *distinct* miss
+  exactly once (duplicate pairs in one batch share one label probe);
 * **caching** -- results are memoized in an LRU cache keyed by
   ``(session uid, version, source, target)``.  The uid is unique per
   session *instance* (a name reused after a close gets a fresh uid, so
@@ -19,9 +20,21 @@ amortizes it two ways:
   never add edges between existing vertices, so today's answers could
   outlive the version; keying by version is the conservative choice
   that stays correct if a future scheme ever relabels or rewires.)
+* **striping** -- the cache and its counters are split across
+  ``shards`` independent lock-striped shards keyed by
+  ``hash(session uid)``, so batches against different sessions never
+  contend on a lock.  A session's entries all live in one shard
+  (its uid picks it), which keeps per-session LRU behavior intact.
 
-Hit/miss/latency counters are exposed as a :class:`ServiceStats`
-snapshot for monitoring and benchmarks.
+Failure atomicity: a batch naming an unlabeled vertex raises
+:class:`LabelingError` before any answer is computed and before any
+counter or cache write, so the stats snapshot never drifts on a
+poisoned batch -- either the whole batch is accounted or none of it
+is.  (Only cache misses need the check: a hit proves both vertices
+were labeled, so the fully warm fast path pays nothing for it.)
+
+Hit/miss/latency counters are kept per shard and aggregated into a
+:class:`ServiceStats` snapshot for monitoring and benchmarks.
 """
 
 from __future__ import annotations
@@ -40,9 +53,10 @@ QueryKey = Tuple[int, int, int, int]  # (session uid, version, source, target)
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """A point-in-time snapshot of the engine's counters."""
+    """A point-in-time snapshot of the engine's aggregated counters."""
 
     sessions: int
+    shards: int
     ingested: int
     queries: int
     cache_hits: int
@@ -63,24 +77,67 @@ class ServiceStats:
         return doc
 
 
+class _Shard:
+    """One lock stripe: an LRU slice of the cache plus its counters."""
+
+    __slots__ = (
+        "lock",
+        "cache",
+        "capacity",
+        "queries",
+        "hits",
+        "misses",
+        "query_seconds",
+        "ingested",
+        "ingest_seconds",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.cache: "OrderedDict[QueryKey, bool]" = OrderedDict()
+        self.capacity = capacity
+        self.queries = 0
+        self.hits = 0
+        self.misses = 0
+        self.query_seconds = 0.0
+        self.ingested = 0
+        self.ingest_seconds = 0.0
+
+
 class QueryEngine:
-    """Answers reachability queries over a :class:`SessionManager`."""
+    """Answers reachability queries over a :class:`SessionManager`.
+
+    ``cache_size`` is the *total* capacity, divided evenly across
+    ``shards`` lock stripes.  All of one session's entries live in the
+    shard its uid hashes to, so a single hot session is bounded by its
+    shard's slice; spread sessions use the whole budget.  ``shards=1``
+    reproduces the classic single-lock engine exactly.
+    """
 
     def __init__(
-        self, manager: SessionManager, cache_size: int = 65536
+        self,
+        manager: SessionManager,
+        cache_size: int = 65536,
+        shards: int = 1,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.manager = manager
         self.cache_size = cache_size
-        self._cache: "OrderedDict[QueryKey, bool]" = OrderedDict()
-        self._lock = threading.Lock()  # guards cache + counters
-        self._ingested = 0
-        self._queries = 0
-        self._hits = 0
-        self._misses = 0
-        self._query_seconds = 0.0
-        self._ingest_seconds = 0.0
+        base, extra = divmod(cache_size, shards)
+        self._shards = [
+            _Shard(base + (1 if index < extra else 0))
+            for index in range(shards)
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, uid: int) -> _Shard:
+        return self._shards[hash(uid) % len(self._shards)]
 
     # ------------------------------------------------------------------
     # queries
@@ -98,60 +155,72 @@ class QueryEngine:
         against one consistent snapshot; concurrent inserts make future
         batches miss the cache but never corrupt this one (labels are
         write-once).  Raises :class:`LabelingError` when a pair names a
-        vertex that has not been inserted yet.
+        vertex that has not been inserted yet -- before any computation
+        or counter/cache update, so a poisoned batch leaves the stats
+        untouched.  Duplicate pairs in one batch cost a single probe.
         """
         session = self.manager.get(session_name)
+        batch = pairs if isinstance(pairs, list) else list(pairs)
         started = time.perf_counter()
         with session.lock:
             version = session.version
         scheme = session.scheme
         labels = scheme.labels
-        # phase 1: probe the cache for the whole batch in one lock hold
+        uid = session.uid
+        shard = self._shard_for(uid)
+        # phase 1: probe this session's shard for the whole batch in
+        # one lock hold; group missing positions by pair so duplicates
+        # within the batch are computed once.
         answers: List[Optional[bool]] = []
-        missing: List[Tuple[int, int, int]] = []  # (position, source, target)
-        with self._lock:
-            for position, pair in enumerate(pairs):
+        pending: Dict[Tuple[int, int], List[int]] = {}
+        with shard.lock:
+            cache = shard.cache
+            for position, pair in enumerate(batch):
                 source, target = pair[0], pair[1]
-                key = (session.uid, version, source, target)
-                cached = self._cache.get(key)
+                key = (uid, version, source, target)
+                cached = cache.get(key)
                 if cached is not None:
-                    self._cache.move_to_end(key)
+                    cache.move_to_end(key)
+                else:
+                    pending.setdefault((source, target), []).append(position)
                 answers.append(cached)
-                if cached is None:
-                    missing.append((position, source, target))
-        # phase 2: compute misses without the lock -- labels are
-        # write-once, so concurrent batches computing the same answer
-        # agree, and other sessions' queries proceed in parallel.  The
-        # scheme is whatever dynamic backend the session was opened
-        # with; reaches_labels is the one protocol query method.
-        for position, source, target in missing:
-            answers[position] = scheme.reaches_labels(
-                self._label(labels, session, source),
-                self._label(labels, session, target),
-            )
-        # phase 3: store results and counters in a second lock hold
-        with self._lock:
-            if self.cache_size:
-                for position, source, target in missing:
-                    self._cache[(session.uid, version, source, target)] = (
-                        answers[position]
+        # validate the misses before computing anything.  A hit proves
+        # both vertices were labeled (keys are only ever written for
+        # computed answers), so only missing pairs can name an unknown
+        # vertex -- and failing here means no counter or cache entry
+        # has been touched: the poisoned batch is accounted as nothing.
+        for source, target in pending:
+            for vid in (source, target):
+                if vid not in labels:
+                    raise LabelingError(
+                        f"session {session.name!r} has no vertex {vid}"
                     )
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
-            self._queries += len(answers)
-            self._hits += len(answers) - len(missing)
-            self._misses += len(missing)
-            self._query_seconds += time.perf_counter() - started
+        # phase 2: compute each distinct miss once, without the lock --
+        # labels are write-once, so concurrent batches computing the
+        # same answer agree, and other shards' queries proceed in
+        # parallel.  The scheme is whatever dynamic backend the session
+        # was opened with; reaches_labels is the one protocol query.
+        computed: List[Tuple[int, int, bool]] = []
+        for (source, target), positions in pending.items():
+            answer = scheme.reaches_labels(labels[source], labels[target])
+            for position in positions:
+                answers[position] = answer
+            computed.append((source, target, answer))
+        # phase 3: store results and counters in a second lock hold.
+        # A batch of N copies of one missing pair counts one miss (one
+        # label probe) and N-1 hits, so hits + misses == queries holds.
+        with shard.lock:
+            if shard.capacity:
+                cache = shard.cache
+                for source, target, answer in computed:
+                    cache[(uid, version, source, target)] = answer
+                while len(cache) > shard.capacity:
+                    cache.popitem(last=False)
+            shard.queries += len(answers)
+            shard.misses += len(pending)
+            shard.hits += len(answers) - len(pending)
+            shard.query_seconds += time.perf_counter() - started
         return answers
-
-    @staticmethod
-    def _label(labels, session: Session, vid: int):
-        try:
-            return labels[vid]
-        except KeyError:
-            raise LabelingError(
-                f"session {session.name!r} has no vertex {vid}"
-            ) from None
 
     # ------------------------------------------------------------------
     # ingest accounting (the write path itself lives on the session)
@@ -162,17 +231,19 @@ class QueryEngine:
         started = time.perf_counter()
         count = session.ingest_many(insertions)
         elapsed = time.perf_counter() - started
-        with self._lock:
-            self._ingested += count
-            self._ingest_seconds += elapsed
+        shard = self._shard_for(session.uid)
+        with shard.lock:
+            shard.ingested += count
+            shard.ingest_seconds += elapsed
         return count, session.version
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def clear_cache(self) -> None:
-        with self._lock:
-            self._cache.clear()
+        for shard in self._shards:
+            with shard.lock:
+                shard.cache.clear()
 
     def drop_session_entries(self, session: Session) -> int:
         """Evict a closed session's entries eagerly; returns the count.
@@ -181,24 +252,36 @@ class QueryEngine:
         again, so its entries could only age out of the LRU tail --
         evicting frees the capacity immediately.  Entries repopulated
         by an in-flight batch racing the close are equally unreachable
-        and equally harmless.
+        and equally harmless.  Only the session's own shard is touched.
         """
-        with self._lock:
-            stale = [k for k in self._cache if k[0] == session.uid]
+        shard = self._shard_for(session.uid)
+        with shard.lock:
+            stale = [k for k in shard.cache if k[0] == session.uid]
             for key in stale:
-                del self._cache[key]
+                del shard.cache[key]
             return len(stale)
 
     def stats(self) -> ServiceStats:
-        with self._lock:
-            return ServiceStats(
-                sessions=len(self.manager),
-                ingested=self._ingested,
-                queries=self._queries,
-                cache_hits=self._hits,
-                cache_misses=self._misses,
-                cache_entries=len(self._cache),
-                cache_capacity=self.cache_size,
-                query_seconds=self._query_seconds,
-                ingest_seconds=self._ingest_seconds,
-            )
+        ingested = queries = hits = misses = entries = 0
+        query_seconds = ingest_seconds = 0.0
+        for shard in self._shards:
+            with shard.lock:
+                ingested += shard.ingested
+                queries += shard.queries
+                hits += shard.hits
+                misses += shard.misses
+                entries += len(shard.cache)
+                query_seconds += shard.query_seconds
+                ingest_seconds += shard.ingest_seconds
+        return ServiceStats(
+            sessions=len(self.manager),
+            shards=len(self._shards),
+            ingested=ingested,
+            queries=queries,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_entries=entries,
+            cache_capacity=self.cache_size,
+            query_seconds=query_seconds,
+            ingest_seconds=ingest_seconds,
+        )

@@ -26,6 +26,21 @@ Operations::
 its capability flags so clients can discover which names are dynamic
 (hostable in a session) before opening one.
 
+Pipelining
+----------
+Requests on one connection are answered strictly in order, one response
+line per request line, and the client-chosen ``id`` is echoed back
+verbatim -- so a client may write many requests before reading any
+response and match responses to requests by ``id``, tolerating
+out-of-order delivery from relays or future servers.
+:meth:`repro.service.client.ServiceClient.pipeline` implements this
+with a bounded in-flight window, and ``query_batch`` uses it to split
+huge batches into pipelined chunks (one round trip amortized over the
+whole batch).  Batch payloads (``query_batch`` pairs, ``ingest``
+events) are capped at :data:`MAX_BATCH` items per request by default;
+an oversized batch is a structured ``protocol`` error, never a dropped
+connection.
+
 Insertion events use the exact execution-log JSON schema of
 :func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
 can be streamed to the service without transformation.
@@ -66,6 +81,20 @@ OPS = (
     "ping",
     "shutdown",
 )
+
+# default per-request cap on batch payload items (query_batch pairs,
+# ingest events); the server turns anything larger into a structured
+# 'protocol' error instead of attempting an unbounded amount of work
+MAX_BATCH = 65536
+
+
+def check_batch_size(count: int, what: str, limit: int = MAX_BATCH) -> None:
+    """Reject an oversized batch payload with a :class:`ProtocolError`."""
+    if limit and count > limit:
+        raise ProtocolError(
+            f"{what} batch of {count} items exceeds the per-request "
+            f"limit of {limit}; split it into pipelined chunks"
+        )
 
 # error code <-> exception class (most specific classes first so that
 # code_for_exception resolves subclasses to their own code).

@@ -23,7 +23,7 @@ from repro.graphs.reachability import reaches
 from repro.schemes import registry as scheme_registry
 from repro.service.checkpoint import load_manifest
 from repro.service.client import ServiceClient
-from repro.service.server import ReproServer
+from repro.service.server import DEFAULT_SHARDS, ReproServer, ReproService
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
 
@@ -43,6 +43,7 @@ def run_selftest(
     queries: int = 400,
     seed: int = 0,
     scheme: str = "drl",
+    shards: int = DEFAULT_SHARDS,
     verbose: bool = True,
 ) -> int:
     """Run the scripted session; returns 0 on success, 1 on mismatch."""
@@ -59,10 +60,10 @@ def run_selftest(
             print(f"selftest: {message}")
 
     rng = random.Random(seed)
-    server = ReproServer(("127.0.0.1", 0))
+    server = ReproServer(("127.0.0.1", 0), ReproService(shards=shards))
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    say(f"server listening on 127.0.0.1:{server.port}")
+    say(f"server listening on 127.0.0.1:{server.port} ({shards} shards)")
     try:
         with ServiceClient("127.0.0.1", server.port) as client:
             check(client.ping(), "ping failed")
@@ -120,6 +121,26 @@ def run_selftest(
             check(warm == answers, "warm-cache answers diverged")
             stats = client.stats()
             check(stats["cache_hits"] >= len(pairs), "cache never hit")
+            check(
+                stats.get("shards") == shards,
+                f"stats report {stats.get('shards')!r} shards, "
+                f"expected {shards}",
+            )
+
+            # the pipelined fast path must agree with the plain batch
+            # (chunked into several requests, matched back by id)
+            chunk = max(1, len(pairs) // 7)
+            pipelined = client.query_batch(
+                "selftest", pairs, chunk=chunk, window=3
+            )
+            check(
+                pipelined == answers,
+                "pipelined chunked answers diverged from plain batch",
+            )
+            say(
+                f"pipelined query_batch verified "
+                f"({-(-len(pairs) // chunk)} chunks of <= {chunk})"
+            )
 
             with tempfile.TemporaryDirectory() as tmp:
                 ckpt = Path(tmp) / "ckpt"
@@ -165,7 +186,11 @@ def run_selftest(
 
 
 def run_selftest_all_dynamic(
-    size: int = 300, queries: int = 400, seed: int = 0, verbose: bool = True
+    size: int = 300,
+    queries: int = 400,
+    seed: int = 0,
+    shards: int = DEFAULT_SHARDS,
+    verbose: bool = True,
 ) -> int:
     """Run the selftest once per registered dynamic scheme."""
     status = 0
@@ -174,7 +199,7 @@ def run_selftest_all_dynamic(
             print(f"selftest: === scheme {scheme!r} ===")
         status |= run_selftest(
             size=size, queries=queries, seed=seed, scheme=scheme,
-            verbose=verbose,
+            shards=shards, verbose=verbose,
         )
     return status
 

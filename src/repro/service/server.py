@@ -26,8 +26,10 @@ from repro.errors import ProtocolError, ServiceError
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
 from repro.service.protocol import (
+    MAX_BATCH,
     Request,
     Response,
+    check_batch_size,
     decode_request,
     encode_response,
     error_response,
@@ -36,19 +38,31 @@ from repro.service.protocol import (
 from repro.service.sessions import SessionManager
 
 DEFAULT_PORT = 7464  # "RL" on a phone keypad, roughly
+DEFAULT_SHARDS = 4
 
 
 class ReproService:
-    """Dispatches protocol requests against hosted sessions."""
+    """Dispatches protocol requests against hosted sessions.
+
+    ``shards`` stripes both the session registry and the query cache
+    (see :class:`QueryEngine`); ``max_batch`` caps the payload size of
+    one ``query_batch``/``ingest`` request -- larger batches get a
+    structured ``protocol`` error telling the client to pipeline chunks.
+    """
 
     def __init__(
         self,
         manager: Optional[SessionManager] = None,
         engine: Optional[QueryEngine] = None,
         cache_size: int = 65536,
+        shards: int = DEFAULT_SHARDS,
+        max_batch: int = MAX_BATCH,
     ) -> None:
-        self.manager = manager or SessionManager()
-        self.engine = engine or QueryEngine(self.manager, cache_size)
+        self.manager = manager or SessionManager(shards=shards)
+        self.engine = engine or QueryEngine(
+            self.manager, cache_size, shards=shards
+        )
+        self.max_batch = max_batch
         self.shutdown_requested = threading.Event()
         self._ops: Dict[str, Callable[[Request], Any]] = {
             "create_session": self._op_create_session,
@@ -133,7 +147,10 @@ class ReproService:
 
     def _op_ingest(self, request: Request) -> Dict[str, Any]:
         name = request.require("session")
-        insertions = insertions_from_wire(request.require("insertions"))
+        events = request.require("insertions")
+        if isinstance(events, list):
+            check_batch_size(len(events), "ingest", self.max_batch)
+        insertions = insertions_from_wire(events)
         count, version = self.engine.ingest(name, insertions)
         return {"ingested": count, "version": version}
 
@@ -147,6 +164,8 @@ class ReproService:
 
     def _op_query_batch(self, request: Request) -> Dict[str, Any]:
         pairs = request.require("pairs")
+        if isinstance(pairs, list):
+            check_batch_size(len(pairs), "query_batch", self.max_batch)
         if not isinstance(pairs, list) or any(
             not isinstance(pair, (list, tuple))
             or len(pair) != 2

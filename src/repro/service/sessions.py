@@ -175,11 +175,31 @@ class Session:
 
 
 class SessionManager:
-    """Hosts many named sessions; thread-safe create/get/close."""
+    """Hosts many named sessions; thread-safe create/get/close.
 
-    def __init__(self) -> None:
-        self._sessions: Dict[str, Session] = {}
-        self._lock = threading.Lock()
+    The registry is lock-striped across ``shards`` independent
+    ``(lock, dict)`` slices keyed by ``hash(name)``, so create/get/close
+    on *different* sessions never contend on one mutex -- the same
+    striping the query engine applies to its cache.  Cross-shard views
+    (:meth:`names`, ``len``) take each shard lock in turn; they are
+    monitoring surfaces and need no global atomicity.
+    """
+
+    DEFAULT_SHARDS = 8
+
+    def __init__(self, shards: int = DEFAULT_SHARDS) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._tables: List[Dict[str, Session]] = [{} for _ in range(shards)]
+
+    @property
+    def shards(self) -> int:
+        return len(self._tables)
+
+    def _slot(self, name: str) -> Tuple[threading.Lock, Dict[str, Session]]:
+        index = hash(name) % len(self._tables)
+        return self._locks[index], self._tables[index]
 
     def create(
         self,
@@ -194,26 +214,24 @@ class SessionManager:
         session = Session(
             name, specification, scheme=scheme, skeleton=skeleton, mode=mode
         )
-        with self._lock:
-            if name in self._sessions:
-                raise ServiceError(f"session {name!r} already exists")
-            self._sessions[name] = session
-        return session
+        return self.adopt(session)
 
     def adopt(self, session: Session) -> Session:
         """Register an externally built session (checkpoint restore)."""
-        with self._lock:
-            if session.name in self._sessions:
+        lock, table = self._slot(session.name)
+        with lock:
+            if session.name in table:
                 raise ServiceError(
                     f"session {session.name!r} already exists"
                 )
-            self._sessions[session.name] = session
+            table[session.name] = session
         return session
 
     def get(self, name: str) -> Session:
-        with self._lock:
+        lock, table = self._slot(name)
+        with lock:
             try:
-                return self._sessions[name]
+                return table[name]
             except KeyError:
                 raise SessionNotFoundError(
                     f"no session named {name!r}"
@@ -221,9 +239,10 @@ class SessionManager:
 
     def close(self, name: str) -> Session:
         """Remove a session; its in-memory state becomes unreachable."""
-        with self._lock:
+        lock, table = self._slot(name)
+        with lock:
             try:
-                session = self._sessions.pop(name)
+                session = table.pop(name)
             except KeyError:
                 raise SessionNotFoundError(
                     f"no session named {name!r}"
@@ -233,13 +252,20 @@ class SessionManager:
         return session
 
     def names(self) -> List[str]:
-        with self._lock:
-            return sorted(self._sessions)
+        collected: List[str] = []
+        for lock, table in zip(self._locks, self._tables):
+            with lock:
+                collected.extend(table)
+        return sorted(collected)
 
     def __contains__(self, name: str) -> bool:
-        with self._lock:
-            return name in self._sessions
+        lock, table = self._slot(name)
+        with lock:
+            return name in table
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._sessions)
+        total = 0
+        for lock, table in zip(self._locks, self._tables):
+            with lock:
+                total += len(table)
+        return total

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import random
+import socket
 import threading
 
 import pytest
@@ -262,6 +263,190 @@ class TestQueryEngine:
         answers = engine.query_many("a", pairs)
         expected = [reaches(run.graph, a, b) for a, b in pairs]
         assert answers == expected
+
+    def test_failed_batch_leaves_stats_consistent(
+        self, running_spec, run_and_execution
+    ):
+        """Regression: a LabelingError mid-batch used to skip phase 3,
+        losing the batch's accounting and the computed answers.  The
+        batch is now validated up front, so a poisoned batch changes
+        neither counters nor cache, and the engine keeps serving."""
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        engine.query_many("a", [(vids[0], vids[1])])  # establish a baseline
+        before = engine.stats()
+        poisoned = [
+            (vids[0], vids[1]),   # valid, already cached
+            (vids[2], vids[3]),   # valid, would be a fresh miss
+            (10 ** 9, vids[0]),   # unknown vertex: the whole batch fails
+        ]
+        with pytest.raises(LabelingError):
+            engine.query_many("a", poisoned)
+        after = engine.stats()
+        assert after.queries == before.queries
+        assert after.cache_hits == before.cache_hits
+        assert after.cache_misses == before.cache_misses
+        assert after.cache_entries == before.cache_entries
+        assert after.query_seconds == before.query_seconds
+        # hits + misses never drifts from queries
+        assert after.cache_hits + after.cache_misses == after.queries
+        # the engine still answers (and caches) normally afterwards
+        answers = engine.query_many("a", [(vids[2], vids[3])] * 2)
+        assert answers == [reaches(run.graph, vids[2], vids[3])] * 2
+        final = engine.stats()
+        assert final.queries == after.queries + 2
+
+    def test_duplicate_pairs_cost_one_probe(
+        self, running_spec, run_and_execution
+    ):
+        """Regression: N copies of one missing pair used to trigger N
+        label probes; they are now deduped to a single computation."""
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        before = engine.stats()
+        batch = [(vids[0], vids[-1])] * 1000
+        answers = engine.query_many("a", batch)
+        assert answers == [reaches(run.graph, vids[0], vids[-1])] * 1000
+        after = engine.stats()
+        assert after.queries == before.queries + 1000
+        assert after.cache_misses == before.cache_misses + 1  # one probe
+        assert after.cache_hits == before.cache_hits + 999
+        assert after.cache_entries == before.cache_entries + 1
+        assert after.cache_hits + after.cache_misses == after.queries
+
+
+# ---------------------------------------------------------------------------
+# lock striping
+# ---------------------------------------------------------------------------
+
+
+class TestShardedEngine:
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            QueryEngine(SessionManager(), shards=0)
+        with pytest.raises(ValueError):
+            SessionManager(shards=0)
+
+    def test_striped_answers_match_ground_truth(self, running_spec):
+        """Correctness is shard-count independent: many sessions spread
+        across 4 stripes answer exactly like the single-lock engine."""
+        manager = SessionManager(shards=4)
+        engine = QueryEngine(manager, shards=4)
+        assert engine.shards == 4 and manager.shards == 4
+        for i in range(6):
+            name = f"s{i}"
+            run, execution = make_execution(
+                running_spec, size=120, seed=50 + i
+            )
+            manager.create(name, running_spec)
+            engine.ingest(name, execution.insertions)
+            vids = sorted(run.graph.vertices())
+            rng = random.Random(i)
+            pairs = [
+                (rng.choice(vids), rng.choice(vids)) for _ in range(80)
+            ]
+            answers = engine.query_many(name, pairs)
+            expected = [reaches(run.graph, a, b) for a, b in pairs]
+            assert answers == expected
+            # a second pass is answered from the session's own shard
+            assert engine.query_many(name, pairs) == expected
+        stats = engine.stats()
+        assert stats.shards == 4
+        assert stats.queries == 6 * 2 * 80
+        assert stats.cache_hits + stats.cache_misses == stats.queries
+        assert stats.cache_hits >= 6 * 80  # every repeat pass hit
+
+    def test_capacity_is_split_across_shards(
+        self, running_spec, run_and_execution
+    ):
+        """Total capacity is divided over the stripes; one session is
+        bounded by its own shard's slice."""
+        run, execution = run_and_execution
+        manager = SessionManager()
+        engine = QueryEngine(manager, cache_size=8, shards=4)
+        manager.create("a", running_spec)
+        engine.ingest("a", execution.insertions)
+        vids = sorted(run.graph.vertices())
+        for target in vids[1:6]:
+            engine.query("a", vids[0], target)
+        assert engine.stats().cache_entries == 2  # this shard's slice
+        assert engine.stats().cache_capacity == 8
+
+    def test_drop_session_entries_only_touches_own_shard(
+        self, running_spec
+    ):
+        manager = SessionManager(shards=4)
+        engine = QueryEngine(manager, shards=4)
+        kept_run, kept_exec = make_execution(running_spec, size=80, seed=61)
+        gone_run, gone_exec = make_execution(running_spec, size=80, seed=62)
+        manager.create("kept", running_spec)
+        manager.create("gone", running_spec)
+        engine.ingest("kept", kept_exec.insertions)
+        engine.ingest("gone", gone_exec.insertions)
+        kept_vids = sorted(kept_run.graph.vertices())
+        gone_vids = sorted(gone_run.graph.vertices())
+        engine.query_many(
+            "kept", [(kept_vids[0], v) for v in kept_vids[1:5]]
+        )
+        engine.query_many(
+            "gone", [(gone_vids[0], v) for v in gone_vids[1:5]]
+        )
+        session = manager.close("gone")
+        assert engine.drop_session_entries(session) == 4
+        assert engine.stats().cache_entries == 4  # kept's entries remain
+
+    def test_sharded_manager_hosts_many_sessions(self, running_spec):
+        manager = SessionManager(shards=4)
+        names = [f"run-{i}" for i in range(12)]
+        for name in names:
+            manager.create(name, running_spec)
+        assert manager.names() == sorted(names)
+        assert len(manager) == 12
+        for name in names:
+            assert name in manager
+            assert manager.get(name).name == name
+        with pytest.raises(ServiceError):
+            manager.create(names[0], running_spec)
+        for name in names[:6]:
+            assert manager.close(name).closed
+        assert len(manager) == 6
+        with pytest.raises(SessionNotFoundError):
+            manager.get(names[0])
+
+    def test_sharded_concurrent_create_close(self, running_spec):
+        """Create/close storms on distinct names never corrupt the
+        striped registry."""
+        manager = SessionManager(shards=4)
+        engine = QueryEngine(manager, shards=4)
+        errors = []
+
+        def churn(worker):
+            try:
+                for i in range(12):
+                    name = f"w{worker}-{i}"
+                    manager.create(name, running_spec)
+                    assert manager.get(name).name == name
+                    engine.drop_session_entries(manager.close(name))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(manager) == 0
 
 
 # ---------------------------------------------------------------------------
@@ -539,11 +724,196 @@ class TestServer:
         assert replies[1]["result"]["ingested"] == len(execution)
 
 
+def _raw_lines(port, lines, expect):
+    """Send raw protocol lines over one TCP connection; return the
+    decoded replies (the connection must survive all of them)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        reader = sock.makefile("r", encoding="utf-8")
+        writer = sock.makefile("w", encoding="utf-8")
+        replies = []
+        for line in lines:
+            writer.write(line + "\n")
+            writer.flush()
+            reply = reader.readline()
+            assert reply, f"connection dropped after {line!r}"
+            replies.append(json.loads(reply))
+        assert len(replies) == expect
+        return replies
+
+
+class TestServerRobustness:
+    """Poisoned input over a live TCP connection must always produce a
+    structured error response on that same connection -- never a drop."""
+
+    @pytest.fixture()
+    def small_batch_server(self):
+        service = ReproService(shards=2, max_batch=8)
+        server = ReproServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_malformed_json_line(self, server):
+        replies = _raw_lines(
+            server.port,
+            ["{not json", json.dumps({"op": "ping", "id": 2})],
+            expect=2,
+        )
+        assert replies[0]["ok"] is False
+        assert replies[0]["code"] == "protocol"
+        assert replies[1]["ok"] is True  # same connection still serves
+
+    def test_unknown_op(self, server):
+        replies = _raw_lines(
+            server.port,
+            [json.dumps({"op": "explode", "id": 1}),
+             json.dumps({"op": "ping", "id": 2})],
+            expect=2,
+        )
+        assert replies[0]["ok"] is False
+        assert replies[0]["code"] == "protocol"
+        assert "explode" in replies[0]["error"]
+        assert replies[1]["ok"] is True
+
+    def test_oversized_query_batch(self, small_batch_server, running_spec):
+        _, execution = make_execution(running_spec, size=60, seed=19)
+        with ServiceClient(
+            "127.0.0.1", small_batch_server.port
+        ) as client:
+            client.create_session("s", "running-example")
+            client.ingest("s", execution.insertions[:8])
+            vid = execution.insertions[0].vid
+            with pytest.raises(ProtocolError, match="exceeds"):
+                client.query_batch("s", [(vid, vid)] * 9)
+            # an oversized ingest is the same structured refusal
+            with pytest.raises(ProtocolError, match="exceeds"):
+                client.ingest("s", execution.insertions[8:40])
+            # chunked pipelining slips under the cap on one connection
+            answers = client.query_batch("s", [(vid, vid)] * 40, chunk=8)
+            assert answers == [True] * 40
+            assert client.ping()
+
+    def test_mid_batch_labeling_error(self, server, running_spec):
+        _, execution = make_execution(running_spec, size=60, seed=20)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.create_session("lab", "running-example")
+            client.ingest("lab", execution.insertions)
+            good = execution.insertions[0].vid
+            before = client.stats()
+            with pytest.raises(LabelingError):
+                client.query_batch("lab", [(good, good), (good, 10 ** 9)])
+            after = client.stats()
+            # the failed batch left the counters untouched
+            assert after["queries"] == before["queries"]
+            assert after["cache_misses"] == before["cache_misses"]
+            assert client.query("lab", good, good) is True
+            client.close_session("lab")
+
+
+class TestPipelinedClient:
+    def test_chunked_matches_plain(self, server, running_spec):
+        run, execution = make_execution(running_spec, size=150, seed=23)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.create_session("pipe", "running-example")
+            client.ingest("pipe", execution.insertions)
+            vids = sorted(run.graph.vertices())
+            rng = random.Random(29)
+            pairs = [
+                (rng.choice(vids), rng.choice(vids)) for _ in range(333)
+            ]
+            plain = client.query_batch("pipe", pairs)
+            chunked = client.query_batch("pipe", pairs, chunk=32, window=4)
+            assert chunked == plain
+            expected = [reaches(run.graph, a, b) for a, b in pairs]
+            assert plain == expected
+            client.close_session("pipe")
+
+    def test_pipeline_mixed_ops_in_request_order(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            results = client.pipeline(
+                [
+                    ("ping", {}),
+                    ("create_session",
+                     {"name": "px", "spec": "running-example"}),
+                    ("list_sessions", {}),
+                    ("close", {"session": "px"}),
+                ]
+            )
+            assert results[0]["pong"] is True
+            assert results[1]["session"] == "px"
+            assert "px" in results[2]["sessions"]
+            assert results[3]["closed"] == "px"
+
+    def test_pipeline_failure_drains_connection(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            with pytest.raises(SessionNotFoundError):
+                client.pipeline(
+                    [
+                        ("ping", {}),
+                        ("query",
+                         {"session": "ghost", "source": 0, "target": 1}),
+                        ("ping", {}),
+                    ]
+                )
+            assert client.ping()  # every response was drained
+
+    def test_pipeline_matches_out_of_order_ids(self):
+        """A relay (or future server) may reorder responses; the client
+        must match them back to requests by id."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def reversing_server():
+            conn, _ = listener.accept()
+            with conn:
+                stream = conn.makefile("rw", encoding="utf-8")
+                requests = [json.loads(stream.readline()) for _ in range(3)]
+                for request in reversed(requests):
+                    stream.write(
+                        json.dumps(
+                            {
+                                "ok": True,
+                                "id": request["id"],
+                                "result": {"echo": request["id"]},
+                            }
+                        )
+                        + "\n"
+                    )
+                stream.flush()
+
+        thread = threading.Thread(target=reversing_server, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            try:
+                results = client.pipeline([("ping", {})] * 3, window=3)
+                assert [r["echo"] for r in results] == [1, 2, 3]
+            finally:
+                client.close()
+        finally:
+            thread.join(timeout=10)
+            listener.close()
+
+
 class TestSelftest:
     def test_cli_selftest_passes(self, capsys):
         from repro.cli import main
 
         assert main(["serve", "--selftest", "--size", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "pipelined query_batch verified" in out
+
+    def test_cli_selftest_single_shard(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["serve", "--selftest", "--size", "120", "--shards", "1"]
+        ) == 0
         assert "all checks passed" in capsys.readouterr().out
 
 
