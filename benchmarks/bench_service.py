@@ -2,9 +2,12 @@
 
 Measures the provenance query service end to end (in process, so the
 numbers isolate engine cost from socket cost): events/sec through the
-session ingest path, batch-query QPS with a cold versus warm cache,
-query throughput spread across many concurrent sessions, and -- the
-scaling story -- warm-cache QPS under a closed-loop
+session ingest path, durable-ingest events/sec across the write-ahead
+log's fsync policies (``always``/``batch``/``never``, against a no-WAL
+baseline -- what acknowledged durability costs), batch-query QPS with
+a cold versus warm cache, query throughput spread across many
+concurrent sessions, and -- the scaling story -- warm-cache QPS under
+a closed-loop
 :mod:`repro.loadgen` worker pool as the engine's lock striping grows
 across 1/2/4/8 shards.  Contention on the classic single lock is what
 the striping removes, so the shard sweep is run with every worker
@@ -26,11 +29,12 @@ from __future__ import annotations
 import json
 import os
 import random
+import tempfile
 import time
 
 from repro.datasets import running_example
 from repro.loadgen import Scenario, engine_driver_factory, run_scenario
-from repro.service import QueryEngine, SessionManager
+from repro.service import DurableStore, QueryEngine, SessionManager
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
 
@@ -39,6 +43,8 @@ BATCH = 2000
 SHARD_COUNTS = (1, 2, 4, 8)
 SCALING_WORKERS = 8
 SCALING_DURATION = float(os.environ.get("BENCH_SCALING_SECONDS", "1.0"))
+DURABLE_CHUNK = 64  # events per acknowledged ingest on the durable path
+DURABLE_POLICIES = (None, "always", "batch", "never")  # None = no WAL
 OUTPUT = "BENCH_service.json"
 
 # pure warm-cache read load: everything ingested at prefill (no version
@@ -106,6 +112,55 @@ def shard_scaling(duration=SCALING_DURATION):
     return [_warm_scaling_row(shards, duration) for shards in SHARD_COUNTS]
 
 
+def _durable_ingest_seconds(policy, spec, execution, chunk=DURABLE_CHUNK):
+    """Seconds to ingest the whole run in acknowledged durable chunks."""
+    events = execution.insertions
+    manager = SessionManager()
+    engine = QueryEngine(manager)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        session = manager.create("bench", spec)
+        store = None
+        if policy is not None:
+            store = DurableStore(tmp, fsync=policy)
+            store.register(session)
+        started = time.perf_counter()
+        for start in range(0, len(events), chunk):
+            engine.ingest("bench", events[start : start + chunk])
+        elapsed = time.perf_counter() - started
+        if store is not None:
+            store.close()
+        manager.close("bench")
+    return elapsed
+
+
+def durable_ingest_rows(repeat=3, chunk=DURABLE_CHUNK):
+    """Ingest events/sec per WAL fsync policy (plus a no-WAL baseline).
+
+    Every ingest is one acknowledged request of ``chunk`` events, so
+    the ``always`` row pays one fsync per acknowledgement -- the price
+    of power-loss durability -- while ``batch``/``never`` show what the
+    relaxed policies buy back.
+    """
+    spec, _, execution = _prepared_run()
+    events = len(execution)
+    rows = []
+    for policy in DURABLE_POLICIES:
+        best = min(
+            _durable_ingest_seconds(policy, spec, execution, chunk)
+            for _ in range(repeat)
+        )
+        rows.append(
+            {
+                "fsync": policy or "none",
+                "events": events,
+                "chunk": chunk,
+                "seconds": best,
+                "events_per_sec": events / best,
+            }
+        )
+    return rows
+
+
 def test_service_ingest_throughput(benchmark):
     spec, run, execution = _prepared_run()
     manager = SessionManager()
@@ -167,6 +222,20 @@ def test_service_multi_session_queries(benchmark):
     benchmark(fan_out)
     total = len(names) * len(pairs)
     benchmark.extra_info["qps"] = total / benchmark.stats["mean"]
+
+
+def test_durable_ingest_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: durable_ingest_rows(repeat=1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = [
+        {k: str(v) for k, v in row.items()} for row in rows
+    ]
+    assert [row["fsync"] for row in rows] == [
+        "none", "always", "batch", "never",
+    ]
+    for row in rows:
+        assert row["events_per_sec"] > 0
 
 
 def test_shard_scaling_rows(benchmark):
@@ -233,6 +302,19 @@ def main() -> int:
         f"-> {BATCH / warm:,.0f} QPS ({cold / warm:.1f}x cold)"
     )
 
+    durable_rows = durable_ingest_rows()
+    baseline_eps = durable_rows[0]["events_per_sec"]
+    print(
+        f"durable ingest:    {events} events in chunks of {DURABLE_CHUNK} "
+        "(one WAL append + ack per chunk)"
+    )
+    for row in durable_rows:
+        ratio = row["events_per_sec"] / baseline_eps if baseline_eps else 0.0
+        print(
+            f"  fsync={row['fsync']:<7} {row['events_per_sec']:>12,.0f} "
+            f"events/sec ({ratio:.2f}x no-WAL)"
+        )
+
     print(
         f"shard scaling:     {SCALING_WORKERS} workers, warm cache, "
         f"{SCALING_DURATION:.1f}s per shard count"
@@ -267,6 +349,10 @@ def main() -> int:
             "cold_qps": BATCH / cold,
             "warm_qps": BATCH / warm,
             "warm_speedup": cold / warm,
+        },
+        "durable_ingest": {
+            "chunk": DURABLE_CHUNK,
+            "rows": durable_rows,
         },
         "shard_scaling": {
             "workers": SCALING_WORKERS,

@@ -18,7 +18,13 @@ Subcommands::
 ``serve`` and ``loadgen`` take ``--shards`` to stripe the session
 registry and query cache across independent locks; ``loadgen`` replays
 a named scenario (``repro loadgen --list``) against an in-process
-engine or, with ``--port``, a live server over TCP.
+engine or, with ``--port``, a live server over TCP.  ``serve
+--data-dir`` makes the service durable -- sessions recovered on boot,
+every ingest write-ahead-logged under ``--fsync`` before it is
+acknowledged, WALs rolled into checkpoints every
+``--checkpoint-interval`` seconds -- and ``loadgen crash-recovery``
+SIGKILLs such a server mid-ingest and verifies that recovery loses no
+acknowledged insertion.
 
 Specifications and execution logs are read/written as JSON or XML,
 chosen by file extension (``.json`` / ``.xml``).
@@ -183,6 +189,8 @@ def cmd_serve(args) -> int:
 
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.data_dir and args.checkpoint_interval <= 0:
+        raise SystemExit("--checkpoint-interval must be positive")
     if args.selftest:
         from repro.service.selftest import run_selftest, run_selftest_all_dynamic
 
@@ -194,20 +202,49 @@ def cmd_serve(args) -> int:
             spec_name=args.spec, size=args.size, seed=args.seed,
             scheme=args.scheme, shards=args.shards,
         )
-    service = ReproService(cache_size=args.cache_size, shards=args.shards)
-    if args.stdio:
+    service = ReproService(
+        cache_size=args.cache_size,
+        shards=args.shards,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        checkpoint_interval=(
+            args.checkpoint_interval if args.data_dir else None
+        ),
+    )
+    if args.data_dir:
         import sys
 
-        return serve_stdio(service, sys.stdin, sys.stdout)
-    server = ReproServer((args.host, args.port), service)
-    print(f"repro service listening on {args.host}:{server.port}")
+        recovered = [
+            report["session"]
+            for report in service.store.recovery
+            if not report.get("skipped")
+        ]
+        print(
+            f"repro service durable under {args.data_dir} "
+            f"(fsync={args.fsync}, checkpoint every "
+            f"{args.checkpoint_interval:.0f}s, "
+            f"{len(recovered)} session(s) recovered"
+            + (f": {', '.join(sorted(recovered))}" if recovered else "")
+            + ")",
+            # stdout is the protocol stream under --stdio
+            file=sys.stderr if args.stdio else sys.stdout,
+        )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
+        if args.stdio:
+            import sys
+
+            return serve_stdio(service, sys.stdin, sys.stdout)
+        server = ReproServer((args.host, args.port), service)
+        print(f"repro service listening on {args.host}:{server.port}")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.server_close()
+        return 0
     finally:
-        server.server_close()
-    return 0
+        service.close()
 
 
 def cmd_loadgen(args) -> int:
@@ -221,12 +258,47 @@ def cmd_loadgen(args) -> int:
         scenarios,
     )
 
+    from repro.loadgen.crash import (
+        SCENARIO_NAME as CRASH_SCENARIO,
+        SCENARIO_SUMMARY as CRASH_SUMMARY,
+        run_crash_recovery,
+    )
+
     if args.list:
         for name, scenario in sorted(scenarios().items()):
             print(f"{name:<24} {scenario.summary}")
+        print(f"{CRASH_SCENARIO:<24} {CRASH_SUMMARY}")
         return 0
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.scenario == CRASH_SCENARIO:
+        # not a closed-loop scenario: it owns its server subprocess
+        if args.port:
+            raise SystemExit(
+                "crash-recovery manages its own server; drop --port"
+            )
+        try:
+            report = run_crash_recovery(
+                data_dir=args.data_dir,
+                fsync=args.fsync,
+                kill_after=max(0.2, args.duration / 2),
+                seed=args.seed,
+                verbose=not args.json,
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from None
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            for error in report.errors:
+                print(f"loadgen: ERROR {error}")
+            print(
+                f"loadgen: crash-recovery {'PASSED' if report.ok else 'FAILED'} "
+                f"-- {report.acknowledged} acknowledged, "
+                f"{len(report.lost)} lost, {report.verified_pairs} "
+                f"answers BFS-verified ({report.wrong_answers} wrong)"
+            )
+        return 0 if report.ok else 1
     try:
         scenario = get_scenario(args.scenario)
     except ReproError as exc:
@@ -336,6 +408,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=4,
                    help="lock stripes for the session registry and "
                         "query cache (1 = the classic single lock)")
+    p.add_argument("--data-dir", default=None,
+                   help="durability: recover every session found here "
+                        "on boot, then write-ahead-log all ingests")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="always",
+                   help="WAL fsync policy (with --data-dir): 'always' "
+                        "fsyncs every ingest before acknowledging it, "
+                        "'batch' amortizes, 'never' leaves it to the OS")
+    p.add_argument("--checkpoint-interval", type=float, default=30.0,
+                   help="with --data-dir: seconds between background "
+                        "rolls of outstanding WALs into checkpoints")
     p.add_argument("--selftest", action="store_true",
                    help="run one scripted session end-to-end and exit")
     p.add_argument("--scheme", choices=dynamic_schemes + ["all"],
@@ -376,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="check every answer against BFS ground truth "
                         "(slow; smoke tests)")
+    p.add_argument("--data-dir", default=None,
+                   help="crash-recovery only: durable data dir for the "
+                        "spawned server (default: a temp dir)")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="always",
+                   help="crash-recovery only: the spawned server's WAL "
+                        "fsync policy")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_loadgen)

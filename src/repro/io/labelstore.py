@@ -51,6 +51,30 @@ def save_labels(
         json.dump(document, handle)
 
 
+def peek_label_store(path) -> Tuple[str, int]:
+    """Validate a label store's header without decoding any label.
+
+    Returns ``(scheme name, label count)``.  Raises :class:`FormatError`
+    when the file is missing, is not JSON, or lacks the label-store
+    format tag -- a cheap up-front check for callers (checkpoint
+    restore) that would otherwise pay a full O(n) relabeling before
+    discovering the store is unusable.
+    """
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        raise FormatError(f"label store {path} does not exist") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FormatError(f"label store {path} is unreadable: {exc}") from None
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        tag = document.get("format") if isinstance(document, dict) else document
+        raise FormatError(f"not a label store: {tag!r}")
+    labels = document.get("labels", {})
+    count = len(labels) if isinstance(labels, dict) else 0
+    return document.get("scheme", "drl"), count
+
+
 def load_label_store(
     spec: Specification, path
 ) -> Tuple[str, Dict[int, object]]:

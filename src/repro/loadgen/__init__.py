@@ -14,6 +14,7 @@ Entry points: ``repro loadgen`` on the command line, and
 section of ``benchmarks/bench_service.py`` is built on them).
 """
 
+from repro.loadgen.crash import CrashReport, run_crash_recovery
 from repro.loadgen.driver import (
     ClientDriver,
     EngineDriver,
@@ -29,6 +30,8 @@ __all__ = [
     "get_scenario",
     "LoadReport",
     "run_scenario",
+    "CrashReport",
+    "run_crash_recovery",
     "EngineDriver",
     "ClientDriver",
     "engine_driver_factory",

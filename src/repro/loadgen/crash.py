@@ -1,0 +1,317 @@
+"""The crash-recovery scenario: SIGKILL a durable server mid-ingest.
+
+This is the durability layer's acceptance test, run as a real loadgen
+scenario (``repro loadgen crash-recovery``): start a *subprocess*
+server with ``--data-dir``, ingest a synthesized run chunk by chunk
+recording exactly which insertions were acknowledged, ``SIGKILL`` the
+server mid-stream (no warning, no flush -- the closest a test gets to
+pulling the plug on a process), restart it over the same data dir, and
+verify against BFS ground truth that **every acknowledged insertion
+survived**: each acked vertex is still present, and reachability
+answers over the acked prefix match the materialized run graph.
+
+Insertions the client never got an ``ok`` for are allowed to be lost
+(they were never acknowledged); an acknowledged insertion lost after
+recovery is a durability bug and fails the scenario.
+
+The server is killed from a watchdog thread while the ingest loop is
+running, so the kill lands mid-request with high probability; the
+ingest loop treats the resulting connection error as the expected
+crash, not a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import repro
+from repro.errors import ProtocolError, ServiceError
+from repro.graphs.reachability import reaches
+from repro.loadgen.runner import LoadReport  # noqa: F401 (sibling API)
+from repro.service.client import ServiceClient
+from repro.service.sessions import resolve_spec
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+SCENARIO_NAME = "crash-recovery"
+SCENARIO_SUMMARY = (
+    "SIGKILL a durable server mid-ingest, restart, verify no "
+    "acknowledged insertion was lost"
+)
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one crash-recovery scenario run."""
+
+    scenario: str = SCENARIO_NAME
+    fsync: str = "always"
+    spec: str = "running-example"
+    run_size: int = 0
+    acknowledged: int = 0       # insertions the client got an 'ok' for
+    unacknowledged: int = 0     # in flight / never sent when killed
+    recovered_vertices: int = 0
+    lost: List[int] = field(default_factory=list)  # acked vids missing
+    verified_pairs: int = 0
+    wrong_answers: int = 0
+    torn_tail: Optional[str] = None  # recovery's dropped-tail report
+    kill_after: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.lost and not self.wrong_answers
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "fsync": self.fsync,
+            "spec": self.spec,
+            "run_size": self.run_size,
+            "acknowledged": self.acknowledged,
+            "unacknowledged": self.unacknowledged,
+            "recovered_vertices": self.recovered_vertices,
+            "lost": list(self.lost),
+            "verified_pairs": self.verified_pairs,
+            "wrong_answers": self.wrong_answers,
+            "torn_tail": self.torn_tail,
+            "kill_after": self.kill_after,
+            "ok": self.ok,
+            "errors": list(self.errors),
+        }
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_server(
+    port: int, data_dir: str, fsync: str, extra: Optional[List[str]] = None
+) -> subprocess.Popen:
+    """Start ``repro serve --data-dir`` as a killable subprocess."""
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        str(port),
+        "--data-dir",
+        data_dir,
+        "--fsync",
+        fsync,
+    ] + list(extra or [])
+    return subprocess.Popen(
+        command,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_ready(port: int, process: subprocess.Popen, timeout: float = 30.0):
+    """Poll until the server answers ``ping`` (or its process died)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise ServiceError(
+                f"server exited with {process.returncode} before "
+                "becoming ready"
+            )
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=5.0) as client:
+                if client.ping():
+                    return
+        except OSError:
+            time.sleep(0.05)
+    raise ServiceError(f"server on port {port} never became ready")
+
+
+def run_crash_recovery(
+    data_dir: Optional[str] = None,
+    spec: str = "running-example",
+    scheme: str = "drl",
+    fsync: str = "always",
+    run_size: int = 800,
+    chunk: int = 4,
+    kill_after: float = 1.0,
+    queries: int = 400,
+    seed: int = 0,
+    verbose: bool = True,
+) -> CrashReport:
+    """Run the scenario; see the module docstring for the contract.
+
+    A watchdog SIGKILLs the server as soon as half the run has been
+    acknowledged -- so the kill reliably lands mid-stream, with real
+    acknowledged-but-not-checkpointed state in the WAL -- or after
+    ``kill_after`` seconds if ingest is slower than that.  The
+    restarted server recovers from ``data_dir`` (a temp dir by
+    default) and every acknowledged insertion is verified present with
+    BFS-checked reachability.
+    """
+    report = CrashReport(fsync=fsync, spec=spec, kill_after=kill_after)
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"crash-recovery: {message}")
+
+    specification = resolve_spec(spec)
+    run = sample_run(specification, run_size, random.Random(seed))
+    execution = execution_from_derivation(run)
+    events = execution.insertions
+    report.run_size = len(events)
+
+    owns_dir = data_dir is None
+    if owns_dir:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-crash-")
+        data_dir = tempdir.name
+    port = _free_port()
+    say(
+        f"starting durable server on port {port} "
+        f"(fsync={fsync}, data dir {data_dir})"
+    )
+    process = _spawn_server(port, data_dir, fsync)
+    acked: List[int] = []
+    kill_threshold = max(chunk, len(events) // 2)
+
+    def watchdog() -> None:
+        # kill once half the run is acknowledged (mid-stream for sure),
+        # or after the time limit if ingest is slower than that
+        deadline = time.monotonic() + kill_after
+        while time.monotonic() < deadline and len(acked) < kill_threshold:
+            time.sleep(0.001)
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+
+    killer = threading.Thread(target=watchdog, daemon=True)
+    try:
+        _wait_ready(port, process)
+        killer.start()
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=10.0) as client:
+                client.create_session(
+                    "crash", spec=spec, scheme=scheme
+                )
+                for start in range(0, len(events), chunk):
+                    batch = events[start : start + chunk]
+                    client.ingest("crash", batch)
+                    # the server acknowledged: these must survive
+                    acked.extend(event.vid for event in batch)
+        except (OSError, ProtocolError):
+            pass  # the kill landed mid-request: the expected crash
+        killer.join(timeout=kill_after + 30.0)
+        process.wait(timeout=30.0)
+        report.acknowledged = len(acked)
+        report.unacknowledged = len(events) - len(acked)
+        say(
+            f"server killed; {len(acked)}/{len(events)} insertions "
+            "had been acknowledged"
+        )
+        if not acked:
+            report.errors.append(
+                "the server died before acknowledging any insertion; "
+                "raise kill_after"
+            )
+            return report
+
+        say("restarting over the same data dir")
+        process = _spawn_server(port, str(data_dir), fsync)
+        _wait_ready(port, process)
+        with ServiceClient("127.0.0.1", port, timeout=30.0) as client:
+            info = client.recover_info()
+            recovered = {
+                r["session"]: r for r in info.get("recovered", [])
+            }
+            record = recovered.get("crash")
+            if record is None or record.get("skipped"):
+                report.errors.append(
+                    f"session 'crash' was not recovered: {recovered}"
+                )
+                return report
+            report.recovered_vertices = record.get("vertices", 0)
+            report.torn_tail = record.get("torn_tail")
+            if report.torn_tail:
+                say(
+                    f"recovery dropped a torn WAL tail "
+                    f"({report.torn_tail}; resume seq "
+                    f"{record.get('resume_seq')})"
+                )
+            # presence: a (v, v) query probes v's label; an unlabeled
+            # vertex is a LabelingError, so one batch proves them all
+            try:
+                client.query_batch("crash", [(v, v) for v in acked])
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                report.errors.append(
+                    f"presence probe over acked vertices failed: {exc}"
+                )
+                for vid in acked:  # narrow down the missing ones
+                    try:
+                        client.query_batch("crash", [(vid, vid)])
+                    except Exception:
+                        report.lost.append(vid)
+                say(
+                    f"{len(report.lost)} acknowledged insertions "
+                    "missing after recovery"
+                )
+                return report
+            if report.recovered_vertices < len(acked):
+                report.errors.append(
+                    f"recovered {report.recovered_vertices} vertices "
+                    f"< {len(acked)} acknowledged"
+                )
+            # reachability over the acked prefix, BFS-verified (edges
+            # only ever point at later insertions, so the full-run
+            # graph restricted to acked endpoints is exact)
+            rng = random.Random(seed + 1)
+            pairs = [
+                (rng.choice(acked), rng.choice(acked))
+                for _ in range(queries)
+            ]
+            answers = client.query_batch("crash", pairs)
+            wrong = sum(
+                1
+                for (a, b), answer in zip(pairs, answers)
+                if answer != reaches(run.graph, a, b)
+            )
+            report.verified_pairs = len(pairs)
+            report.wrong_answers = wrong
+            if wrong:
+                report.errors.append(
+                    f"{wrong}/{len(pairs)} post-recovery answers "
+                    "contradict BFS ground truth"
+                )
+            say(
+                f"zero acknowledged insertions lost; {len(pairs)} "
+                f"reachability answers BFS-verified ({wrong} wrong)"
+            )
+            client.shutdown_server()
+        process.wait(timeout=30.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30.0)
+        if owns_dir:
+            tempdir.cleanup()
+    return report

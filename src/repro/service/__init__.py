@@ -6,9 +6,11 @@ hosted concurrently (:mod:`repro.service.sessions`), single and batch
 reachability queries answered through a version-aware LRU cache
 (:mod:`repro.service.engine`), a JSON-lines wire protocol
 (:mod:`repro.service.protocol`) served over TCP or stdio
-(:mod:`repro.service.server`, :mod:`repro.service.client`), and
+(:mod:`repro.service.server`, :mod:`repro.service.client`),
 checkpoint/recovery of live sessions built on the label store
-(:mod:`repro.service.checkpoint`).
+(:mod:`repro.service.checkpoint`), and -- under a ``--data-dir`` -- a
+per-session write-ahead log with configurable fsync policy, background
+checkpoint rolling, and crash recovery (:mod:`repro.service.wal`).
 
 Because dynamic labels are assigned on-the-fly and never change, the
 service answers provenance queries about a run *while that run is
@@ -26,6 +28,12 @@ from repro.service.engine import QueryEngine, ServiceStats
 from repro.service.protocol import Request, Response
 from repro.service.server import ReproServer, ReproService, serve_stdio
 from repro.service.sessions import Session, SessionManager
+from repro.service.wal import (
+    Checkpointer,
+    DurableStore,
+    WriteAheadLog,
+    replay_wal,
+)
 
 __all__ = [
     "Session",
@@ -40,4 +48,8 @@ __all__ = [
     "serve_stdio",
     "checkpoint_session",
     "restore_session",
+    "WriteAheadLog",
+    "DurableStore",
+    "Checkpointer",
+    "replay_wal",
 ]

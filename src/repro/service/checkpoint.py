@@ -21,6 +21,12 @@ label persistence into an integrity check rather than a trusted input.
 The restored session continues ingesting from where the checkpoint was
 taken.  Checkpoints written before the scheme field existed restore as
 ``drl`` (the only scheme that could have written them).
+
+Durability: by default every staged document is fsynced before its
+rename and the directory is fsynced after the manifest rename, so a
+completed :func:`checkpoint_session` survives power loss, not just
+process death.  ``durable=False`` skips the fsyncs (tests, throwaway
+snapshots on tmpfs).
 """
 
 from __future__ import annotations
@@ -37,7 +43,8 @@ from repro.io.jsonio import (
     specification_from_json,
     specification_to_json,
 )
-from repro.io.labelstore import load_label_store, save_labels
+from repro.io.labelstore import load_label_store, peek_label_store, save_labels
+from repro.io.xmlio import FormatError
 from repro.service.sessions import Session, SessionManager
 
 _FORMAT = "repro-checkpoint"
@@ -49,11 +56,34 @@ _LOG = "log.json"
 _LABELS = "labels.json"
 
 
-def checkpoint_session(session: Session, directory) -> Path:
+def fsync_file(path) -> None:
+    """Flush a written-and-closed file's data to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path) -> None:
+    """Flush a directory's entries (renames, creates) to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def checkpoint_session(session: Session, directory, durable: bool = True) -> Path:
     """Write a consistent checkpoint of ``session`` into ``directory``.
 
     The snapshot is taken under the session lock, so it reflects one
-    version even while writers keep ingesting.  Returns the directory.
+    version even while writers keep ingesting.  With ``durable`` (the
+    default) each staged file is fsynced before its rename and the
+    directory is fsynced after the manifest rename, so the checkpoint
+    survives power loss.  Returns the directory.
     """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -69,12 +99,13 @@ def checkpoint_session(session: Session, directory) -> Path:
         "session_version": version,
         "vertices": len(labels),
     }
-    # every document is staged under a temp name and atomically renamed
-    # into place, manifest last: a crash while staging leaves any prior
-    # checkpoint in the directory untouched, and a fresh directory only
-    # gains a manifest once every other document is in place.  The
-    # manifest's vertex count lets restore detect the narrow window
-    # where a re-checkpoint crashed between renames.
+    # every document is staged under a temp name, fsynced, and
+    # atomically renamed into place, manifest last: a crash while
+    # staging leaves any prior checkpoint in the directory untouched,
+    # and a fresh directory only gains a manifest once every other
+    # document is durably in place.  The manifest's vertex count lets
+    # restore detect the narrow window where a re-checkpoint crashed
+    # between renames.
     stage = [
         (_SPEC, lambda p: _dump(specification_to_json(session.spec), p)),
         (_LOG, lambda p: _dump(execution_to_json(log, session.spec.name), p)),
@@ -87,9 +118,14 @@ def checkpoint_session(session: Session, directory) -> Path:
         (_MANIFEST, lambda p: _dump(manifest, p, indent=2)),
     ]
     for filename, write in stage:
-        write(path / (filename + ".tmp"))
+        staged = path / (filename + ".tmp")
+        write(staged)
+        if durable:
+            fsync_file(staged)
     for filename, _ in stage:
         os.replace(path / (filename + ".tmp"), path / filename)
+    if durable:
+        fsync_dir(path)
     return path
 
 
@@ -121,22 +157,42 @@ def restore_session(
     restoring next to a still-live original).  The insertion log is
     replayed through a fresh labeler and the recomputed labels are
     verified against the stored ones; any divergence aborts the restore.
+
+    Everything that can fail cheaply is validated *before* the O(n)
+    replay: the target name's availability (``adopt`` re-checks under
+    its lock, so this is a fast-fail, not the correctness guarantee),
+    and the label store's header -- a missing/corrupt store or a scheme
+    mismatch against the manifest aborts without relabeling anything.
     """
     path = Path(directory)
     manifest = load_manifest(path)
+    target = name or manifest["session"]
+    if target in manager:
+        raise ServiceError(f"session {target!r} already exists")
+    scheme = manifest.get("scheme", "drl")
+    try:
+        stored_scheme, stored_count = peek_label_store(path / _LABELS)
+    except FormatError as exc:
+        raise ServiceError(f"checkpoint {path} is unusable: {exc}") from None
+    if stored_scheme != scheme:
+        raise ServiceError(
+            f"checkpoint {path} is inconsistent: manifest records scheme "
+            f"{scheme!r} but the label store was written by "
+            f"{stored_scheme!r}"
+        )
     with open(path / _SPEC) as handle:
         spec = specification_from_json(json.load(handle))
     with open(path / _LOG) as handle:
         log = execution_from_json(json.load(handle))
-    if len(log) != manifest["vertices"]:
+    if len(log) != manifest["vertices"] or stored_count != len(log):
         raise ServiceError(
             f"checkpoint {path} is inconsistent: manifest records "
-            f"{manifest['vertices']} vertices but the log has "
-            f"{len(log)} (mixed checkpoint generations?)"
+            f"{manifest['vertices']} vertices but the log has {len(log)} "
+            f"and the label store {stored_count} "
+            "(mixed checkpoint generations?)"
         )
-    scheme = manifest.get("scheme", "drl")
     session = Session(
-        name or manifest["session"],
+        target,
         spec,
         scheme=scheme,
         skeleton=manifest["skeleton"],
@@ -145,12 +201,6 @@ def restore_session(
     session.ingest_many(log)
     session.version = manifest["session_version"]
     stored_scheme, stored = load_label_store(spec, path / _LABELS)
-    if stored_scheme != session.scheme_name:
-        raise ServiceError(
-            f"checkpoint {path} is inconsistent: manifest records scheme "
-            f"{session.scheme_name!r} but the label store was written by "
-            f"{stored_scheme!r}"
-        )
     if dict(session.scheme.labels) != stored:
         raise ServiceError(
             f"checkpoint {path} is corrupt: replayed labels diverge "

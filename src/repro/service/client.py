@@ -203,8 +203,35 @@ class ServiceClient:
             for answer in result["answers"]
         ]
 
-    def snapshot(self, session: str, path: str) -> Dict[str, Any]:
+    def snapshot(
+        self, session: str, path: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Checkpoint a session; pathless rolls the durable checkpoint.
+
+        With ``path`` the server writes a checkpoint directory there
+        (works on any server).  Without it, a durable server
+        (``--data-dir``) rolls the session's write-ahead log into its
+        own checkpoint generation instead.
+        """
+        if path is None:
+            return self.call("snapshot", session=session)
         return self.call("snapshot", session=session, path=str(path))
+
+    def sync(self, session: Optional[str] = None) -> Dict[str, Any]:
+        """Force-fsync one session's write-ahead log (or all of them).
+
+        Upgrades already-acknowledged ingests to power-loss durability
+        under the ``batch``/``never`` fsync policies; a no-op (but
+        still a round trip) under ``always``.  `ServiceError` on a
+        server without a data dir.
+        """
+        if session is None:
+            return self.call("sync")
+        return self.call("sync", session=session)
+
+    def recover_info(self) -> Dict[str, Any]:
+        """The server's durability state (``{"durable": false}`` if none)."""
+        return self.call("recover_info")
 
     def list_schemes(self) -> List[Dict[str, Any]]:
         """Registered labeling backends with their capability flags."""

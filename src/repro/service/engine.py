@@ -63,6 +63,7 @@ class ServiceStats:
     cache_misses: int
     cache_entries: int
     cache_capacity: int
+    cache_shard_capacities: Tuple[int, ...]
     query_seconds: float
     ingest_seconds: float
 
@@ -73,6 +74,7 @@ class ServiceStats:
 
     def to_dict(self) -> Dict[str, float]:
         doc = asdict(self)
+        doc["cache_shard_capacities"] = list(self.cache_shard_capacities)
         doc["hit_rate"] = self.hit_rate
         return doc
 
@@ -108,10 +110,12 @@ class QueryEngine:
     """Answers reachability queries over a :class:`SessionManager`.
 
     ``cache_size`` is the *total* capacity, divided evenly across
-    ``shards`` lock stripes.  All of one session's entries live in the
-    shard its uid hashes to, so a single hot session is bounded by its
-    shard's slice; spread sessions use the whole budget.  ``shards=1``
-    reproduces the classic single-lock engine exactly.
+    ``shards`` lock stripes (never below one entry per shard while the
+    budget is nonzero, so no shard is silently uncached; ``stats``
+    reports the per-shard capacities).  All of one session's entries
+    live in the shard its uid hashes to, so a single hot session is
+    bounded by its shard's slice; spread sessions use the whole budget.
+    ``shards=1`` reproduces the classic single-lock engine exactly.
     """
 
     def __init__(
@@ -126,9 +130,15 @@ class QueryEngine:
             raise ValueError("shards must be >= 1")
         self.manager = manager
         self.cache_size = cache_size
+        # a nonzero budget smaller than the stripe count would starve
+        # some shards at zero capacity -- sessions hashing there would
+        # never cache and warm numbers would lie -- so every shard gets
+        # at least one entry (the effective total may exceed the
+        # requested budget; stats expose the per-shard truth)
         base, extra = divmod(cache_size, shards)
         self._shards = [
-            _Shard(base + (1 if index < extra else 0))
+            _Shard(max(base + (1 if index < extra else 0), 1)
+                   if cache_size else 0)
             for index in range(shards)
         ]
 
@@ -282,6 +292,9 @@ class QueryEngine:
             cache_misses=misses,
             cache_entries=entries,
             cache_capacity=self.cache_size,
+            cache_shard_capacities=tuple(
+                shard.capacity for shard in self._shards
+            ),
             query_seconds=query_seconds,
             ingest_seconds=ingest_seconds,
         )

@@ -13,7 +13,9 @@ Operations::
     ingest           session, insertions=[event...]   (one or many)
     query            session, source, target
     query_batch      session, pairs=[[v, w]...]
-    snapshot         session, path
+    snapshot         session[, path]  (pathless: roll the durable ckpt)
+    sync             [session]        (fsync the write-ahead log(s))
+    recover_info     (durability state: WALs, checkpoints, recovery)
     schemes          (lists the registered labeling backends)
     stats
     close            session
@@ -25,6 +27,18 @@ Operations::
 (``drl`` by default); ``schemes`` returns every registered backend with
 its capability flags so clients can discover which names are dynamic
 (hostable in a session) before opening one.
+
+Durability
+----------
+A server started with ``--data-dir`` write-ahead-logs every ingest
+before acknowledging it (see :mod:`repro.service.wal`).  ``sync``
+force-fsyncs one session's WAL (or all of them), upgrading
+acknowledgements to power-loss durability under the ``batch``/``never``
+fsync policies; ``recover_info`` reports the durability state -- fsync
+policy, per-session checkpoint/WAL positions, and what boot-time
+recovery found (including any torn WAL tail it dropped).  On a server
+without a data dir ``sync`` is a ``service`` error and ``recover_info``
+answers ``{"durable": false}``.
 
 Pipelining
 ----------
@@ -74,6 +88,8 @@ OPS = (
     "query",
     "query_batch",
     "snapshot",
+    "sync",
+    "recover_info",
     "schemes",
     "stats",
     "close",

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Optional, TextIO
 from repro.errors import ProtocolError, ServiceError
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
+from repro.service.wal import Checkpointer, DurableStore
 from repro.service.protocol import (
     MAX_BATCH,
     Request,
@@ -48,6 +49,14 @@ class ReproService:
     (see :class:`QueryEngine`); ``max_batch`` caps the payload size of
     one ``query_batch``/``ingest`` request -- larger batches get a
     structured ``protocol`` error telling the client to pipeline chunks.
+
+    ``data_dir`` mounts the durability layer (:mod:`repro.service.wal`):
+    every session found under it is recovered on construction
+    (checkpoint + WAL-tail replay), every subsequent ingest is logged to
+    a per-session write-ahead log under the ``fsync`` policy before it
+    is acknowledged, and -- with ``checkpoint_interval`` set -- a
+    background :class:`Checkpointer` periodically rolls WALs into
+    checkpoints.  Call :meth:`close` when done so the WALs flush.
     """
 
     def __init__(
@@ -57,6 +66,9 @@ class ReproService:
         cache_size: int = 65536,
         shards: int = DEFAULT_SHARDS,
         max_batch: int = MAX_BATCH,
+        data_dir: Optional[str] = None,
+        fsync: str = "always",
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
         self.manager = manager or SessionManager(shards=shards)
         self.engine = engine or QueryEngine(
@@ -64,12 +76,24 @@ class ReproService:
         )
         self.max_batch = max_batch
         self.shutdown_requested = threading.Event()
+        self.store: Optional[DurableStore] = None
+        self.checkpointer: Optional[Checkpointer] = None
+        if data_dir is not None:
+            self.store = DurableStore(data_dir, fsync=fsync)
+            self.store.recover(self.manager)
+            if checkpoint_interval is not None:
+                self.checkpointer = Checkpointer(
+                    self.store, interval=checkpoint_interval
+                )
+                self.checkpointer.start()
         self._ops: Dict[str, Callable[[Request], Any]] = {
             "create_session": self._op_create_session,
             "ingest": self._op_ingest,
             "query": self._op_query,
             "query_batch": self._op_query_batch,
             "snapshot": self._op_snapshot,
+            "sync": self._op_sync,
+            "recover_info": self._op_recover_info,
             "schemes": self._op_schemes,
             "stats": self._op_stats,
             "close": self._op_close,
@@ -77,6 +101,14 @@ class ReproService:
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
         }
+
+    def close(self) -> None:
+        """Stop the checkpointer and flush/close every WAL."""
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
+            self.checkpointer = None
+        if self.store is not None:
+            self.store.close()
 
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
@@ -137,6 +169,14 @@ class ReproService:
                 skeleton=request.params.get("skeleton", "tcl"),
                 mode=request.params.get("mode", "logged"),
             )
+        if self.store is not None:
+            # durable tracking must be armed before the create is
+            # acknowledged; if it cannot be, the session must not exist
+            try:
+                self.store.register(session)
+            except Exception:
+                self.manager.close(session.name)
+                raise
         return {
             "session": session.name,
             "spec": session.spec.name,
@@ -180,12 +220,48 @@ class ReproService:
 
     def _op_snapshot(self, request: Request) -> Dict[str, Any]:
         session = self.manager.get(request.require("session"))
-        path = checkpoint_session(session, request.require("path"))
+        target = request.params.get("path")
+        if target is None:
+            # on a durable server a pathless snapshot rolls the WAL
+            # into the session's own checkpoint generation
+            if self.store is None:
+                raise ProtocolError(
+                    "op 'snapshot' requires parameter 'path' "
+                    "(the server has no --data-dir)"
+                )
+            rolled = self.store.checkpoint(session)
+            return {
+                "path": None,
+                "version": rolled["checkpoint_version"],
+                "vertices": rolled["checkpoint_vertices"],
+            }
+        path = checkpoint_session(session, target)
         return {
             "path": str(path),
             "version": session.version,
             "vertices": len(session),
         }
+
+    def _op_sync(self, request: Request) -> Dict[str, Any]:
+        if self.store is None:
+            raise ServiceError(
+                "server is not durable (started without --data-dir)"
+            )
+        name = request.params.get("session")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("'session' must be a session name")
+        if name is not None:
+            self.manager.get(name)  # map unknown names to no-session
+        synced = self.store.sync(name)
+        return {"synced": synced, "fsync": self.store.fsync}
+
+    def _op_recover_info(self, request: Request) -> Dict[str, Any]:
+        if self.store is None:
+            return {"durable": False}
+        info = self.store.info()
+        if self.checkpointer is not None:
+            info["checkpoint_interval"] = self.checkpointer.interval
+        return info
 
     def _op_schemes(self, request: Request) -> Dict[str, Any]:
         from repro.schemes import registry as scheme_registry
@@ -199,6 +275,10 @@ class ReproService:
         name = request.require("session")
         session = self.manager.close(name)
         evicted = self.engine.drop_session_entries(session)
+        if self.store is not None:
+            # final checkpoint + CLOSED marker: the directory stays as
+            # the run's provenance record but recovery skips it
+            self.store.finalize(session)
         return {
             "closed": session.name,
             "vertices": len(session),

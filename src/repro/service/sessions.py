@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.datasets import spec_by_name
 from repro.errors import ServiceError, SessionNotFoundError
@@ -38,6 +38,9 @@ from repro.workflow.execution import Insertion
 from repro.workflow.specification import Specification
 
 SpecLike = Union[Specification, str]
+
+# (session, applied events, log index of the first event, new version)
+IngestHook = Callable[["Session", List[Insertion], int, int], None]
 
 
 def resolve_spec(spec: SpecLike) -> Specification:
@@ -101,6 +104,14 @@ class Session:
         self.version = 0
         self.log: List[Insertion] = []
         self.closed = False
+        # durability hook: called under the session lock after a batch
+        # is applied, with (session, applied events, log index of the
+        # first event, new version).  The write-ahead log uses it to
+        # persist every applied insertion *before* the ingest call
+        # returns -- if the hook raises (disk full, closed log), the
+        # events stay applied in memory (labels are write-once) but the
+        # caller gets the error instead of an acknowledgement.
+        self.on_ingest: Optional[IngestHook] = None
 
     @property
     def labeler(self):
@@ -117,6 +128,10 @@ class Session:
             label = self.scheme.insert(insertion)
             self.log.append(insertion)
             self.version += 1
+            if self.on_ingest is not None:
+                self.on_ingest(
+                    self, [insertion], len(self.log) - 1, self.version
+                )
             return label
 
     def ingest_many(self, insertions: Iterable[Insertion]) -> int:
@@ -133,14 +148,35 @@ class Session:
         with self.lock:
             self._check_open()
             count = 0
+            failure = None
             try:
                 for insertion in insertions:
                     self.scheme.insert(insertion)
                     self.log.append(insertion)
                     count += 1
+            except BaseException as exc:
+                failure = exc
+                raise
             finally:
                 if count:
                     self.version += 1
+                    if self.on_ingest is not None:
+                        # the applied prefix of a failed batch is logged
+                        # too: it is final in memory, so it must be
+                        # durable as well
+                        try:
+                            self.on_ingest(
+                                self,
+                                self.log[-count:],
+                                len(self.log) - count,
+                                self.version,
+                            )
+                        except Exception:
+                            # never shadow the batch's own error; the
+                            # hook (the WAL) poisons itself, so later
+                            # ingests fail loudly rather than diverge
+                            if failure is None:
+                                raise
             return count
 
     def _check_open(self) -> None:

@@ -1,0 +1,973 @@
+"""Durable sessions: per-session write-ahead logs and crash recovery.
+
+The paper's labels are write-once and assigned on-the-fly, so session
+state is naturally append-only -- which makes it cheap to persist
+*every* acknowledged insertion, not just the ones an explicit
+``checkpoint`` op happened to cover.  This module is the durability
+layer the service mounts under a ``--data-dir``:
+
+* :class:`WriteAheadLog` -- one append-only JSON-lines file per
+  session.  The first line is a header naming the session and the
+  checkpoint state the log applies on top of; every following line is
+  one ingest batch (``seq``, the insertion-log position ``start`` of
+  its first event, the session ``version`` after the batch, and the
+  events in the execution-log JSON schema).  The fsync policy decides
+  what "acknowledged" means: ``always`` fsyncs every append (survives
+  power loss), ``batch`` fsyncs every ``batch_records`` appends, and
+  ``never`` leaves flushing to the OS (every policy flushes to the OS
+  per append, so plain process death -- SIGKILL -- never loses an
+  acknowledged insertion under any policy).
+* :class:`DurableStore` -- the per-session directory layout under the
+  data dir: checkpoint *generations* (``ckpt-<version>/`` written by
+  :func:`repro.service.checkpoint.checkpoint_session`) with a
+  ``CURRENT`` pointer file that is atomically flipped only once the new
+  generation is durably complete, plus the live WAL.  Rolling a
+  checkpoint writes the new generation, flips ``CURRENT``, then
+  truncates the WAL to the records beyond the checkpoint -- in that
+  order, so a crash at any point leaves ``CURRENT`` naming a complete
+  checkpoint whose WAL still covers everything after it.
+* :class:`Checkpointer` -- a background thread that periodically rolls
+  every session with outstanding WAL records, bounding replay work at
+  the next boot.
+* :meth:`DurableStore.recover` -- boot-time recovery: for every
+  non-closed session directory, restore the ``CURRENT`` checkpoint
+  (which re-verifies the stored labels against a deterministic replay),
+  then replay the WAL tail through the session's registered scheme.  A
+  torn WAL tail (the crash interrupted an append) is dropped and
+  reported with its resume point; the file is truncated to the valid
+  prefix before new appends continue.
+
+Lock order: a WAL lock is only ever taken *after* (or without) the
+session lock, never the other way around -- ingest holds the session
+lock and appends; a roll snapshots under the session lock first and
+only then rewrites the WAL under the WAL lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+from urllib.parse import quote, unquote
+
+from repro.errors import ServiceError
+from repro.io.jsonio import insertion_from_json, insertion_to_json
+from repro.io.xmlio import FormatError
+from repro.service.checkpoint import (
+    checkpoint_session,
+    fsync_dir,
+    fsync_file,
+    load_manifest,
+    restore_session,
+)
+from repro.service.sessions import Session, SessionManager
+
+FSYNC_POLICIES = ("always", "batch", "never")
+DEFAULT_BATCH_RECORDS = 64
+DEFAULT_CHECKPOINT_INTERVAL = 30.0
+
+_WAL_FORMAT = "repro-wal"
+_WAL_VERSION = 1
+_WAL_FILE = "wal.jsonl"
+_CURRENT = "CURRENT"
+_CLOSED = "CLOSED"
+_CKPT_PREFIX = "ckpt-"
+_CKPT_STAGING = "ckpt.staging"
+_DIR_PREFIX = "s-"
+
+
+class TornWalError(ServiceError):
+    """The WAL file is missing or torn before its header completed.
+
+    Distinct from ordinary corruption: the header is written and
+    fsynced before ``create_session`` is acknowledged, so a missing/
+    empty/torn-header WAL next to a *complete* checkpoint can only be
+    the artifact of a crash inside that unacknowledged create -- the
+    checkpoint alone is the whole acknowledged state, and recovery may
+    safely re-arm a fresh log on top of it.  A WAL whose header parses
+    but carries the wrong format tag is not this: that is real
+    corruption and stays a hard :class:`ServiceError`.
+    """
+
+
+def check_fsync_policy(policy: str) -> str:
+    """Validate an fsync policy name; returns it unchanged."""
+    if policy not in FSYNC_POLICIES:
+        raise ServiceError(
+            f"unknown fsync policy {policy!r}; expected one of "
+            f"{FSYNC_POLICIES}"
+        )
+    return policy
+
+
+# ---------------------------------------------------------------------------
+# the write-ahead log file
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WalRecord:
+    """One decoded WAL record: an acknowledged ingest batch."""
+
+    seq: int
+    start: int      # insertion-log index of the first event
+    version: int    # session version after the batch
+    events: List[Dict[str, Any]]  # execution-log JSON schema
+
+
+@dataclass
+class WalReplay:
+    """The readable state of a WAL file, torn tail already dropped."""
+
+    header: Dict[str, Any]
+    records: List[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    dropped: Optional[str] = None  # why the tail was dropped, if it was
+
+    @property
+    def next_seq(self) -> int:
+        return self.records[-1].seq + 1 if self.records else 0
+
+    @property
+    def events(self) -> int:
+        return sum(len(record.events) for record in self.records)
+
+
+def replay_wal(path) -> WalReplay:
+    """Read a WAL file, validating structure line by line.
+
+    The header line must be intact (an unreadable header makes the
+    whole log unusable: :class:`ServiceError`).  Record lines are
+    consumed while they stay well-formed -- newline-terminated JSON
+    objects with a contiguous ``seq`` and an ``events`` list; the first
+    violation (a torn final append, a truncated block) drops that line
+    *and everything after it*, recording the reason in ``dropped`` and
+    the byte length of the valid prefix in ``valid_bytes`` so the
+    caller can truncate and resume appending.
+    """
+    try:
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        raise TornWalError(
+            f"write-ahead log {path} does not exist"
+        ) from None
+    if not lines:
+        raise TornWalError(f"write-ahead log {path} is empty (no header)")
+    if not lines[0].endswith(b"\n"):
+        raise TornWalError(
+            f"write-ahead log {path} has a torn header (no trailing newline)"
+        )
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise TornWalError(
+            f"write-ahead log {path} has an unreadable header: {exc}"
+        ) from None
+    if not isinstance(header, dict) or header.get("format") != _WAL_FORMAT:
+        raise ServiceError(
+            f"{path} is not a write-ahead log "
+            f"(format {header.get('format')!r})"
+        )
+    replay = WalReplay(header=header, valid_bytes=len(lines[0]))
+    for index, line in enumerate(lines[1:], start=1):
+        if not line.endswith(b"\n"):
+            replay.dropped = (
+                f"record line {index} is torn (no trailing newline)"
+            )
+            break
+        if not line.strip():
+            replay.valid_bytes += len(line)
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            replay.dropped = f"record line {index} is not valid JSON"
+            break
+        if (
+            not isinstance(doc, dict)
+            or not isinstance(doc.get("seq"), int)
+            or not isinstance(doc.get("start"), int)
+            or not isinstance(doc.get("version"), int)
+            or not isinstance(doc.get("events"), list)
+        ):
+            replay.dropped = f"record line {index} is malformed"
+            break
+        if doc["seq"] != replay.next_seq:
+            replay.dropped = (
+                f"record line {index} has seq {doc['seq']}, "
+                f"expected {replay.next_seq}"
+            )
+            break
+        replay.records.append(
+            WalRecord(
+                seq=doc["seq"],
+                start=doc["start"],
+                version=doc["version"],
+                events=doc["events"],
+            )
+        )
+        replay.valid_bytes += len(line)
+    return replay
+
+
+class WriteAheadLog:
+    """One session's append-only log of acknowledged ingest batches.
+
+    Appends are serialized by an internal lock (callers already hold
+    the session lock, which serializes a session's ingests; the WAL
+    lock additionally serializes appends against checkpoint rolls).
+    """
+
+    def __init__(
+        self,
+        path,
+        header: Dict[str, Any],
+        policy: str = "always",
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+        _resume: Optional[WalReplay] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.policy = check_fsync_policy(policy)
+        self.batch_records = max(1, batch_records)
+        self.lock = threading.Lock()
+        self.header = dict(header)
+        self.closed = False
+        self.failed = False
+        self._unsynced = 0
+        if _resume is None:
+            self._handle = open(self.path, "w")
+            self._handle.write(json.dumps(self.header) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            fsync_dir(self.path.parent)
+            self._next_seq = 0
+            self._records = 0
+            self._events = 0
+        else:
+            # truncate any torn tail before appending after it
+            with open(self.path, "r+b") as trunc:
+                trunc.truncate(_resume.valid_bytes)
+                trunc.flush()
+                os.fsync(trunc.fileno())
+            self._handle = open(self.path, "a")
+            self._next_seq = _resume.next_seq
+            self._records = len(_resume.records)
+            self._events = _resume.events
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        session: Session,
+        base_version: int,
+        base_vertices: int,
+        policy: str = "always",
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+    ) -> "WriteAheadLog":
+        """Start a fresh WAL on top of a just-written checkpoint."""
+        header = {
+            "format": _WAL_FORMAT,
+            "version": _WAL_VERSION,
+            "session": session.name,
+            "spec": session.spec.name,
+            "scheme": session.scheme_name,
+            "base_version": base_version,
+            "base_vertices": base_vertices,
+        }
+        return cls(path, header, policy=policy, batch_records=batch_records)
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        replay: WalReplay,
+        policy: str = "always",
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+    ) -> "WriteAheadLog":
+        """Reopen a replayed WAL for appending (torn tail truncated)."""
+        return cls(
+            path,
+            replay.header,
+            policy=policy,
+            batch_records=batch_records,
+            _resume=replay,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def base_version(self) -> int:
+        return int(self.header.get("base_version", 0))
+
+    @property
+    def base_vertices(self) -> int:
+        return int(self.header.get("base_vertices", 0))
+
+    @property
+    def records(self) -> int:
+        """Records currently in the file (since the last roll)."""
+        return self._records
+
+    @property
+    def pending_events(self) -> int:
+        """Events in the file not yet covered by a checkpoint."""
+        return self._events
+
+    @property
+    def unsynced(self) -> int:
+        """Appends flushed to the OS but not yet fsynced."""
+        return self._unsynced
+
+    def append(
+        self, start: int, version: int, events: List[Dict[str, Any]]
+    ) -> int:
+        """Log one acknowledged ingest batch; returns its ``seq``.
+
+        A failed append (disk full, I/O error) **poisons** the log:
+        every later append raises immediately instead of writing after
+        a possibly-torn line.  Without the poison, a recovery would
+        stop at the mid-file tear and silently drop every acknowledged
+        record behind it -- and a clean write skipping the failed one
+        would leave a ``start`` gap that recovery must refuse.  Either
+        way the session must stop acknowledging; a restart (which
+        re-runs recovery) clears the state.
+        """
+        with self.lock:
+            self._check_open()
+            record = {
+                "seq": self._next_seq,
+                "start": start,
+                "version": version,
+                "events": events,
+            }
+            try:
+                self._handle.write(json.dumps(record) + "\n")
+                # always flush to the OS: process death never loses an
+                # acknowledged batch, only the fsync policy decides
+                # power-loss durability
+                self._handle.flush()
+                if self.policy == "always":
+                    os.fsync(self._handle.fileno())
+                elif self.policy == "batch":
+                    self._unsynced += 1
+                    if self._unsynced >= self.batch_records:
+                        os.fsync(self._handle.fileno())
+                        self._unsynced = 0
+                else:
+                    self._unsynced += 1
+            except Exception as exc:
+                self.failed = True
+                raise ServiceError(
+                    f"write-ahead log {self.path} append failed "
+                    f"({exc}); the log is poisoned until recovery"
+                ) from exc
+            self._next_seq += 1
+            self._records += 1
+            self._events += len(events)
+            return self._next_seq - 1
+
+    def sync(self) -> None:
+        """Force-fsync everything appended so far (any policy)."""
+        with self.lock:
+            self._check_open()
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def truncate_to_base(self, version: int, vertices: int) -> int:
+        """Drop records a fresh checkpoint at ``version`` now covers.
+
+        Rewrites the file -- new header (``base_version``/
+        ``base_vertices`` = the checkpoint), then the surviving records
+        (those with events at insertion-log positions >= ``vertices``)
+        re-sequenced from zero -- durably, via staged-rename.  Returns
+        the number of surviving records.  Appends are blocked while the
+        rewrite runs (WAL lock), so nothing acknowledged is ever
+        skipped.
+        """
+        with self.lock:
+            self._check_open()
+            self._handle.flush()
+            replay = replay_wal(self.path)
+            kept: List[WalRecord] = []
+            for record in replay.records:
+                end = record.start + len(record.events)
+                if end <= vertices:
+                    continue
+                if record.start < vertices:  # straddling batch: trim
+                    record = WalRecord(
+                        seq=record.seq,
+                        start=vertices,
+                        version=record.version,
+                        events=record.events[vertices - record.start:],
+                    )
+                kept.append(record)
+            self.header["base_version"] = version
+            self.header["base_vertices"] = vertices
+            staged = self.path.with_suffix(".tmp")
+            with open(staged, "w") as handle:
+                handle.write(json.dumps(self.header) + "\n")
+                for seq, record in enumerate(kept):
+                    handle.write(
+                        json.dumps(
+                            {
+                                "seq": seq,
+                                "start": record.start,
+                                "version": record.version,
+                                "events": record.events,
+                            }
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(staged, self.path)
+            fsync_dir(self.path.parent)
+            self._handle = open(self.path, "a")
+            self._next_seq = len(kept)
+            self._records = len(kept)
+            self._events = sum(len(r.events) for r in kept)
+            self._unsynced = 0
+            return len(kept)
+
+    def close(self) -> None:
+        """Flush, fsync and close the file (idempotent)."""
+        with self.lock:
+            if self.closed:
+                return
+            self.closed = True
+            try:
+                if not self.failed:
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+            finally:
+                self._handle.close()
+
+    def _check_open(self) -> None:
+        if self.failed:
+            raise ServiceError(
+                f"write-ahead log {self.path} is poisoned by an earlier "
+                "append failure; restart to recover"
+            )
+        if self.closed:
+            raise ServiceError(
+                f"write-ahead log {self.path} is closed"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the durable store: session directories under one data dir
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Entry:
+    """One durably tracked live session."""
+
+    session: Session
+    directory: Path
+    wal: WriteAheadLog
+    roll_lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class DurableStore:
+    """Maps live sessions onto durable per-session directories.
+
+    Layout, under ``data_dir``::
+
+        s-<quoted session name>/
+            ckpt-<version>/   checkpoint generations (usually one)
+            CURRENT           name of the live, complete generation
+            wal.jsonl         acknowledged ingests since that generation
+            CLOSED            marker: closed cleanly, skip at recovery
+
+    ``fsync`` is the WAL policy (``always`` | ``batch`` | ``never``);
+    checkpoints themselves are always written durably.
+    """
+
+    def __init__(
+        self,
+        data_dir,
+        fsync: str = "always",
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+    ) -> None:
+        self.root = Path(data_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = check_fsync_policy(fsync)
+        self.batch_records = batch_records
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self.recovery: List[Dict[str, Any]] = []  # boot-time reports
+        self.errors: List[str] = []  # background roll failures
+        # exclude concurrent processes: two servers appending to the
+        # same WALs would interleave seqs and shred both logs.  flock
+        # (not an O_EXCL marker file) so the kernel releases it when a
+        # SIGKILLed holder dies -- crash recovery must never need a
+        # manual unlock.
+        self._lock_handle = open(self.root / "LOCK", "w")
+        try:
+            import fcntl
+
+            fcntl.flock(
+                self._lock_handle, fcntl.LOCK_EX | fcntl.LOCK_NB
+            )
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            pass
+        except OSError:
+            self._lock_handle.close()
+            raise ServiceError(
+                f"data dir {self.root} is locked by another live "
+                "process; two servers must not share one data dir"
+            ) from None
+        self._lock_handle.write(f"{os.getpid()}\n")
+        self._lock_handle.flush()
+
+    # ------------------------------------------------------------------
+    def session_dir(self, name: str) -> Path:
+        """The durable directory hosting session ``name``."""
+        return self.root / (_DIR_PREFIX + quote(name, safe=""))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def _entry(self, name: str) -> _Entry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(
+                f"session {name!r} is not durably tracked"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # registration (create / restore paths)
+    # ------------------------------------------------------------------
+    def register(self, session: Session) -> None:
+        """Start durably tracking a live session.
+
+        Writes its first checkpoint generation (possibly of an empty
+        session -- that persists the spec and scheme, so a session that
+        crashes before its first roll is still recoverable), arms a
+        fresh WAL on top of it, and hooks the session's ingest path.
+        Must be called before the creating request is acknowledged.
+        """
+        directory = self.session_dir(session.name)
+        if directory.exists():
+            if (directory / _CLOSED).exists():
+                # a cleanly closed predecessor: archive, never delete
+                generation = 0
+                while True:
+                    archived = directory.with_name(
+                        f"{directory.name}.closed.{generation}"
+                    )
+                    if not archived.exists():
+                        break
+                    generation += 1
+                os.rename(directory, archived)
+            elif not (directory / _CURRENT).exists():
+                # a half-created directory from a crash before the
+                # creating request was acknowledged: safe to discard
+                shutil.rmtree(directory)
+            else:
+                raise ServiceError(
+                    f"durable state for session {session.name!r} already "
+                    f"exists under {directory} (recover or remove it first)"
+                )
+        directory.mkdir(parents=True)
+        try:
+            version, vertices, _ = self._write_generation(directory, session)
+            wal = WriteAheadLog.create(
+                directory / _WAL_FILE,
+                session,
+                base_version=version,
+                base_vertices=vertices,
+                policy=self.fsync,
+                batch_records=self.batch_records,
+            )
+        except Exception:
+            # the create was never acknowledged: remove the half-armed
+            # directory so the name is not durably squatted (a *crash*
+            # in this window instead leaves the directory behind, which
+            # recovery skips -- no CURRENT -- or re-arms -- torn WAL)
+            shutil.rmtree(directory, ignore_errors=True)
+            raise
+        self._arm(session, directory, wal)
+
+    def _arm(
+        self, session: Session, directory: Path, wal: WriteAheadLog
+    ) -> None:
+        entry = _Entry(session=session, directory=directory, wal=wal)
+        with self._lock:
+            self._entries[session.name] = entry
+        session.on_ingest = self._on_ingest
+
+    def _on_ingest(
+        self,
+        session: Session,
+        events: List[Any],
+        start: int,
+        version: int,
+    ) -> None:
+        """The :attr:`Session.on_ingest` hook: log before acknowledging."""
+        entry = self._entries.get(session.name)
+        if entry is None or entry.session is not session:
+            return  # stale hook on a superseded session instance
+        entry.wal.append(
+            start, version, [insertion_to_json(event) for event in events]
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint rolls
+    # ------------------------------------------------------------------
+    def _write_generation(self, directory: Path, session: Session):
+        """Durably write a checkpoint generation and flip ``CURRENT``."""
+        staging = directory / _CKPT_STAGING
+        if staging.exists():  # crash leftover; never pointed to
+            shutil.rmtree(staging)
+        checkpoint_session(session, staging, durable=True)
+        manifest = load_manifest(staging)
+        version = manifest["session_version"]
+        vertices = manifest["vertices"]
+        target_name = f"{_CKPT_PREFIX}{version:012d}"
+        target = directory / target_name
+        if self._read_current(directory) == target_name:
+            shutil.rmtree(staging)  # nothing new since the last roll
+            return version, vertices, target
+        if target.exists():
+            shutil.rmtree(target)
+        os.rename(staging, target)
+        fsync_dir(directory)
+        staged_pointer = directory / (_CURRENT + ".tmp")
+        staged_pointer.write_text(target_name + "\n")
+        fsync_file(staged_pointer)
+        os.replace(staged_pointer, directory / _CURRENT)
+        fsync_dir(directory)
+        return version, vertices, target
+
+    @staticmethod
+    def _read_current(directory: Path) -> Optional[str]:
+        try:
+            return (directory / _CURRENT).read_text().strip()
+        except FileNotFoundError:
+            return None
+
+    def checkpoint(self, session: Session) -> Dict[str, Any]:
+        """Roll ``session``'s WAL into a fresh checkpoint generation.
+
+        Order matters for crash safety: the new generation is written
+        and ``CURRENT`` flipped *before* the WAL is truncated, so a
+        crash at any point leaves a complete checkpoint plus a WAL that
+        still covers everything after it (recovery skips WAL events a
+        checkpoint already contains).  Superseded generations are
+        deleted last, best effort.
+        """
+        entry = self._entry(session.name)
+        if entry.session is not session:
+            # the name was closed and recreated under this roll's feet;
+            # writing the stale instance's state into the successor's
+            # directory (and truncating ITS WAL to the stale base)
+            # would lose the successor's acknowledged insertions
+            raise ServiceError(
+                f"session {session.name!r} was superseded; refusing to "
+                "checkpoint the stale instance"
+            )
+        with entry.roll_lock:
+            version, vertices, target = self._write_generation(
+                entry.directory, session
+            )
+            kept = entry.wal.truncate_to_base(version, vertices)
+            for old in entry.directory.glob(_CKPT_PREFIX + "*"):
+                if old.name != target.name and old.is_dir():
+                    shutil.rmtree(old, ignore_errors=True)
+            return {
+                "session": session.name,
+                "checkpoint_version": version,
+                "checkpoint_vertices": vertices,
+                "wal_records": kept,
+            }
+
+    def checkpoint_pending(self) -> List[str]:
+        """Roll every tracked session with outstanding WAL records."""
+        rolled: List[str] = []
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            if not entry.wal.records:
+                continue
+            name = entry.session.name
+            try:
+                self.checkpoint(entry.session)
+                rolled.append(name)
+            except Exception as exc:  # noqa: BLE001 - keep the thread alive
+                # a session closed/superseded between the snapshot and
+                # the roll is expected churn; everything else (poisoned
+                # WAL, failing disk) must surface through recover_info
+                with self._lock:
+                    current = self._entries.get(name)
+                if current is not entry or entry.wal.closed:
+                    continue
+                message = f"checkpoint of {name!r} failed: {exc}"
+                if message not in self.errors:
+                    self.errors.append(message)
+        return rolled
+
+    # ------------------------------------------------------------------
+    # sync / close / finalize
+    # ------------------------------------------------------------------
+    def sync(self, name: Optional[str] = None) -> List[str]:
+        """Fsync one session's WAL (or all of them); returns the names."""
+        if name is not None:
+            self._entry(name).wal.sync()
+            return [name]
+        with self._lock:
+            entries = list(self._entries.items())
+        for _, entry in entries:
+            entry.wal.sync()
+        return sorted(name for name, _ in entries)
+
+    def finalize(self, session: Session) -> None:
+        """A session closed cleanly: final checkpoint, ``CLOSED`` marker.
+
+        The directory is kept (it is the run's provenance record); a
+        later session reusing the name archives it.  Recovery skips
+        closed directories.
+        """
+        try:
+            entry = self._entry(session.name)
+        except ServiceError:
+            return
+        if entry.session is not session:
+            return
+        with entry.roll_lock:
+            self._write_generation(entry.directory, session)
+            entry.wal.truncate_to_base(session.version, len(session))
+            entry.wal.close()
+            marker = entry.directory / _CLOSED
+            marker.write_text("closed\n")
+            fsync_file(marker)
+            fsync_dir(entry.directory)
+        with self._lock:
+            self._entries.pop(session.name, None)
+        session.on_ingest = None
+
+    def close(self) -> None:
+        """Flush and close every WAL (the sessions stay recoverable)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            try:
+                entry.wal.close()
+            except OSError:  # pragma: no cover - best effort teardown
+                pass
+            entry.session.on_ingest = None
+        self._lock_handle.close()  # releases the data-dir flock
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, manager: SessionManager) -> List[Dict[str, Any]]:
+        """Rebuild every non-closed session found under the data dir.
+
+        For each session directory: restore the ``CURRENT`` checkpoint
+        (label verification included), replay the WAL tail through the
+        session's scheme, truncate any torn tail, and resume durable
+        tracking.  Returns one report per directory; the reports are
+        also kept on :attr:`recovery` for the ``recover_info`` op.
+        Directories from creations that crashed before being
+        acknowledged (no ``CURRENT``) are skipped, not errors.
+        """
+        reports: List[Dict[str, Any]] = []
+        for directory in sorted(self.root.iterdir()):
+            if not directory.is_dir():
+                continue
+            if not directory.name.startswith(_DIR_PREFIX):
+                continue
+            name = unquote(directory.name[len(_DIR_PREFIX):])
+            if (directory / _CLOSED).exists():
+                reports.append(
+                    {"session": name, "status": "closed", "skipped": True}
+                )
+                continue
+            current = self._read_current(directory)
+            if current is None:
+                reports.append(
+                    {
+                        "session": name,
+                        "status": "incomplete-create",
+                        "skipped": True,
+                    }
+                )
+                continue
+            reports.append(self._recover_one(manager, directory, current))
+        self.recovery = reports
+        return reports
+
+    def _recover_one(
+        self, manager: SessionManager, directory: Path, current: str
+    ) -> Dict[str, Any]:
+        checkpoint_dir = directory / current
+        session = restore_session(manager, checkpoint_dir)
+        report: Dict[str, Any] = {
+            "session": session.name,
+            "status": "recovered",
+            "skipped": False,
+            "checkpoint": current,
+            "checkpoint_version": session.version,
+            "checkpoint_vertices": len(session),
+        }
+        wal_path = directory / _WAL_FILE
+        try:
+            replay = replay_wal(wal_path)
+        except TornWalError as exc:
+            # a crash between writing the checkpoint and completing the
+            # WAL (inside an unacknowledged create, or re-registering):
+            # the complete checkpoint is the whole acknowledged state,
+            # so re-arm a fresh log on top of it
+            wal = WriteAheadLog.create(
+                wal_path,
+                session,
+                base_version=session.version,
+                base_vertices=len(session),
+                policy=self.fsync,
+                batch_records=self.batch_records,
+            )
+            self._arm(session, directory, wal)
+            report["wal_records_replayed"] = 0
+            report["wal_events_replayed"] = 0
+            report["vertices"] = len(session)
+            report["version"] = session.version
+            report["wal_rearmed"] = str(exc)
+            return report
+        except ServiceError as exc:
+            # a parseable header with the wrong format tag is real
+            # corruption, not a crash artifact -- refuse to guess
+            manager.close(session.name)
+            raise ServiceError(
+                f"session {session.name!r}: {exc}"
+            ) from None
+        header = replay.header
+        if header.get("session") != session.name or (
+            header.get("scheme") != session.scheme_name
+        ):
+            manager.close(session.name)
+            raise ServiceError(
+                f"write-ahead log {wal_path} belongs to session "
+                f"{header.get('session')!r} under scheme "
+                f"{header.get('scheme')!r}, not {session.name!r} under "
+                f"{session.scheme_name!r}"
+            )
+        replayed_events = 0
+        replayed_records = 0
+        for record in replay.records:
+            skip = len(session.log) - record.start
+            if skip < 0:
+                manager.close(session.name)
+                raise ServiceError(
+                    f"write-ahead log {wal_path} has a gap: record "
+                    f"{record.seq} starts at {record.start} but the "
+                    f"session has {len(session.log)} insertions"
+                )
+            if skip >= len(record.events):
+                continue  # fully covered by the checkpoint
+            try:
+                events = [
+                    insertion_from_json(event)
+                    for event in record.events[skip:]
+                ]
+            except FormatError as exc:
+                manager.close(session.name)
+                raise ServiceError(
+                    f"write-ahead log {wal_path} record {record.seq} "
+                    f"holds a malformed event: {exc}"
+                ) from None
+            session.ingest_many(events)
+            session.version = record.version
+            replayed_events += len(events)
+            replayed_records += 1
+        report["wal_records_replayed"] = replayed_records
+        report["wal_events_replayed"] = replayed_events
+        report["vertices"] = len(session)
+        report["version"] = session.version
+        if replay.dropped is not None:
+            report["torn_tail"] = replay.dropped
+            report["resume_seq"] = replay.next_seq
+        wal = WriteAheadLog.resume(
+            wal_path,
+            replay,
+            policy=self.fsync,
+            batch_records=self.batch_records,
+        )
+        self._arm(session, directory, wal)
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, Any]:
+        """The durability state the ``recover_info`` op reports."""
+        with self._lock:
+            entries = list(self._entries.items())
+        sessions = {}
+        for name, entry in entries:
+            sessions[name] = {
+                "checkpoint_version": entry.wal.base_version,
+                "checkpoint_vertices": entry.wal.base_vertices,
+                "wal_records": entry.wal.records,
+                "wal_events": entry.wal.pending_events,
+                "wal_unsynced": entry.wal.unsynced,
+                "version": entry.session.version,
+                "vertices": len(entry.session),
+            }
+        return {
+            "durable": True,
+            "data_dir": str(self.root),
+            "fsync": self.fsync,
+            "batch_records": self.batch_records,
+            "sessions": sessions,
+            "recovered": list(self.recovery),
+            "errors": list(self.errors),
+        }
+
+
+# ---------------------------------------------------------------------------
+# the background checkpointer
+# ---------------------------------------------------------------------------
+
+
+class Checkpointer(threading.Thread):
+    """Periodically rolls outstanding WALs into checkpoints.
+
+    Bounds recovery replay work: after a quiet period every session's
+    state lives in its checkpoint and the WAL is empty.  Failures are
+    recorded on ``store.errors`` (surfaced by ``recover_info``), never
+    raised -- a broken disk must not kill the service loop.
+    """
+
+    def __init__(
+        self,
+        store: DurableStore,
+        interval: float = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> None:
+        super().__init__(name="repro-checkpointer", daemon=True)
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.store = store
+        self.interval = interval
+        # NB: not named _stop -- threading.Thread has a private _stop
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self.store.checkpoint_pending()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the thread and wait for it to exit."""
+        self._halt.set()
+        self.join(timeout=timeout)
