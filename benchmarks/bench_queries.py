@@ -1,0 +1,231 @@
+"""Query microbenchmark: ns/op per dynamic scheme, packed vs legacy.
+
+The innermost loop of the whole system is Algorithm 4 deciding one
+``(label, label)`` pair.  This benchmark pins a number on it for every
+*dynamic* scheme (the ones the service hosts) on one shared workload:
+
+* ``reaches_ns``      -- single-pair protocol calls (``Scheme.reaches``);
+* ``query_many_ns``   -- the batch kernel (``Scheme.query_many``);
+* ``build_labels_per_sec`` -- label construction throughput (the
+  insertion replay, what ingest pays per vertex).
+
+For ``drl`` both representations are measured -- ``drl`` (packed ints,
+the default) and ``drl-legacy`` (the reference entry tuples, built
+with ``packed=False``) -- so the packed fast path's win is a column,
+not a claim.
+
+The benchmark **gates on equivalence, not timing**: it exits nonzero
+if any scheme's batch kernel disagrees with its single-pair answers,
+or if packed drl disagrees with legacy drl anywhere, so the CI
+perf-smoke job fails on a wrong fast path but never on a slow runner.
+Timing numbers are uploaded as ``BENCH_queries.json`` for trending.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_queries.py --benchmark-only
+
+or standalone, which also writes ``BENCH_queries.json``::
+
+    PYTHONPATH=src python benchmarks/bench_queries.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import json
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.datasets import bioaid, fig12_path_grammar
+from repro.schemes import Workload
+from repro.schemes import registry as scheme_registry
+from repro.workflow.derivation import sample_run
+
+RUN_SIZE = 1500
+PATH_RUN_SIZE = 300
+QUERY_PAIRS = 20_000
+REPEAT = 3
+OUTPUT = "BENCH_queries.json"
+
+# (row name, registry name, build options, workload tag)
+VARIANTS = (
+    ("drl", "drl", {}, "bioaid-norec"),
+    ("drl-legacy", "drl", {"packed": False}, "bioaid-norec"),
+    ("naive", "naive", {}, "bioaid-norec"),
+    ("path-position", "path-position", {}, "fig12-path"),
+)
+
+
+def _workloads() -> Dict[str, Workload]:
+    spec = bioaid(recursive=False)
+    run = sample_run(spec, RUN_SIZE, random.Random(f"queries:{RUN_SIZE}"))
+    path_spec = fig12_path_grammar()
+    path_run = sample_run(
+        path_spec, PATH_RUN_SIZE, random.Random(f"queries:{PATH_RUN_SIZE}")
+    )
+    return {
+        "bioaid-norec": Workload.from_run(spec, run),
+        "fig12-path": Workload.from_run(path_spec, path_run),
+    }
+
+
+def _pairs(workload: Workload, count: int = QUERY_PAIRS, seed: int = 17):
+    vertices = sorted(workload.graph.vertices())
+    rng = random.Random(seed)
+    return [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(count)
+    ]
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Same timing discipline as bench_schemes: no collection mid-loop."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _best(fn, repeat: int = REPEAT) -> float:
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(repeat):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure() -> Dict[str, object]:
+    """All rows plus the packed-vs-legacy comparison; raises on mismatch."""
+    workloads = _workloads()
+    pairs_by_tag = {tag: _pairs(wl) for tag, wl in workloads.items()}
+    rows: List[Dict[str, object]] = []
+    answers: Dict[str, List[bool]] = {}
+    for row_name, scheme_name, options, tag in VARIANTS:
+        workload = workloads[tag]
+        pairs = pairs_by_tag[tag]
+        build_seconds = float("inf")
+        scheme = None
+        for _ in range(REPEAT):
+            build_started = time.perf_counter()
+            scheme = scheme_registry.build(scheme_name, workload, **options)
+            build_seconds = min(
+                build_seconds, time.perf_counter() - build_started
+            )
+        vertex_count = len(list(scheme.labeled_vertices()))
+
+        reaches = scheme.reaches
+
+        def single() -> None:
+            for a, b in pairs:
+                reaches(a, b)
+
+        single_seconds = _best(single)
+        batch_seconds = _best(lambda: scheme.query_many(pairs))
+        batch_answers = scheme.query_many(pairs)
+        single_answers = [scheme.reaches(a, b) for a, b in pairs]
+        if batch_answers != single_answers:
+            raise AssertionError(
+                f"{row_name}: query_many disagrees with reaches"
+            )
+        answers[row_name] = batch_answers
+        rows.append(
+            {
+                "scheme": row_name,
+                "workload": tag,
+                "run_size": vertex_count,
+                "query_pairs": len(pairs),
+                "reaches_ns": single_seconds / len(pairs) * 1e9,
+                "query_many_ns": batch_seconds / len(pairs) * 1e9,
+                "build_seconds": build_seconds,
+                "build_labels_per_sec": vertex_count / build_seconds
+                if build_seconds
+                else None,
+            }
+        )
+    if answers["drl"] != answers["drl-legacy"]:
+        raise AssertionError("packed drl disagrees with legacy drl")
+    by_name = {row["scheme"]: row for row in rows}
+    packed = by_name["drl"]
+    legacy = by_name["drl-legacy"]
+    comparison = {
+        "packed_reaches_ns": packed["reaches_ns"],
+        "legacy_reaches_ns": legacy["reaches_ns"],
+        "packed_query_many_ns": packed["query_many_ns"],
+        "legacy_query_many_ns": legacy["query_many_ns"],
+        "reaches_speedup": legacy["reaches_ns"] / packed["reaches_ns"],
+        "query_many_speedup": legacy["query_many_ns"]
+        / packed["query_many_ns"],
+        # the headline: the new hot path (packed batch kernel) against
+        # the old one (legacy per-pair query)
+        "hot_path_speedup": legacy["reaches_ns"] / packed["query_many_ns"],
+    }
+    return {
+        "benchmark": "queries",
+        "query_pairs": QUERY_PAIRS,
+        "rows": rows,
+        "drl_packed_vs_legacy": comparison,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+
+
+def test_query_kernels_equivalent(benchmark):
+    document = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {k: str(v) for k, v in row.items()} for row in document["rows"]
+    ]
+    comparison = document["drl_packed_vs_legacy"]
+    # equivalence is asserted inside measure(); here we only sanity-
+    # check the report shape -- never gate CI on a timing ratio
+    assert {row["scheme"] for row in document["rows"]} == {
+        name for name, _, _, _ in VARIANTS
+    }
+    assert comparison["packed_query_many_ns"] > 0
+
+
+# ---------------------------------------------------------------------------
+# standalone report
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    try:
+        document = measure()
+    except AssertionError as exc:
+        print(f"EQUIVALENCE FAILURE: {exc}")
+        return 1
+    print(
+        f"{'scheme':<14} {'workload':<14} {'reaches ns':>11} "
+        f"{'batch ns':>9} {'labels/s':>11}"
+    )
+    for row in document["rows"]:
+        print(
+            f"{row['scheme']:<14} {row['workload']:<14} "
+            f"{row['reaches_ns']:>11.0f} {row['query_many_ns']:>9.0f} "
+            f"{row['build_labels_per_sec']:>11,.0f}"
+        )
+    comparison = document["drl_packed_vs_legacy"]
+    print(
+        f"\ndrl packed vs legacy: reaches {comparison['reaches_speedup']:.2f}x, "
+        f"batch {comparison['query_many_speedup']:.2f}x, "
+        f"hot path {comparison['hot_path_speedup']:.2f}x"
+    )
+    with open(OUTPUT, "w") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

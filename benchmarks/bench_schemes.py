@@ -5,9 +5,20 @@ graph family (BioAID-like non-recursive runs, plus one path-grammar run
 so the path-position scheme participates) and measures, per scheme:
 
 * construction time (ms) -- insertion replay for dynamic schemes,
-  whole-graph build for static ones;
-* query throughput (queries/sec over sampled vertex pairs);
+  whole-graph build for static ones -- and label-build throughput
+  (labels/sec, what the ingest path pays per vertex);
+* query latency: ``query_ns_per_op`` for single-pair ``reaches`` calls
+  and ``batch_query_ns_per_op`` for the ``query_many`` batch kernel
+  (equal to the per-pair number for schemes without one);
 * total and max label storage (bits).
+
+For drl the report also carries a ``drl_packed_vs_legacy`` section:
+the packed integer representation (the default) against the reference
+entry-tuple representation (``packed=False``) on the same workload and
+pairs, with the speedup ratios the ROADMAP's "fast as the hardware
+allows" line is judged on.  The two representations must *answer*
+identically -- that is asserted here and property-tested in
+``tests/test_packed_equivalence.py``.
 
 Schemes that cannot label a workload are *recorded* with their skip
 reason (SKL on recursive grammars, path-position on non-path runs, the
@@ -24,6 +35,8 @@ or standalone, which also writes ``BENCH_schemes.json``::
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import random
 import time
@@ -38,7 +51,33 @@ from repro.workflow.derivation import sample_run
 RUN_SIZES = (500, 1000, 2000)
 PATH_RUN_SIZE = 300
 QUERY_PAIRS = 3000
+COMPARISON_PAIRS = 20_000
 OUTPUT = "BENCH_schemes.json"
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend the collector while timing: ns/op numbers should show
+    the kernels, not a collection that happened to land mid-loop."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def best_seconds(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of ``fn()`` with the GC paused."""
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(repeat):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+    return best
 
 
 def _workloads() -> List[Dict[str, object]]:
@@ -100,24 +139,94 @@ def _measure(entry: Dict[str, object]) -> List[Dict[str, object]]:
             rows.append(row)
             continue
         scheme = build.scheme
-        started = time.perf_counter()
-        for a, b in pairs:
-            scheme.reaches(a, b)
-        query_seconds = time.perf_counter() - started
+        reaches = scheme.reaches
+
+        def _single() -> None:
+            for a, b in pairs:
+                reaches(a, b)
+
+        query_seconds = best_seconds(_single)
+        batch_seconds = best_seconds(lambda: scheme.query_many(pairs))
         row.update(
             {
                 "build_ms": build.seconds * 1e3,
+                "build_labels_per_sec": len(vertices) / build.seconds
+                if build.seconds
+                else None,
                 "queries_per_sec": len(pairs) / query_seconds,
+                "query_ns_per_op": query_seconds / len(pairs) * 1e9,
+                "batch_query_ns_per_op": batch_seconds / len(pairs) * 1e9,
                 "total_bits": scheme.total_bits(),
                 "max_bits": max(
                     scheme.label_bits_of(v) for v in vertices
                 ),
                 "exact": scheme.capabilities.exact,
                 "dynamic": scheme.capabilities.dynamic,
+                "batch_kernel": scheme.capabilities.batch,
             }
         )
         rows.append(row)
     return rows
+
+
+def _packed_vs_legacy(repeat: int = 5) -> Dict[str, object]:
+    """Packed vs reference drl on the largest bioaid workload.
+
+    Equal answers are asserted; CI gates on that, never on the ratio.
+    """
+    spec = bioaid(recursive=False)
+    size = RUN_SIZES[-1]
+    run = sample_run(spec, size, random.Random(f"bioaid-norec:{size}"))
+    workload = Workload.from_run(spec, run)
+    vertices = sorted(workload.graph.vertices())
+    rng = random.Random(23)
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices))
+        for _ in range(COMPARISON_PAIRS)
+    ]
+
+    def _timings(packed: bool) -> Dict[str, float]:
+        scheme = scheme_registry.build("drl", workload, packed=packed)
+        reaches = scheme.reaches
+
+        def single() -> None:
+            for a, b in pairs:
+                reaches(a, b)
+
+        return {
+            "query_ns_per_op": best_seconds(single, repeat)
+            / len(pairs)
+            * 1e9,
+            "batch_query_ns_per_op": best_seconds(
+                lambda: scheme.query_many(pairs), repeat
+            )
+            / len(pairs)
+            * 1e9,
+            "answers": scheme.query_many(pairs),
+        }
+
+    packed = _timings(packed=True)
+    legacy = _timings(packed=False)
+    # the gate must survive python -O, so no bare assert: pop the raw
+    # answers unconditionally (they must not leak into the report) and
+    # raise explicitly on divergence
+    packed_answers = packed.pop("answers")
+    legacy_answers = legacy.pop("answers")
+    if packed_answers != legacy_answers:
+        raise AssertionError("packed drl disagrees with legacy drl")
+    return {
+        "family": "bioaid-norec",
+        "run_size": run.run_size(),
+        "query_pairs": len(pairs),
+        "packed": packed,
+        "legacy": legacy,
+        "query_speedup": legacy["query_ns_per_op"]
+        / packed["query_ns_per_op"],
+        "batch_query_speedup": legacy["batch_query_ns_per_op"]
+        / packed["batch_query_ns_per_op"],
+        "hot_path_speedup": legacy["query_ns_per_op"]
+        / packed["batch_query_ns_per_op"],
+    }
 
 
 def _all_rows() -> List[Dict[str, object]]:
@@ -144,7 +253,20 @@ def test_scheme_comparison_rows(benchmark):
     # exact answers come from every scheme, so throughput is comparable
     for row in measured:
         assert row["queries_per_sec"] > 0
+        assert row["query_ns_per_op"] > 0
+        assert row["batch_query_ns_per_op"] > 0
         assert row["total_bits"] > 0
+
+
+def test_packed_legacy_equivalence(benchmark):
+    """The comparison section asserts equal answers internally."""
+    comparison = benchmark.pedantic(
+        lambda: _packed_vs_legacy(repeat=1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["comparison"] = {
+        k: str(v) for k, v in comparison.items()
+    }
+    assert comparison["packed"]["batch_query_ns_per_op"] > 0
 
 
 def test_drl_beats_naive_storage(benchmark):
@@ -171,7 +293,7 @@ def main() -> int:
     rows = _all_rows()
     print(
         f"{'family':<14} {'n':>6} {'scheme':<15} {'build_ms':>9} "
-        f"{'kq/s':>8} {'total_bits':>11} {'max_bits':>9}"
+        f"{'q ns':>7} {'batch ns':>9} {'total_bits':>11} {'max_bits':>9}"
     )
     for row in rows:
         if "skip" in row:
@@ -182,14 +304,27 @@ def main() -> int:
             continue
         print(
             f"{row['family']:<14} {row['run_size']:>6} {row['scheme']:<15} "
-            f"{row['build_ms']:>9.1f} {row['queries_per_sec'] / 1e3:>8.1f} "
+            f"{row['build_ms']:>9.1f} {row['query_ns_per_op']:>7.0f} "
+            f"{row['batch_query_ns_per_op']:>9.0f} "
             f"{row['total_bits']:>11} {row['max_bits']:>9}"
         )
+    try:
+        comparison = _packed_vs_legacy()
+    except AssertionError as exc:
+        print(f"EQUIVALENCE FAILURE: {exc}")
+        return 1
+    print(
+        f"\ndrl packed vs legacy (n={comparison['run_size']}): "
+        f"query {comparison['query_speedup']:.2f}x, "
+        f"batch {comparison['batch_query_speedup']:.2f}x, "
+        f"hot path {comparison['hot_path_speedup']:.2f}x"
+    )
     document = {
         "benchmark": "schemes",
         "query_pairs": QUERY_PAIRS,
         "schemes": scheme_registry.describe(),
         "rows": rows,
+        "drl_packed_vs_legacy": comparison,
     }
     with open(OUTPUT, "w") as handle:
         json.dump(document, handle, indent=2)

@@ -5,7 +5,11 @@ numbers isolate engine cost from socket cost): events/sec through the
 session ingest path, durable-ingest events/sec across the write-ahead
 log's fsync policies (``always``/``batch``/``never``, against a no-WAL
 baseline -- what acknowledged durability costs), batch-query QPS with
-a cold versus warm cache, query throughput spread across many
+a cold versus warm cache -- each with and without the engine's
+``query_many`` batch-kernel fast path (``use_batch_kernels=False``
+reproduces the pre-kernel per-pair loop, so ``BENCH_service.json``
+records exactly what the kernel buys on the miss path), query
+throughput spread across many
 concurrent sessions, and -- the scaling story -- warm-cache QPS under
 a closed-loop
 :mod:`repro.loadgen` worker pool as the engine's lock striping grows
@@ -76,10 +80,15 @@ def _pairs(run, count, seed=1):
     return [(rng.choice(vids), rng.choice(vids)) for _ in range(count)]
 
 
-def _loaded_engine(cache_size=65536, shards=1):
+def _loaded_engine(cache_size=65536, shards=1, use_batch_kernels=True):
     spec, run, execution = _prepared_run()
     manager = SessionManager()
-    engine = QueryEngine(manager, cache_size=cache_size, shards=shards)
+    engine = QueryEngine(
+        manager,
+        cache_size=cache_size,
+        shards=shards,
+        use_batch_kernels=use_batch_kernels,
+    )
     manager.create("bench", spec)
     engine.ingest("bench", execution.insertions)
     return engine, run, execution
@@ -184,6 +193,15 @@ def test_service_batch_query_cold(benchmark):
     pairs = _pairs(run, BATCH)
     benchmark(lambda: engine.query_many("bench", pairs))
     benchmark.extra_info["qps"] = BATCH / benchmark.stats["mean"]
+
+
+def test_service_batch_query_cold_no_kernel(benchmark):
+    """The per-pair fallback path: what the batch kernel is saving."""
+    engine, run, _ = _loaded_engine(cache_size=0, use_batch_kernels=False)
+    pairs = _pairs(run, BATCH)
+    benchmark(lambda: engine.query_many("bench", pairs))
+    benchmark.extra_info["qps"] = BATCH / benchmark.stats["mean"]
+    benchmark.extra_info["use_batch_kernels"] = False
 
 
 def test_service_batch_query_warm(benchmark):
@@ -294,12 +312,31 @@ def main() -> int:
         f"-> {BATCH / cold:,.0f} QPS"
     )
 
+    # the same uncached batch without the scheme's query_many kernel:
+    # every miss goes through the per-pair reaches_labels loop, which
+    # is what the engine did before batch kernels existed
+    plain_engine, _, _ = _loaded_engine(cache_size=0, use_batch_kernels=False)
+    cold_plain = _timed(lambda: plain_engine.query_many("bench", pairs))
+    print(
+        f"  without kernel:  {BATCH} pairs in {cold_plain * 1e3:.1f} ms "
+        f"-> {BATCH / cold_plain:,.0f} QPS "
+        f"(kernel is {cold_plain / cold:.2f}x)"
+    )
+
     warm_engine, _, _ = _loaded_engine()
     warm_engine.query_many("bench", pairs)
     warm = _timed(lambda: warm_engine.query_many("bench", pairs))
     print(
         f"batch query warm:  {BATCH} pairs in {warm * 1e3:.1f} ms "
         f"-> {BATCH / warm:,.0f} QPS ({cold / warm:.1f}x cold)"
+    )
+
+    warm_plain_engine, _, _ = _loaded_engine(use_batch_kernels=False)
+    warm_plain_engine.query_many("bench", pairs)
+    warm_plain = _timed(lambda: warm_plain_engine.query_many("bench", pairs))
+    print(
+        f"  without kernel:  {BATCH} pairs in {warm_plain * 1e3:.1f} ms "
+        f"-> {BATCH / warm_plain:,.0f} QPS (all hits either way)"
     )
 
     durable_rows = durable_ingest_rows()
@@ -347,7 +384,10 @@ def main() -> int:
         },
         "batch_query": {
             "cold_qps": BATCH / cold,
+            "cold_qps_no_kernel": BATCH / cold_plain,
+            "kernel_cold_speedup": cold_plain / cold,
             "warm_qps": BATCH / warm,
+            "warm_qps_no_kernel": BATCH / warm_plain,
             "warm_speedup": cold / warm,
         },
         "durable_ingest": {

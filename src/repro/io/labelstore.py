@@ -45,6 +45,9 @@ def save_labels(
         "version": _VERSION,
         "spec": spec.name,
         "scheme": scheme,
+        # the codec's per-label wire format (1 = the original entry
+        # encoding; 2 = packed drl labels); readers dispatch on it
+        "codec": getattr(codec, "wire_version", 1),
         "labels": entries,
     }
     with open(path, "w") as handle:
@@ -89,10 +92,21 @@ def load_label_store(
         raise FormatError(f"not a label store: {document.get('format')!r}")
     scheme = document.get("scheme", "drl")
     codec = codec_for_scheme(scheme, spec)
+    wire = document.get("codec", 1)
+    decode_compat = getattr(codec, "decode_compat", None)
+    if decode_compat is not None:
+        decode = lambda payload, bits: decode_compat(payload, bits, wire)
+    elif wire != getattr(codec, "wire_version", 1):
+        raise FormatError(
+            f"label store {path} uses wire version {wire!r}, which the "
+            f"{scheme!r} codec cannot read"
+        )
+    else:
+        decode = codec.decode
     labels: Dict[int, object] = {}
     for vid, entry in document.get("labels", {}).items():
         payload = base64.b64decode(entry["data"])
-        labels[int(vid)] = codec.decode(payload, entry["bits"])
+        labels[int(vid)] = decode(payload, entry["bits"])
     return scheme, labels
 
 

@@ -29,6 +29,14 @@ Skeleton schemes for the specification graphs (Section 5.1):
 from repro.labeling.bits import pointer_bits, uint_bits
 from repro.labeling.skeleton import BFSSkeleton, SkeletonScheme, TCLSkeleton, make_skeleton
 from repro.labeling.drl import DRL, DRLDerivationLabeler, Entry, Label, SkeletonRef
+from repro.labeling.compact import (
+    CompactDRL,
+    PackedLabel,
+    PackedLabelFactory,
+    SkeletonBitsets,
+    pack_label,
+    unpack_label,
+)
 from repro.labeling.drl_execution import DRLExecutionLabeler
 from repro.labeling.naive_dynamic import NaiveDynamicScheme, NaiveLabel
 from repro.labeling.skl import SKL, SKLLabel
@@ -38,7 +46,7 @@ from repro.labeling.twohop import TwoHopIndex
 from repro.labeling.tree_transform import TreeTransformIndex
 from repro.labeling.path_position import PathPositionScheme
 from repro.labeling.dewey import DeweyTree
-from repro.labeling.serialize import LabelCodec
+from repro.labeling.serialize import LabelCodec, PackedLabelCodec
 
 __all__ = [
     "uint_bits",
@@ -53,6 +61,12 @@ __all__ = [
     "Entry",
     "Label",
     "SkeletonRef",
+    "CompactDRL",
+    "PackedLabel",
+    "PackedLabelFactory",
+    "SkeletonBitsets",
+    "pack_label",
+    "unpack_label",
     "NaiveDynamicScheme",
     "NaiveLabel",
     "SKL",
@@ -64,4 +78,5 @@ __all__ = [
     "PathPositionScheme",
     "DeweyTree",
     "LabelCodec",
+    "PackedLabelCodec",
 ]

@@ -84,28 +84,58 @@ class LabelFactory:
         self._prefix: Dict[ParseNode, Label] = {}
         # node -> annotated graph key (N nodes only)
         self._key: Dict[ParseNode, GraphKey] = {}
+        # entries and skeleton refs are interned by value: a label entry
+        # depends only on (index, kind, graph key, origin), so equal
+        # entries across labels are the *same object*.  Tuple equality
+        # between two equal labels then short-circuits per element on
+        # identity instead of deep-comparing five dataclass fields, and
+        # the reflexive fast path of :meth:`DRL.query` stays O(length).
+        self._entry_intern: Dict[
+            Tuple[int, NodeKind, Optional[GraphKey], Optional[int]], Entry
+        ] = {}
+        self._ref_intern: Dict[Tuple[GraphKey, int], SkeletonRef] = {}
 
     # ------------------------------------------------------------------
     def entry(self, node: ParseNode, template_vid: Optional[int]) -> Entry:
-        """Algorithm 1: build ``Entry(x, u)`` for node ``x``, origin ``u``."""
+        """Algorithm 1: build ``Entry(x, u)`` for node ``x``, origin ``u``.
+
+        Entries are interned: the same ``(index, kind, origin)`` always
+        returns the same :class:`Entry` instance.
+        """
         if node.kind is not NodeKind.N:
-            return Entry(index=node.index, kind=node.kind)
+            key = (node.index, node.kind, None, None)
+            entry = self._entry_intern.get(key)
+            if entry is None:
+                entry = Entry(index=node.index, kind=node.kind)
+                self._entry_intern[key] = entry
+            return entry
         if template_vid is None:
             raise LabelingError("non-special entries need an origin vertex")
-        key = self._key[node]
-        skl = SkeletonRef(key, template_vid)
+        graph_key = self._key[node]
+        intern_key = (node.index, node.kind, graph_key, template_vid)
+        entry = self._entry_intern.get(intern_key)
+        if entry is not None:
+            return entry
+        ref_key = (graph_key, template_vid)
+        skl = self._ref_intern.get(ref_key)
+        if skl is None:
+            skl = SkeletonRef(graph_key, template_vid)
+            self._ref_intern[ref_key] = skl
         recursive = None
         if self.r_mode != "simplified":
-            recursive = self.info.designated_recursive.get(key)
+            recursive = self.info.designated_recursive.get(graph_key)
         if recursive is None:
-            return Entry(index=node.index, kind=node.kind, skl=skl)
-        return Entry(
-            index=node.index,
-            kind=node.kind,
-            skl=skl,
-            rec1=self.skeleton.reaches(key, template_vid, recursive),
-            rec2=self.skeleton.reaches(key, recursive, template_vid),
-        )
+            entry = Entry(index=node.index, kind=node.kind, skl=skl)
+        else:
+            entry = Entry(
+                index=node.index,
+                kind=node.kind,
+                skl=skl,
+                rec1=self.skeleton.reaches(graph_key, template_vid, recursive),
+                rec2=self.skeleton.reaches(graph_key, recursive, template_vid),
+            )
+        self._entry_intern[intern_key] = entry
+        return entry
 
     # ------------------------------------------------------------------
     def register_node(
@@ -185,6 +215,15 @@ class DRL:
         self._skl_pointer_bits = pointer_bits(spec.max_graph_size)
 
     # ------------------------------------------------------------------
+    def make_factory(self) -> LabelFactory:
+        """The label factory this scheme's labelers build labels with.
+
+        Subclasses (the packed representation in
+        :mod:`repro.labeling.compact`) override this to swap the label
+        representation without touching either labeler.
+        """
+        return LabelFactory(self.spec, self.info, self.skeleton, self.r_mode)
+
     def labeler(self) -> "DRLDerivationLabeler":
         """A fresh derivation-based labeler for one run."""
         return DRLDerivationLabeler(self)
@@ -201,9 +240,15 @@ class DRL:
     def query(self, label_v: Label, label_w: Label) -> bool:
         """Algorithm 4: does the vertex of ``label_v`` reach ``label_w``'s?
 
-        Reflexive: equal labels answer True.
+        Reflexive: equal labels answer True.  The check is
+        identity-first -- a reflexive probe of a stored label is one
+        pointer comparison -- and entry interning in
+        :class:`LabelFactory` makes the structural fallback cheap too:
+        equal entries are the same object, so tuple equality
+        short-circuits per element instead of deep-comparing dataclass
+        fields.
         """
-        if label_v == label_w:
+        if label_v is label_w or label_v == label_w:
             return True
         limit = min(len(label_v), len(label_w))
         i = 0
@@ -236,6 +281,22 @@ class DRL:
             raise LabelingError("origin skeleton pointers disagree on graph")
         return self.skeleton.reaches(skl_v.key, skl_v.vertex, skl_w.vertex)
 
+    def query_many_from(
+        self, labels: Dict[int, Label], pairs: Iterable[Tuple[int, int]]
+    ) -> List[bool]:
+        """Batch :meth:`query` over ``(u, v)`` pairs resolved in ``labels``.
+
+        The label lookup is fused into the batch loop on purpose: an
+        intermediate list of label pairs would cost as much as the
+        dispatch the batching saves.  The reference implementation
+        simply loops; the packed representation
+        (:class:`repro.labeling.compact.CompactDRL`) overrides it with
+        a tight integer kernel.  A pair naming an unlabeled vertex
+        raises ``KeyError`` (callers map it to their error type).
+        """
+        query = self.query
+        return [query(labels[pair[0]], labels[pair[1]]) for pair in pairs]
+
     # ------------------------------------------------------------------
     def entry_bits(self, entry: Entry) -> int:
         """Size of one entry: index + 2 type bits [+ pointer] [+ 2 flags]."""
@@ -264,9 +325,7 @@ class DRLDerivationLabeler:
         self.tree = ExplicitParseTree(
             scheme.spec, info=scheme.info, r_mode=scheme.r_mode
         )
-        self.factory = LabelFactory(
-            scheme.spec, scheme.info, scheme.skeleton, scheme.r_mode
-        )
+        self.factory = scheme.make_factory()
         self.labels: Dict[int, Label] = {}
 
     # ------------------------------------------------------------------
@@ -313,12 +372,29 @@ def label_lengths(scheme: DRL, labels: Iterable[Label]) -> List[int]:
 
 
 def max_label_bits(scheme: DRL, labels: Dict[int, Label]) -> int:
-    """Maximum label length in bits over a labeled run."""
+    """Maximum label length in bits over a labeled run.
+
+    Raises :class:`LabelingError` when no vertex has been labeled yet:
+    the maximum of an empty run is undefined, and a bare ``ValueError``
+    from ``max`` would leak the implementation to report callers.
+    """
+    if not labels:
+        raise LabelingError(
+            "cannot report label bits: the run has no labeled vertices"
+        )
     return max(scheme.label_bits(label) for label in labels.values())
 
 
 def avg_label_bits(scheme: DRL, labels: Dict[int, Label]) -> float:
-    """Average label length in bits over a labeled run."""
+    """Average label length in bits over a labeled run.
+
+    Raises :class:`LabelingError` for a run with no labeled vertices
+    (previously a ``ZeroDivisionError``).
+    """
+    if not labels:
+        raise LabelingError(
+            "cannot report label bits: the run has no labeled vertices"
+        )
     sizes = [scheme.label_bits(label) for label in labels.values()]
     return sum(sizes) / len(sizes)
 

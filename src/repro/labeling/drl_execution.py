@@ -28,7 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ExecutionError
 from repro.graphs.two_terminal import TwoTerminalGraph
-from repro.labeling.drl import DRL, Label, LabelFactory
+from repro.labeling.drl import DRL, Label
 from repro.parsetree.explicit import NodeKind, ParseNode
 from repro.workflow.execution import Execution, Insertion, LogOrigin
 from repro.workflow.specification import GraphKey, START_KEY
@@ -94,9 +94,7 @@ class DRLExecutionLabeler:
         self.mode = mode
         if mode == "name":
             check_naming_conditions(self.spec)
-        self.factory = LabelFactory(
-            self.spec, self.info, scheme.skeleton, scheme.r_mode
-        )
+        self.factory = scheme.make_factory()
         self.labels: Dict[int, Label] = {}
         self.root: Optional[ParseNode] = None
         self._root_state: Optional[_InstanceState] = None

@@ -24,6 +24,19 @@ scheme the service can host has a codec here (``drl``, ``naive``,
 their own.  Every codec exposes the same two-method surface
 (``encode(label) -> (payload, bit_length)`` / ``decode(payload,
 bit_length) -> label``), which is all :mod:`repro.io.labelstore` needs.
+
+Wire versions
+-------------
+The ``drl`` codec is :class:`PackedLabelCodec` (wire version 2): it
+encodes straight from the packed representation of
+:mod:`repro.labeling.compact` -- no Entry objects are materialized on
+either side of a checkpoint -- and stores the skeleton pointer as one
+fixed-width *interned skeleton id* (``log2 sum |V_g|`` bits, never
+wider and usually narrower than version 1's separate graph + vertex
+ordinals, so stores shrink).  A codec advertises its format with
+``wire_version``; stores record it, and ``decode_compat`` keeps
+version-1 stores (the per-entry graph/vertex pointer format of
+:class:`LabelCodec`) loadable forever.
 """
 
 from __future__ import annotations
@@ -32,6 +45,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import LabelingError
 from repro.labeling.bits import pointer_bits
+from repro.labeling.compact import (
+    META_HAS_REC,
+    META_HAS_SKL,
+    META_KIND_MASK,
+    META_REC1,
+    META_REC2,
+    META_SID_SHIFT,
+    PackedLabel,
+    SkeletonBitsets,
+    is_packed,
+    pack_label,
+)
 from repro.labeling.drl import Entry, Label, SkeletonRef
 from repro.labeling.naive_dynamic import NaiveLabel
 from repro.parsetree.explicit import NodeKind
@@ -116,12 +141,16 @@ class BitReader:
 
 
 class LabelCodec:
-    """Encode/decode DRL labels for one specification.
+    """Encode/decode reference (entry-tuple) DRL labels: wire version 1.
 
-    :meth:`for_scheme` is the dispatch point for other schemes' labels:
-    it resolves a registered scheme name to that scheme's codec (this
-    class for ``'drl'``).
+    Kept for version-1 stores and for tooling that works on the
+    reference representation; new stores are written by
+    :class:`PackedLabelCodec`.  :meth:`for_scheme` is the dispatch
+    point for other schemes' labels: it resolves a registered scheme
+    name to that scheme's current codec.
     """
+
+    wire_version = 1
 
     scheme = "drl"
 
@@ -186,6 +215,112 @@ class LabelCodec:
         return tuple(entries)
 
 
+class PackedLabelCodec:
+    """Wire version 2 of the DRL codec: packed labels end to end.
+
+    Encodes :data:`~repro.labeling.compact.PackedLabel` triples without
+    ever unpacking them into :class:`Entry` objects -- a checkpoint of
+    a packed session is one pass over machine ints -- and decodes back
+    to packed triples, so restore skips the unpack/repack round-trip
+    too.  The per-entry format::
+
+        gamma(index)  2 kind bits  has_skl[ + fixed-width skeleton id]
+        has_rec[ + rec1 + rec2]
+
+    The skeleton id is the deterministic interned ordinal of
+    :class:`~repro.labeling.compact.SkeletonBitsets`; its fixed width
+    ``pointer_bits(sum |V_g|)`` is never wider than version 1's
+    ``pointer_bits(|G|) + pointer_bits(max |V_g|)`` pair, so stores
+    only shrink.  ``decode_compat`` accepts version-1 payloads (the
+    :class:`LabelCodec` entry format) and packs them on the way in.
+    """
+
+    scheme = "drl"
+    wire_version = 2
+
+    def __init__(self, spec: Specification) -> None:
+        if spec is None:
+            raise LabelingError("the drl codec needs the specification")
+        self.spec = spec
+        self.bitsets = SkeletonBitsets(spec)
+        self._sid_bits = pointer_bits(max(self.bitsets.num_ids, 2))
+        # version-1 payloads still arrive through decode_compat
+        self._legacy = LabelCodec(spec)
+
+    # ------------------------------------------------------------------
+    def encode(self, label: "PackedLabel | Label") -> Tuple[bytes, int]:
+        """Encode a packed (or reference, packed on the fly) label."""
+        if not is_packed(label):
+            label = pack_label(self.bitsets, label)
+        indexes, prefix, last = label
+        writer = BitWriter()
+        write_gamma = writer.write_gamma
+        write_bit = writer.write_bit
+        write_uint = writer.write_uint
+        sid_bits = self._sid_bits
+        count = len(indexes)
+        write_gamma(count)
+        final = count - 1
+        for position in range(count):
+            meta = prefix[position] if position < final else last
+            write_gamma(indexes[position])
+            write_uint(meta & META_KIND_MASK, 2)
+            if meta & META_HAS_SKL:
+                write_bit(1)
+                write_uint(meta >> META_SID_SHIFT, sid_bits)
+            else:
+                write_bit(0)
+            if meta & META_HAS_REC:
+                write_bit(1)
+                write_bit(1 if meta & META_REC1 else 0)
+                write_bit(1 if meta & META_REC2 else 0)
+            else:
+                write_bit(0)
+        return writer.to_bytes(), len(writer)
+
+    def decode(self, payload: bytes, bit_length: int) -> PackedLabel:
+        """Decode a version-2 payload back into a packed label."""
+        reader = BitReader(payload, bit_length)
+        count = reader.read_gamma()
+        if count < 1:
+            raise LabelingError("packed label payload has no entries")
+        sid_bits = self._sid_bits
+        indexes: List[int] = []
+        metas: List[int] = []
+        for _ in range(count):
+            indexes.append(reader.read_gamma())
+            meta = reader.read_uint(2)
+            if reader.read_bit():
+                sid = reader.read_uint(sid_bits)
+                if sid >= self.bitsets.num_ids:
+                    raise LabelingError(
+                        f"skeleton id {sid} out of range for this spec"
+                    )
+                meta |= META_HAS_SKL | (sid << META_SID_SHIFT)
+            if reader.read_bit():
+                meta |= META_HAS_REC
+                if reader.read_bit():
+                    meta |= META_REC1
+                if reader.read_bit():
+                    meta |= META_REC2
+            metas.append(meta)
+        return (tuple(indexes), tuple(metas[:-1]), metas[-1])
+
+    def decode_compat(
+        self, payload: bytes, bit_length: int, wire: int
+    ) -> PackedLabel:
+        """Decode any supported wire version into a packed label."""
+        if wire == self.wire_version:
+            return self.decode(payload, bit_length)
+        if wire == 1:
+            legacy = self._legacy.decode(payload, bit_length)
+            return pack_label(self.bitsets, legacy)
+        raise LabelingError(
+            f"unsupported drl label wire version {wire!r}; "
+            f"supported: 1, {self.wire_version}"
+        )
+
+
 class NaiveLabelCodec:
     """Codec for the Section 3.2 scheme: gamma rank + ``i - 1`` ancestor bits."""
 
@@ -241,7 +376,7 @@ def register_codec(
     _CODEC_FACTORIES[scheme.strip().lower()] = factory
 
 
-register_codec("drl", lambda spec: LabelCodec(spec))
+register_codec("drl", lambda spec: PackedLabelCodec(spec))
 register_codec("naive", NaiveLabelCodec)
 register_codec("path-position", PositionLabelCodec)
 

@@ -10,12 +10,13 @@ accounting surface, one capability record per scheme.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import random
 
 from repro.errors import LabelingError
 from repro.labeling.chains import ChainIndex
+from repro.labeling.compact import CompactDRL
 from repro.labeling.drl import DRL
 from repro.labeling.drl_execution import DRLExecutionLabeler
 from repro.labeling.grail import GrailIndex
@@ -43,16 +44,26 @@ from repro.workflow.specification import Specification
 
 @register
 class DRLScheme(DynamicScheme):
-    """The paper's DRL: logarithmic labels, O(1) queries, on-the-fly."""
+    """The paper's DRL: logarithmic labels, O(1) queries, on-the-fly.
+
+    Labels use the packed integer representation of
+    :mod:`repro.labeling.compact` by default (same answers, same bit
+    accounting, a fraction of the per-query cost); pass
+    ``packed=False`` to run the reference entry-tuple representation
+    instead -- benchmarks do, to measure the gap.
+    """
 
     name = "drl"
-    capabilities = SchemeCapabilities(dynamic=True, exact=True, needs_spec=True)
+    capabilities = SchemeCapabilities(
+        dynamic=True, exact=True, needs_spec=True, batch=True
+    )
 
     def __init__(self, drl: DRL, labeler: DRLExecutionLabeler) -> None:
         self.drl = drl
         self.labeler = labeler
         self.skeleton = getattr(drl.skeleton, "name", "tcl").lower()
         self.mode = labeler.mode
+        self.packed = getattr(drl, "packed", False)
 
     @classmethod
     def _open(
@@ -60,9 +71,11 @@ class DRLScheme(DynamicScheme):
         spec: Optional[Specification],
         skeleton: str = "tcl",
         mode: str = "logged",
+        packed: bool = True,
         **_options: Any,
     ) -> "DRLScheme":
-        drl = DRL(spec, skeleton=skeleton)
+        drl_cls = CompactDRL if packed else DRL
+        drl = drl_cls(spec, skeleton=skeleton)
         return cls(drl, DRLExecutionLabeler(drl, mode=mode))
 
     def insert(self, insertion: Insertion) -> Any:
@@ -75,6 +88,26 @@ class DRLScheme(DynamicScheme):
     def reaches_labels(self, label_u: Any, label_v: Any) -> bool:
         return self.drl.query(label_u, label_v)
 
+    def reaches(self, u: int, v: int) -> bool:
+        # the generic DynamicScheme.reaches pays three extra call
+        # frames per probe (label_of twice + reaches_labels); on the
+        # innermost loop that dispatch costs more than the kernel
+        labels = self.labeler.labels
+        try:
+            label_u = labels[u]
+            label_v = labels[v]
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
+        return self.drl.query(label_u, label_v)
+
+    def query_many(self, pairs: Iterable[Sequence[int]]) -> List[bool]:
+        if not isinstance(pairs, (list, tuple)):
+            pairs = list(pairs)
+        try:
+            return self.drl.query_many_from(self.labeler.labels, pairs)
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
+
     def label_bits_of(self, vid: int) -> int:
         return self.drl.label_bits(self.label_of(vid))
 
@@ -85,7 +118,7 @@ class NaiveScheme(DynamicScheme):
 
     name = "naive"
     capabilities = SchemeCapabilities(
-        dynamic=True, exact=True, needs_spec=False
+        dynamic=True, exact=True, needs_spec=False, batch=True
     )
 
     def __init__(self) -> None:
@@ -107,6 +140,43 @@ class NaiveScheme(DynamicScheme):
     def reaches_labels(self, label_u: Any, label_v: Any) -> bool:
         return NaiveDynamicScheme.query(label_u, label_v)
 
+    def reaches(self, u: int, v: int) -> bool:
+        labels = self.inner.labels
+        try:
+            label_u = labels[u]
+            label_v = labels[v]
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
+        rank_u = label_u.index
+        rank_v = label_v.index
+        if rank_u == rank_v:
+            return True
+        if rank_u > rank_v:
+            return False
+        return bool(label_v.ancestors >> (rank_u - 1) & 1)
+
+    def query_many(self, pairs: Iterable[Sequence[int]]) -> List[bool]:
+        # the query is a rank compare plus one shift-and-mask; inlining
+        # it removes a method dispatch and a dataclass call per pair
+        labels = self.inner.labels
+        answers: List[bool] = []
+        append = answers.append
+        try:
+            for pair in pairs:
+                label_u = labels[pair[0]]
+                label_v = labels[pair[1]]
+                rank_u = label_u.index
+                rank_v = label_v.index
+                if rank_u == rank_v:
+                    append(True)
+                elif rank_u > rank_v:
+                    append(False)
+                else:
+                    append(bool(label_v.ancestors >> (rank_u - 1) & 1))
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
+        return answers
+
     def label_bits_of(self, vid: int) -> int:
         return self.label_of(vid).bits
 
@@ -116,7 +186,9 @@ class PathPositionAdapter(DynamicScheme):
     """Example 15's position labels, sound only for path-shaped runs."""
 
     name = "path-position"
-    capabilities = SchemeCapabilities(dynamic=True, exact=True, needs_spec=True)
+    capabilities = SchemeCapabilities(
+        dynamic=True, exact=True, needs_spec=True, batch=True
+    )
 
     def __init__(self, inner: PathPositionScheme) -> None:
         self.inner = inner
@@ -148,6 +220,21 @@ class PathPositionAdapter(DynamicScheme):
 
     def reaches_labels(self, label_u: Any, label_v: Any) -> bool:
         return PathPositionScheme.query(label_u, label_v)
+
+    def reaches(self, u: int, v: int) -> bool:
+        labels = self.inner.labels
+        try:
+            return labels[u] <= labels[v]
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
+
+    def query_many(self, pairs: Iterable[Sequence[int]]) -> List[bool]:
+        # a position label *is* an int: the whole batch is <= compares
+        labels = self.inner.labels
+        try:
+            return [labels[pair[0]] <= labels[pair[1]] for pair in pairs]
+        except KeyError as exc:
+            raise LabelingError(f"vertex {exc} has no label") from None
 
     def label_bits_of(self, vid: int) -> int:
         return PathPositionScheme.label_bits(self.label_of(vid))

@@ -57,12 +57,17 @@ class SchemeCapabilities:
     dynamic: bool
     exact: bool
     needs_spec: bool
+    #: the scheme ships a specialized :meth:`Scheme.query_many` batch
+    #: kernel (the base-class default -- a per-pair loop over
+    #: :meth:`Scheme.reaches` -- is always available as the fallback)
+    batch: bool = False
 
     def to_dict(self) -> Dict[str, bool]:
         return {
             "dynamic": self.dynamic,
             "exact": self.exact,
             "needs_spec": self.needs_spec,
+            "batch": self.batch,
         }
 
 
@@ -176,6 +181,18 @@ class Scheme(ABC):
     @abstractmethod
     def reaches(self, u: int, v: int) -> bool:
         """Does vertex ``u`` reach vertex ``v``?  Reflexive and exact."""
+
+    def query_many(self, pairs: Iterable[Sequence[int]]) -> List[bool]:
+        """Batch :meth:`reaches` over ``(u, v)`` vertex pairs.
+
+        This default is the universal per-pair fallback; schemes whose
+        capability record sets ``batch`` override it with a kernel that
+        hoists dispatch out of the loop (packed DRL's integer LCA scan,
+        the naive scheme's shift-and-mask, path positions' integer
+        compare).  Answers are identical either way.
+        """
+        reaches = self.reaches
+        return [reaches(pair[0], pair[1]) for pair in pairs]
 
     # -- labels and accounting ------------------------------------------
     @abstractmethod

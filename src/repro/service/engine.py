@@ -7,7 +7,12 @@ amortizes it three ways:
 * **batching** -- :meth:`QueryEngine.query_many` answers thousands of
   ``(source, target)`` pairs per call, resolving the session and its
   version once for the whole batch and computing each *distinct* miss
-  exactly once (duplicate pairs in one batch share one label probe);
+  exactly once (duplicate pairs in one batch share one label probe).
+  Misses are handed to the scheme's ``query_many`` batch kernel in one
+  call -- for packed DRL that is a tight integer loop with the bitset
+  tables bound to locals -- with the per-pair ``reaches_labels`` loop
+  kept as the fallback (``use_batch_kernels=False``, or a scheme
+  without a kernel, whose base-class ``query_many`` *is* that loop);
 * **caching** -- results are memoized in an LRU cache keyed by
   ``(session uid, version, source, target)``.  The uid is unique per
   session *instance* (a name reused after a close gets a fresh uid, so
@@ -123,6 +128,7 @@ class QueryEngine:
         manager: SessionManager,
         cache_size: int = 65536,
         shards: int = 1,
+        use_batch_kernels: bool = True,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -130,6 +136,10 @@ class QueryEngine:
             raise ValueError("shards must be >= 1")
         self.manager = manager
         self.cache_size = cache_size
+        # route cache misses through the scheme's query_many batch
+        # kernel; False forces the per-pair reaches_labels loop (the
+        # service benchmark measures both to report the kernel's win)
+        self.use_batch_kernels = use_batch_kernels
         # a nonzero budget smaller than the stripe count would starve
         # some shards at zero capacity -- sessions hashing there would
         # never cache and warm numbers would lie -- so every shard gets
@@ -209,13 +219,26 @@ class QueryEngine:
         # labels are write-once, so concurrent batches computing the
         # same answer agree, and other shards' queries proceed in
         # parallel.  The scheme is whatever dynamic backend the session
-        # was opened with; reaches_labels is the one protocol query.
+        # was opened with.  All distinct misses go through the scheme's
+        # query_many batch kernel in one call; schemes without a
+        # specialized kernel inherit the per-pair loop from the scheme
+        # base class, and ``use_batch_kernels=False`` forces that loop
+        # explicitly (the benchmark's no-kernel baseline).
         computed: List[Tuple[int, int, bool]] = []
-        for (source, target), positions in pending.items():
-            answer = scheme.reaches_labels(labels[source], labels[target])
-            for position in positions:
-                answers[position] = answer
-            computed.append((source, target, answer))
+        if pending:
+            distinct = list(pending)
+            if self.use_batch_kernels:
+                batch_answers = scheme.query_many(distinct)
+            else:
+                reaches_labels = scheme.reaches_labels
+                batch_answers = [
+                    reaches_labels(labels[source], labels[target])
+                    for source, target in distinct
+                ]
+            for (source, target), answer in zip(distinct, batch_answers):
+                for position in pending[(source, target)]:
+                    answers[position] = answer
+                computed.append((source, target, answer))
         # phase 3: store results and counters in a second lock hold.
         # A batch of N copies of one missing pair counts one miss (one
         # label probe) and N-1 hits, so hits + misses == queries holds.

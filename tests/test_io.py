@@ -148,8 +148,25 @@ class TestExecutionRoundTrip:
 
 class TestLabelStore:
     def test_round_trip(self, tmp_path, running_spec):
+        # reference labels are packed on the way in: the store decodes
+        # to the packed representation of the same labels
+        from repro.labeling.compact import CompactDRL
+
         run = small_run(running_spec, 150, seed=5)
         scheme = DRL(running_spec)
+        labels = scheme.label_derivation(run)
+        final = {v: labels[v] for v in run.graph.vertices()}
+        path = tmp_path / "labels.json"
+        save_labels(final, running_spec, path)
+        reloaded = load_labels(running_spec, path)
+        packed = CompactDRL(running_spec)
+        assert reloaded == {v: packed.pack(lab) for v, lab in final.items()}
+
+    def test_packed_round_trip(self, tmp_path, running_spec):
+        from repro.labeling.compact import CompactDRL
+
+        run = small_run(running_spec, 150, seed=5)
+        scheme = CompactDRL(running_spec)
         labels = scheme.label_derivation(run)
         final = {v: labels[v] for v in run.graph.vertices()}
         path = tmp_path / "labels.json"
@@ -159,9 +176,10 @@ class TestLabelStore:
 
     def test_reloaded_labels_answer_queries(self, tmp_path, running_spec):
         from repro.graphs.reachability import reaches
+        from repro.labeling.compact import CompactDRL
 
         run = small_run(running_spec, 120, seed=6)
-        scheme = DRL(running_spec)
+        scheme = CompactDRL(running_spec)
         labels = scheme.label_derivation(run)
         final = {v: labels[v] for v in run.graph.vertices()}
         path = tmp_path / "labels.json"

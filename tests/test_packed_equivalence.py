@@ -1,0 +1,241 @@
+"""Packed-vs-legacy equivalence: the property suite of the fast path.
+
+The packed representation (:mod:`repro.labeling.compact`) is only
+allowed to be *faster* -- never different.  For every conformance
+workload and every dynamic scheme (``drl``, ``naive``,
+``path-position``) this suite holds the packed path to answer-for-
+answer equality with the reference through all three query surfaces:
+
+* ``reaches`` / ``query`` -- the single-pair protocol method;
+* ``query_many`` -- the batch kernel the service engine uses;
+* a serialize round-trip -- labels encoded by the scheme's codec and
+  decoded in a *fresh* codec instance must answer identically (and,
+  for drl, byte-identically re-encode).
+
+Plus representation-level properties for drl: pack/unpack is lossless,
+bit accounting matches the reference exactly, and version-1 stores
+(the entry-format wire) decode into equivalent packed labels.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.compact import (
+    CompactDRL,
+    SkeletonBitsets,
+    is_packed,
+    pack_label,
+    unpack_label,
+)
+from repro.labeling.drl import DRL
+from repro.labeling.serialize import LabelCodec, codec_for_scheme
+from repro.schemes import registry
+
+from tests.test_schemes_conformance import WORKLOAD_IDS, _workload
+
+DYNAMIC_SCHEMES = ("drl", "naive", "path-position")
+SAMPLE_PAIRS = 1500
+
+
+def _build_or_skip(scheme_name, workload_id, **options):
+    workload = _workload(workload_id)
+    cls = registry.get(scheme_name)
+    reason = cls.supports(workload)
+    if reason is not None:
+        pytest.skip(reason)
+    return registry.build(scheme_name, workload, **options), workload
+
+
+def _sampled_pairs(workload, seed=29, count=SAMPLE_PAIRS):
+    vertices = sorted(workload.graph.vertices())
+    rng = random.Random(seed)
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(count)
+    ]
+    # always include reflexive probes: the identity fast path
+    pairs.extend((v, v) for v in vertices[:25])
+    return pairs
+
+
+class TestQuerySurfacesAgree:
+    """reaches == query_many == serialized round-trip, per scheme."""
+
+    @pytest.mark.parametrize("workload_id", WORKLOAD_IDS)
+    @pytest.mark.parametrize("scheme_name", DYNAMIC_SCHEMES)
+    def test_batch_kernel_matches_single_pair(self, scheme_name, workload_id):
+        scheme, workload = _build_or_skip(scheme_name, workload_id)
+        assert scheme.capabilities.batch
+        pairs = _sampled_pairs(workload)
+        singles = [scheme.reaches(a, b) for a, b in pairs]
+        assert scheme.query_many(pairs) == singles
+
+    @pytest.mark.parametrize("workload_id", WORKLOAD_IDS)
+    @pytest.mark.parametrize("scheme_name", DYNAMIC_SCHEMES)
+    def test_serialize_round_trip_answers_identically(
+        self, scheme_name, workload_id
+    ):
+        scheme, workload = _build_or_skip(scheme_name, workload_id)
+        encoder = codec_for_scheme(scheme_name, workload.spec)
+        decoder = codec_for_scheme(scheme_name, workload.spec)  # fresh
+        reloaded = {}
+        for vid in scheme.labeled_vertices():
+            payload, bits = encoder.encode(scheme.label_of(vid))
+            reloaded[vid] = decoder.decode(payload, bits)
+        for a, b in _sampled_pairs(workload):
+            assert scheme.reaches_labels(reloaded[a], reloaded[b]) == \
+                scheme.reaches(a, b)
+
+    @pytest.mark.parametrize("workload_id", WORKLOAD_IDS)
+    def test_packed_drl_matches_legacy_drl(self, workload_id):
+        packed, workload = _build_or_skip("drl", workload_id)
+        legacy, _ = _build_or_skip("drl", workload_id, packed=False)
+        assert packed.packed and not legacy.packed
+        pairs = _sampled_pairs(workload)
+        assert packed.query_many(pairs) == legacy.query_many(pairs)
+        for a, b in pairs[:400]:
+            assert packed.reaches(a, b) == legacy.reaches(a, b)
+
+
+class TestPackedRepresentation:
+    """Pack/unpack is lossless; accounting and wire formats agree."""
+
+    @pytest.mark.parametrize(
+        "workload_id", ["running-example", "bioaid-norec", "fig12-path"]
+    )
+    def test_pack_unpack_lossless_and_bits_equal(self, workload_id):
+        packed, workload = _build_or_skip("drl", workload_id)
+        legacy, _ = _build_or_skip("drl", workload_id, packed=False)
+        drl_packed: CompactDRL = packed.drl
+        drl_legacy: DRL = legacy.drl
+        for vid in packed.labeled_vertices():
+            packed_label = packed.label_of(vid)
+            legacy_label = legacy.label_of(vid)
+            assert is_packed(packed_label)
+            assert not is_packed(legacy_label)
+            assert drl_packed.pack(legacy_label) == packed_label
+            assert drl_packed.unpack(packed_label) == legacy_label
+            assert drl_packed.label_bits(packed_label) == \
+                drl_legacy.label_bits(legacy_label)
+
+    def test_labels_share_structure_per_node(self):
+        """Vertices at one parse-tree node share tuples by identity."""
+        packed, _ = _build_or_skip("drl", "running-example")
+        by_indexes = {}
+        for vid in packed.labeled_vertices():
+            indexes, prefix, _last = packed.label_of(vid)
+            by_indexes.setdefault(id(indexes), []).append(id(prefix))
+        # at least one node hosts several vertices, and they share both
+        # the index vector and the meta prefix by object identity
+        shared = [group for group in by_indexes.values() if len(group) > 1]
+        assert shared
+        for group in shared:
+            assert len(set(group)) == 1
+
+    def test_wire_v1_store_decodes_to_equivalent_packed(self, tmp_path):
+        """Old entry-format stores stay loadable: decode_compat packs."""
+        from repro.io.labelstore import load_labels, save_labels
+
+        workload = _workload("running-example")
+        legacy, _ = _build_or_skip("drl", "running-example", packed=False)
+        bitsets = SkeletonBitsets(workload.spec)
+        v1 = LabelCodec(workload.spec)
+        drl_codec = codec_for_scheme("drl", workload.spec)
+        for vid in list(legacy.labeled_vertices())[:50]:
+            label = legacy.label_of(vid)
+            payload, bits = v1.encode(label)
+            decoded = drl_codec.decode_compat(payload, bits, wire=1)
+            assert decoded == pack_label(bitsets, label)
+        # and a store written today round-trips through the file layer
+        labels = {v: legacy.label_of(v) for v in legacy.labeled_vertices()}
+        path = tmp_path / "labels.json"
+        save_labels(labels, workload.spec, path, scheme="drl")
+        reloaded = load_labels(workload.spec, path)
+        assert reloaded == {
+            v: pack_label(bitsets, label) for v, label in labels.items()
+        }
+
+    def test_wire_v2_never_wider_than_v1(self):
+        """The packed wire format shrinks (or ties) every label."""
+        workload = _workload("bioaid-norec")
+        legacy, _ = _build_or_skip("drl", "bioaid-norec", packed=False)
+        v1 = LabelCodec(workload.spec)
+        v2 = codec_for_scheme("drl", workload.spec)
+        total_v1 = total_v2 = 0
+        for vid in legacy.labeled_vertices():
+            label = legacy.label_of(vid)
+            _, bits_v1 = v1.encode(label)
+            _, bits_v2 = v2.encode(label)
+            assert bits_v2 <= bits_v1
+            total_v1 += bits_v1
+            total_v2 += bits_v2
+        assert total_v2 < total_v1
+
+    def test_unknown_wire_version_rejected(self):
+        workload = _workload("running-example")
+        codec = codec_for_scheme("drl", workload.spec)
+        with pytest.raises(LabelingError):
+            codec.decode_compat(b"\x00", 8, wire=99)
+
+    def test_mixed_run_labels_rejected_across_runs(self):
+        """Packed query still detects labels from different runs."""
+        packed_a, workload = _build_or_skip("drl", "running-example")
+        drl: CompactDRL = packed_a.drl
+        label = packed_a.label_of(sorted(packed_a.labeled_vertices())[0])
+        indexes, prefix, last = label
+        foreign = ((indexes[0] + 1,) + indexes[1:], prefix, last)
+        with pytest.raises(LabelingError):
+            drl.query(label, foreign)
+
+
+class TestSkeletonBitsets:
+    def test_matches_skeleton_scheme(self):
+        from repro.labeling.skeleton import make_skeleton
+
+        workload = _workload("running-example")
+        spec = workload.spec
+        bitsets = SkeletonBitsets(spec)
+        tcl = make_skeleton(spec, "tcl")
+        for key in spec.graph_keys():
+            vertices = sorted(spec.graph(key).vertices())
+            for u in vertices:
+                for v in vertices:
+                    assert bitsets.reaches(key, u, v) == tcl.reaches(
+                        key, u, v
+                    )
+
+    def test_ids_deterministic_across_instances(self):
+        spec = _workload("bioaid-norec").spec
+        a = SkeletonBitsets(spec)
+        b = SkeletonBitsets(spec)
+        assert a.num_ids == b.num_ids
+        for key in spec.graph_keys():
+            for v in sorted(spec.graph(key).vertices()):
+                assert a.sid(key, v) == b.sid(key, v)
+                assert a.ref_of(a.sid(key, v)) == b.ref_of(b.sid(key, v))
+
+    def test_unknown_vertex_rejected(self):
+        spec = _workload("running-example").spec
+        bitsets = SkeletonBitsets(spec)
+        with pytest.raises(LabelingError):
+            bitsets.sid("no-such-graph", 0)
+        with pytest.raises(LabelingError):
+            bitsets.ref_of(10**9)
+
+
+class TestUnpackRoundTrip:
+    def test_unpack_then_pack_is_identity_on_run_labels(self):
+        packed, _ = _build_or_skip("drl", "bioaid-norec")
+        drl: CompactDRL = packed.drl
+        for vid in packed.labeled_vertices():
+            label = packed.label_of(vid)
+            assert drl.pack(drl.unpack(label)) == label
+
+    def test_unpack_rejects_malformed(self):
+        packed, _ = _build_or_skip("drl", "running-example")
+        drl: CompactDRL = packed.drl
+        with pytest.raises(LabelingError):
+            unpack_label(drl.bitsets, ((1, 2), (), 0))

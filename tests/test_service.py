@@ -157,6 +157,39 @@ class TestQueryEngine:
         expected = [reaches(run.graph, a, b) for a, b in pairs]
         assert answers == expected
 
+    def test_kernel_and_fallback_paths_agree(
+        self, running_spec, run_and_execution
+    ):
+        """use_batch_kernels=False (the per-pair fallback) answers and
+        accounts identically to the batch-kernel fast path."""
+        run, execution = run_and_execution
+        vids = sorted(run.graph.vertices())
+        rng = random.Random(11)
+        pairs = [
+            (rng.choice(vids), rng.choice(vids)) for _ in range(400)
+        ]
+        results = {}
+        for use_kernels in (True, False):
+            manager = SessionManager()
+            engine = QueryEngine(manager, use_batch_kernels=use_kernels)
+            manager.create("a", running_spec)
+            engine.ingest("a", execution.insertions)
+            results[use_kernels] = engine.query_many("a", pairs)
+            stats = engine.stats()
+            assert stats.queries == len(pairs)
+            assert stats.cache_hits + stats.cache_misses == len(pairs)
+        assert results[True] == results[False]
+        assert results[True] == [
+            reaches(run.graph, a, b) for a, b in pairs
+        ]
+
+    def test_kernel_path_used_for_every_dynamic_scheme(self, running_spec):
+        """All service-hostable schemes ship a batch kernel."""
+        from repro.schemes import registry as scheme_registry
+
+        for name in scheme_registry.available(dynamic=True):
+            assert scheme_registry.get(name).capabilities.batch, name
+
     def test_cache_hits_on_repeat(self, running_spec, run_and_execution):
         run, execution = run_and_execution
         manager = SessionManager()
