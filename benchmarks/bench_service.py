@@ -38,6 +38,7 @@ import time
 
 from repro.datasets import running_example
 from repro.loadgen import Scenario, engine_driver_factory, run_scenario
+from repro.obs import NULL
 from repro.service import DurableStore, QueryEngine, SessionManager
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
@@ -80,7 +81,8 @@ def _pairs(run, count, seed=1):
     return [(rng.choice(vids), rng.choice(vids)) for _ in range(count)]
 
 
-def _loaded_engine(cache_size=65536, shards=1, use_batch_kernels=True):
+def _loaded_engine(cache_size=65536, shards=1, use_batch_kernels=True,
+                   metrics=None):
     spec, run, execution = _prepared_run()
     manager = SessionManager()
     engine = QueryEngine(
@@ -88,10 +90,40 @@ def _loaded_engine(cache_size=65536, shards=1, use_batch_kernels=True):
         cache_size=cache_size,
         shards=shards,
         use_batch_kernels=use_batch_kernels,
+        metrics=metrics,
     )
     manager.create("bench", spec)
     engine.ingest("bench", execution.insertions)
     return engine, run, execution
+
+
+def observability_overhead(repeat=9):
+    """Warm-cache QPS with default instrumentation vs ``metrics=NULL``.
+
+    The two engines are timed interleaved (one round each, best-of-N),
+    so clock drift and thermal throttling hit both alike; the ratio is
+    what the per-batch histogram records cost on the hottest read path.
+    """
+    instrumented, run, _ = _loaded_engine()
+    bare, _, _ = _loaded_engine(metrics=NULL)
+    pairs = _pairs(run, BATCH)
+    instrumented.query_many("bench", pairs)  # populate both caches
+    bare.query_many("bench", pairs)
+    best_on = best_off = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        instrumented.query_many("bench", pairs)
+        best_on = min(best_on, time.perf_counter() - started)
+        started = time.perf_counter()
+        bare.query_many("bench", pairs)
+        best_off = min(best_off, time.perf_counter() - started)
+    warm_qps = BATCH / best_on
+    warm_qps_no_obs = BATCH / best_off
+    return {
+        "warm_qps": warm_qps,
+        "warm_qps_no_obs": warm_qps_no_obs,
+        "ratio": warm_qps / warm_qps_no_obs,
+    }
 
 
 def _warm_scaling_row(shards, duration=SCALING_DURATION, seed=0):
@@ -367,6 +399,13 @@ def main() -> int:
         for error in row["errors"]:
             print(f"  ERROR: {error}")
 
+    obs = observability_overhead()
+    print(
+        f"observability:     warm {obs['warm_qps']:,.0f} QPS instrumented "
+        f"vs {obs['warm_qps_no_obs']:,.0f} bare "
+        f"({obs['ratio']:.3f}x; floor 0.95)"
+    )
+
     by_shards = {row["shards"]: row["qps"] for row in scaling_rows}
     scaling_4x = (
         by_shards.get(4, 0.0) / by_shards[1] if by_shards.get(1) else 0.0
@@ -402,6 +441,7 @@ def main() -> int:
             "rows": scaling_rows,
             "qps_4_shards_over_1": scaling_4x,
         },
+        "observability": obs,
     }
     with open(OUTPUT, "w") as handle:
         json.dump(document, handle, indent=2)
@@ -416,5 +456,37 @@ def main() -> int:
     return 0
 
 
+def check_obs_overhead(floor=0.95, attempts=3) -> int:
+    """CI gate: instrumented warm QPS must stay within ``floor`` of bare.
+
+    Retried a few times before failing -- a shared CI runner's noise on
+    a sub-10ms measurement would otherwise flake the gate; a *real*
+    instrumentation regression fails every attempt.
+    """
+    worst = None
+    for attempt in range(1, attempts + 1):
+        obs = observability_overhead()
+        print(
+            f"obs-overhead attempt {attempt}: "
+            f"{obs['warm_qps']:,.0f} instrumented vs "
+            f"{obs['warm_qps_no_obs']:,.0f} bare QPS "
+            f"({obs['ratio']:.3f}x, floor {floor})"
+        )
+        if obs["ratio"] >= floor:
+            print("obs-overhead OK")
+            return 0
+        worst = obs
+    print(
+        f"obs-overhead FAILED: instrumentation holds warm QPS at "
+        f"{worst['ratio']:.3f}x of the uninstrumented engine "
+        f"(floor {floor})"
+    )
+    return 1
+
+
 if __name__ == "__main__":
+    import sys
+
+    if "--check-obs-overhead" in sys.argv[1:]:
+        raise SystemExit(check_obs_overhead())
     raise SystemExit(main())

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro bench [EXPERIMENT...]          # Section 7 tables
     python -m repro serve [--port P | --stdio]     # provenance query service
     python -m repro loadgen [SCENARIO]             # drive a load scenario
+    python -m repro stats [--watch]                # a live server's telemetry
 
 ``label`` and ``serve`` take ``--scheme`` to pick any registered
 *dynamic* labeling backend (``drl`` by default; see ``repro schemes``);
@@ -25,6 +26,13 @@ acknowledged, WALs rolled into checkpoints every
 ``--checkpoint-interval`` seconds -- and ``loadgen crash-recovery``
 SIGKILLs such a server mid-ingest and verifies that recovery loses no
 acknowledged insertion.
+
+Observability: ``serve --metrics-port`` exposes the server's latency
+histograms and counters as a Prometheus text endpoint
+(``GET /metrics``), ``--log-level``/``--log-format`` configure the
+structured (text or JSON-lines) event log on stderr, and ``repro
+stats`` polls a live server's ``stats`` and ``metrics`` ops --
+``--watch`` keeps refreshing, a terminal-friendly top for the service.
 
 Specifications and execution logs are read/written as JSON or XML,
 chosen by file extension (``.json`` / ``.xml``).
@@ -185,22 +193,30 @@ def cmd_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import sys
+
+    from repro.obs.logs import configure_logging
+    from repro.obs.metrics import MetricsExporter
     from repro.service.server import ReproServer, ReproService, serve_stdio
 
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
     if args.data_dir and args.checkpoint_interval <= 0:
         raise SystemExit("--checkpoint-interval must be positive")
+    # stderr always: stdout may be the protocol stream under --stdio
+    configure_logging(level=args.log_level, fmt=args.log_format)
     if args.selftest:
         from repro.service.selftest import run_selftest, run_selftest_all_dynamic
 
         if args.scheme == "all":
             return run_selftest_all_dynamic(
-                size=args.size, seed=args.seed, shards=args.shards
+                size=args.size, seed=args.seed, shards=args.shards,
+                metrics_port=args.metrics_port,
             )
         return run_selftest(
             spec_name=args.spec, size=args.size, seed=args.seed,
             scheme=args.scheme, shards=args.shards,
+            metrics_port=args.metrics_port,
         )
     service = ReproService(
         cache_size=args.cache_size,
@@ -210,10 +226,18 @@ def cmd_serve(args) -> int:
         checkpoint_interval=(
             args.checkpoint_interval if args.data_dir else None
         ),
+        slow_threshold=args.slow_threshold,
     )
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(
+            service.metrics.render_prometheus, port=args.metrics_port
+        ).start()
+        print(
+            f"repro metrics on http://127.0.0.1:{exporter.port}/metrics",
+            file=sys.stderr if args.stdio else sys.stdout,
+        )
     if args.data_dir:
-        import sys
-
         recovered = [
             report["session"]
             for report in service.store.recovery
@@ -231,8 +255,6 @@ def cmd_serve(args) -> int:
         )
     try:
         if args.stdio:
-            import sys
-
             return serve_stdio(service, sys.stdin, sys.stdout)
         server = ReproServer((args.host, args.port), service)
         print(f"repro service listening on {args.host}:{server.port}")
@@ -245,6 +267,80 @@ def cmd_serve(args) -> int:
         return 0
     finally:
         service.close()
+        if exporter is not None:
+            exporter.stop()
+
+
+def cmd_stats(args) -> int:
+    import time
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient
+
+    if not args.port:
+        raise SystemExit("stats needs --port (the live server's TCP port)")
+
+    def sample() -> int:
+        try:
+            with ServiceClient(args.host, args.port) as client:
+                stats = client.stats()
+                metrics = client.metrics()
+        except (OSError, ReproError) as exc:
+            print(f"stats: cannot reach {args.host}:{args.port}: {exc}")
+            return 1
+        print(
+            f"sessions={stats.get('sessions')} "
+            f"queries={stats.get('queries')} "
+            f"hits={stats.get('cache_hits')} "
+            f"misses={stats.get('cache_misses')} "
+            f"errors={stats.get('query_errors')} "
+            f"ingested={stats.get('ingested')} "
+            f"cache={stats.get('cache_entries')}/"
+            f"{stats.get('cache_capacity')}"
+        )
+        traces = metrics.get("traces", {})
+        print(
+            f"traces: finished={traces.get('finished')} "
+            f"slow={traces.get('slow')} "
+            f"(threshold {traces.get('slow_threshold_s')}s)"
+        )
+        rows = [h for h in metrics.get("histograms", []) if h.get("count")]
+        if rows:
+            print(
+                f"{'series':<44} {'count':>8} {'mean':>9} "
+                f"{'p50':>9} {'p95':>9} {'p99':>9}"
+            )
+        for row in rows:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(row["labels"].items())
+            )
+            series = row["name"] + (f"{{{labels}}}" if labels else "")
+            print(
+                f"{series:<44} {row['count']:>8} "
+                f"{_ms(row['mean']):>9} {_ms(row['p50']):>9} "
+                f"{_ms(row['p95']):>9} {_ms(row['p99']):>9}"
+            )
+        return 0
+
+    if not args.watch:
+        return sample()
+    try:
+        while True:
+            # clear + home, a terminal-friendly top for the service
+            print("\x1b[2J\x1b[H", end="")
+            print(f"repro stats {args.host}:{args.port} "
+                  f"(every {args.interval:.1f}s, ctrl-C to stop)")
+            sample()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _ms(seconds) -> str:
+    """Render a seconds quantity as fixed-width milliseconds."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.3f}ms"
 
 
 def cmd_loadgen(args) -> int:
@@ -337,6 +433,16 @@ def cmd_loadgen(args) -> int:
             f"{report.ingest_eps:,.0f} events/sec ({report.ingested} "
             f"events), {report.sessions_created} sessions"
         )
+        for kind, latency in (
+            ("query", report.query_latency),
+            ("ingest", report.ingest_latency),
+        ):
+            if latency.get("count"):
+                print(
+                    f"loadgen: {kind} latency p50={_ms(latency['p50'])} "
+                    f"p95={_ms(latency['p95'])} p99={_ms(latency['p99'])} "
+                    f"max={_ms(latency['max'])}"
+                )
         for error in report.errors:
             print(f"loadgen: ERROR {error}")
     return 0 if report.ok else 1
@@ -419,6 +525,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-interval", type=float, default=30.0,
                    help="with --data-dir: seconds between background "
                         "rolls of outstanding WALs into checkpoints")
+    from repro.obs.logs import LOG_FORMATS, LOG_LEVELS
+    from repro.service.server import DEFAULT_SLOW_THRESHOLD
+
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="expose Prometheus text metrics on this HTTP "
+                        "port (0 picks an ephemeral one); with "
+                        "--selftest, also scrape-validate the endpoint")
+    p.add_argument("--log-level", choices=list(LOG_LEVELS), default="info",
+                   help="structured event log verbosity (on stderr)")
+    p.add_argument("--log-format", choices=list(LOG_FORMATS), default="text",
+                   help="event log rendering: human text or JSON lines")
+    p.add_argument("--slow-threshold", type=float,
+                   default=DEFAULT_SLOW_THRESHOLD,
+                   help="requests slower than this many seconds are "
+                        "dumped to the slow-query log with their full "
+                        "span timeline")
     p.add_argument("--selftest", action="store_true",
                    help="run one scripted session end-to-end and exit")
     p.add_argument("--scheme", choices=dynamic_schemes + ["all"],
@@ -469,6 +591,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("stats",
+                       help="poll a live server's stats and latency "
+                            "percentiles")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the live server's TCP port")
+    p.add_argument("--watch", action="store_true",
+                   help="keep refreshing instead of sampling once")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period under --watch, in seconds")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

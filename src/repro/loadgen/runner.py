@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.loadgen.driver import DriverFactory
 from repro.loadgen.scenarios import Scenario
+from repro.obs.histogram import Histogram, merge_snapshots
 from repro.service.sessions import resolve_spec
 from repro.workflow.derivation import sample_run
 from repro.workflow.execution import execution_from_derivation
@@ -41,6 +42,12 @@ class LoadReport:
     longest per-worker closed-loop phase, which *excludes* session
     setup and prefill (every worker starts its own clock after setup).
     ``wall_seconds`` is the full wall time including setup/teardown.
+
+    ``query_latency``/``ingest_latency`` are per-operation latency
+    summaries (count/sum/mean/min/max and p50/p95/p99, in seconds)
+    merged exactly from each worker's :class:`repro.obs.Histogram` --
+    one query_batch or ingest round trip per sample, so over TCP they
+    include the wire.
     """
 
     scenario: str
@@ -57,6 +64,8 @@ class LoadReport:
     sessions_closed: int = 0
     errors: List[str] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
+    query_latency: Dict[str, Any] = field(default_factory=dict)
+    ingest_latency: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -89,6 +98,8 @@ class LoadReport:
             "ok": self.ok,
             "errors": list(self.errors),
             "stats": dict(self.stats),
+            "query_latency": dict(self.query_latency),
+            "ingest_latency": dict(self.ingest_latency),
         }
 
 
@@ -130,6 +141,9 @@ class _Worker:
         self.sessions_closed = 0
         self.busy_seconds = 0.0  # closed-loop phase only, not setup
         self.errors: List[str] = []
+        # per-operation latency, merged across workers by the runner
+        self.query_hist = Histogram()
+        self.ingest_hist = Histogram()
 
     # -- session lifecycle ---------------------------------------------
     def open_session(self) -> None:
@@ -158,7 +172,9 @@ class _Worker:
             return
         size = size or self.scenario.ingest_chunk
         chunk = self.events[self.cursor : self.cursor + size]
+        started = time.perf_counter()
         self.driver.ingest(self.session, chunk)
+        self.ingest_hist.record(time.perf_counter() - started)
         self.cursor += len(chunk)
         self.seen.extend(event.vid for event in chunk)
         self.ingested += len(chunk)
@@ -179,7 +195,9 @@ class _Worker:
 
     def query_once(self) -> None:
         pairs = self.sample_pairs()
+        started = time.perf_counter()
         answers = self.driver.query_batch(self.session, pairs)
+        self.query_hist.record(time.perf_counter() - started)
         self.query_batches += 1
         self.queries += len(pairs)
         if self.verify:
@@ -288,6 +306,12 @@ def run_scenario(
         report.sessions_created += worker.sessions_created
         report.sessions_closed += worker.sessions_closed
         report.errors.extend(worker.errors)
+    report.query_latency = merge_snapshots(
+        worker.query_hist.snapshot() for worker in pool
+    ).to_dict()
+    report.ingest_latency = merge_snapshots(
+        worker.ingest_hist.snapshot() for worker in pool
+    ).to_dict()
     try:
         snapshotter = driver_factory()
         try:

@@ -1,0 +1,132 @@
+"""Structured logging: JSON-lines (or text) events on stdlib logging.
+
+Every service-side event -- connection lifecycle, request errors,
+recovery reports, checkpoint rolls, slow queries -- is emitted through
+ordinary ``logging`` loggers under the ``repro`` namespace, with the
+machine-readable payload attached as a ``fields`` dict::
+
+    log_event(logger, logging.INFO, "connection-open",
+              peer="127.0.0.1:52114")
+
+:func:`configure_logging` installs one handler on the ``repro`` root
+logger with either the :class:`JsonLineFormatter` (one JSON object per
+line: ``ts``, ``level``, ``logger``, ``event``, the fields, and the
+active ``trace_id`` when a request trace is live on the thread) or a
+human-readable text formatter that appends ``key=value`` pairs.  The
+CLI wires this to ``repro serve --log-level/--log-format``; library
+users who never configure anything get stdlib's default behavior
+(events propagate to the root logger, silenced unless enabled), so
+importing the service never spams stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.obs.trace import current_trace_id
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+LOG_FORMATS = ("text", "json")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event with a machine-readable payload."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record, stable keys first."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: Dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            document["trace_id"] = trace_id
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                document.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = self.formatException(record.exc_info)
+        return json.dumps(document, default=str)
+
+
+class TextLineFormatter(logging.Formatter):
+    """Human-readable: timestamped message plus ``key=value`` fields."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "%(asctime)s %(levelname)-7s %(name)s %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict) and fields:
+            rendered = " ".join(
+                f"{key}={_render_value(value)}"
+                for key, value in fields.items()
+            )
+            line = f"{line} {rendered}"
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            line = f"{line} trace_id={trace_id}"
+        return line
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, default=str)
+    return str(value)
+
+
+def configure_logging(
+    level: str = "info",
+    fmt: str = "text",
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` root logger; returns it.
+
+    Idempotent per process: a handler previously installed by this
+    function is replaced, never stacked, so reconfiguration (tests,
+    repeated CLI invocations in one process) cannot double-log.
+    ``stream`` defaults to stderr -- stdout may be the protocol stream
+    under ``repro serve --stdio``.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    if fmt not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {fmt!r}; expected one of {LOG_FORMATS}"
+        )
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLineFormatter() if fmt == "json" else TextLineFormatter()
+    )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root = logging.getLogger("repro")
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return handler

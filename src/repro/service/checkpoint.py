@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import ServiceError
+from repro.obs.metrics import default_registry
 from repro.io.jsonio import (
     execution_from_json,
     execution_to_json,
@@ -46,6 +48,11 @@ from repro.io.jsonio import (
 from repro.io.labelstore import load_label_store, peek_label_store, save_labels
 from repro.io.xmlio import FormatError
 from repro.service.sessions import Session, SessionManager
+
+# wall time of one full checkpoint write (snapshot + staged files +
+# fsyncs); the roll series in repro.service.wal wraps this plus the
+# WAL truncation
+_h_write = default_registry().histogram("repro_checkpoint_write_seconds")
 
 _FORMAT = "repro-checkpoint"
 _VERSION = 1
@@ -85,6 +92,7 @@ def checkpoint_session(session: Session, directory, durable: bool = True) -> Pat
     directory is fsynced after the manifest rename, so the checkpoint
     survives power loss.  Returns the directory.
     """
+    write_started = time.perf_counter()
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     version, labels, log = session.snapshot_state()
@@ -126,6 +134,7 @@ def checkpoint_session(session: Session, directory, durable: bool = True) -> Pat
         os.replace(path / (filename + ".tmp"), path / filename)
     if durable:
         fsync_dir(path)
+    _h_write.record(time.perf_counter() - write_started)
     return path
 
 

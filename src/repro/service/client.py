@@ -52,10 +52,19 @@ class ServiceClient:
         self._next_id = 0
 
     # ------------------------------------------------------------------
-    def call(self, op: str, **params: Any) -> Any:
-        """One request/response round trip; returns the result object."""
+    def call(
+        self, op: str, *, trace_id: Optional[str] = None, **params: Any
+    ) -> Any:
+        """One request/response round trip; returns the result object.
+
+        ``trace_id`` rides on the request and is propagated through
+        every server-side layer the request crosses (trace ring, logs,
+        WAL records); the server mints one when the client sends none.
+        """
         self._next_id += 1
-        request = Request(op=op, params=params, id=self._next_id)
+        request = Request(
+            op=op, params=params, id=self._next_id, trace_id=trace_id
+        )
         self._writer.write(encode_request(request))
         self._writer.flush()
         response = self._read_response()
@@ -143,16 +152,32 @@ class ServiceClient:
             )
         return self.call("create_session", **params)
 
-    def ingest(self, session: str, insertions: Iterable) -> Dict[str, Any]:
+    def ingest(
+        self,
+        session: str,
+        insertions: Iterable,
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
         return self.call(
             "ingest",
             session=session,
             insertions=insertions_to_wire(insertions),
+            trace_id=trace_id,
         )
 
-    def query(self, session: str, source: int, target: int) -> bool:
+    def query(
+        self,
+        session: str,
+        source: int,
+        target: int,
+        trace_id: Optional[str] = None,
+    ) -> bool:
         result = self.call(
-            "query", session=session, source=source, target=target
+            "query",
+            session=session,
+            source=source,
+            target=target,
+            trace_id=trace_id,
         )
         return bool(result["answer"])
 
@@ -162,6 +187,7 @@ class ServiceClient:
         pairs: Sequence[Tuple[int, int]],
         chunk: Optional[int] = None,
         window: int = PIPELINE_WINDOW,
+        trace_id: Optional[str] = None,
     ) -> List[bool]:
         """Batched reachability; chunked and pipelined when asked.
 
@@ -181,8 +207,12 @@ class ServiceClient:
                 "query_batch",
                 session=session,
                 pairs=[[source, target] for source, target in pairs],
+                trace_id=trace_id,
             )
             return [bool(answer) for answer in result["answers"]]
+        # pipelined chunks each carry the trace id (a top-level wire
+        # field, so it rides inside the params dict unchanged)
+        extra = {"trace_id": trace_id} if trace_id is not None else {}
         calls = [
             (
                 "query_batch",
@@ -192,6 +222,7 @@ class ServiceClient:
                         [source, target]
                         for source, target in pairs[start : start + chunk]
                     ],
+                    **extra,
                 },
             )
             for start in range(0, len(pairs), chunk)
@@ -239,6 +270,17 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot plus its trace-ring summary.
+
+        Counters and histogram summaries (count/sum/mean/min/max and
+        p50/p95/p99) for every series the server records -- per-op
+        request latency, engine stages, WAL append/fsync, checkpoint
+        timings -- under ``counters``/``histograms``, with the tracer's
+        retention summary under ``traces``.
+        """
+        return self.call("metrics")
 
     def close_session(self, session: str) -> Dict[str, Any]:
         return self.call("close", session=session)

@@ -40,6 +40,21 @@ were labeled, so the fully warm fast path pays nothing for it.)
 
 Hit/miss/latency counters are kept per shard and aggregated into a
 :class:`ServiceStats` snapshot for monitoring and benchmarks.
+
+Observability (:mod:`repro.obs`): the engine records per-stage latency
+histograms -- ``cache_probe`` (phase 1 under the shard lock) and
+``miss_fill`` (the batch-kernel / fallback compute of phase 2) -- into
+its metrics registry (the process default unless one is injected;
+``metrics=repro.obs.NULL`` disables instrumentation entirely, which is
+the benchmark's uninstrumented baseline).  A batch that *fails*
+mid-flight (``LabelingError`` on an unlabeled vertex) keeps the
+hits/misses/queries counters untouched, exactly as before, but its
+elapsed time is no longer dropped on the floor: it is accounted under
+the separate ``errors``/``error_seconds`` shard counters (aggregated
+into ``ServiceStats.query_errors``/``query_error_seconds``) and the
+``repro_engine_errored_seconds`` histogram.  When a request trace is
+active on the thread (:func:`repro.obs.trace.current_trace`), the
+engine attaches its stage timings as spans to that trace.
 """
 
 from __future__ import annotations
@@ -47,10 +62,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import ExitStack
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import LabelingError
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
 from repro.service.sessions import Session, SessionManager
 
 QueryKey = Tuple[int, int, int, int]  # (session uid, version, source, target)
@@ -71,6 +89,8 @@ class ServiceStats:
     cache_shard_capacities: Tuple[int, ...]
     query_seconds: float
     ingest_seconds: float
+    query_errors: int = 0
+    query_error_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +117,8 @@ class _Shard:
         "query_seconds",
         "ingested",
         "ingest_seconds",
+        "errors",
+        "error_seconds",
     )
 
     def __init__(self, capacity: int) -> None:
@@ -109,6 +131,8 @@ class _Shard:
         self.query_seconds = 0.0
         self.ingested = 0
         self.ingest_seconds = 0.0
+        self.errors = 0
+        self.error_seconds = 0.0
 
 
 class QueryEngine:
@@ -129,6 +153,7 @@ class QueryEngine:
         cache_size: int = 65536,
         shards: int = 1,
         use_batch_kernels: bool = True,
+        metrics=None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
@@ -136,6 +161,23 @@ class QueryEngine:
             raise ValueError("shards must be >= 1")
         self.manager = manager
         self.cache_size = cache_size
+        # observability: stage histograms live in the injected registry
+        # (default: the process-wide one); repro.obs.NULL disables the
+        # extra clock reads entirely for an uninstrumented baseline
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._observe = bool(getattr(self.metrics, "enabled", True))
+        self._stage_probe = self.metrics.histogram(
+            "repro_engine_stage_seconds", stage="cache_probe"
+        )
+        self._stage_fill = self.metrics.histogram(
+            "repro_engine_stage_seconds", stage="miss_fill"
+        )
+        self._errored_hist = self.metrics.histogram(
+            "repro_engine_errored_seconds"
+        )
+        self._errored_total = self.metrics.counter(
+            "repro_engine_errors_total"
+        )
         # route cache misses through the scheme's query_many batch
         # kernel; False forces the per-pair reaches_labels loop (the
         # service benchmark measures both to report the kernel's win)
@@ -181,6 +223,8 @@ class QueryEngine:
         """
         session = self.manager.get(session_name)
         batch = pairs if isinstance(pairs, list) else list(pairs)
+        trace = current_trace()
+        observe = self._observe or trace is not None
         started = time.perf_counter()
         with session.lock:
             version = session.version
@@ -204,17 +248,18 @@ class QueryEngine:
                 else:
                     pending.setdefault((source, target), []).append(position)
                 answers.append(cached)
+        if observe:
+            probed = time.perf_counter()
+            self._stage_probe.record(probed - started)
+            if trace is not None:
+                trace.add_span("cache_probe", started, probed)
         # validate the misses before computing anything.  A hit proves
         # both vertices were labeled (keys are only ever written for
         # computed answers), so only missing pairs can name an unknown
         # vertex -- and failing here means no counter or cache entry
-        # has been touched: the poisoned batch is accounted as nothing.
-        for source, target in pending:
-            for vid in (source, target):
-                if vid not in labels:
-                    raise LabelingError(
-                        f"session {session.name!r} has no vertex {vid}"
-                    )
+        # has been touched: the poisoned batch is accounted as nothing
+        # (the time it burned is still accounted, under the errored
+        # counters, so error storms stay visible in the latency story).
         # phase 2: compute each distinct miss once, without the lock --
         # labels are write-once, so concurrent batches computing the
         # same answer agree, and other shards' queries proceed in
@@ -225,20 +270,41 @@ class QueryEngine:
         # base class, and ``use_batch_kernels=False`` forces that loop
         # explicitly (the benchmark's no-kernel baseline).
         computed: List[Tuple[int, int, bool]] = []
-        if pending:
-            distinct = list(pending)
-            if self.use_batch_kernels:
-                batch_answers = scheme.query_many(distinct)
-            else:
-                reaches_labels = scheme.reaches_labels
-                batch_answers = [
-                    reaches_labels(labels[source], labels[target])
-                    for source, target in distinct
-                ]
-            for (source, target), answer in zip(distinct, batch_answers):
-                for position in pending[(source, target)]:
-                    answers[position] = answer
-                computed.append((source, target, answer))
+        try:
+            for source, target in pending:
+                for vid in (source, target):
+                    if vid not in labels:
+                        raise LabelingError(
+                            f"session {session.name!r} has no vertex {vid}"
+                        )
+            if pending:
+                fill_started = time.perf_counter() if observe else 0.0
+                distinct = list(pending)
+                if self.use_batch_kernels:
+                    batch_answers = scheme.query_many(distinct)
+                else:
+                    reaches_labels = scheme.reaches_labels
+                    batch_answers = [
+                        reaches_labels(labels[source], labels[target])
+                        for source, target in distinct
+                    ]
+                for (source, target), answer in zip(distinct, batch_answers):
+                    for position in pending[(source, target)]:
+                        answers[position] = answer
+                    computed.append((source, target, answer))
+                if observe:
+                    filled = time.perf_counter()
+                    self._stage_fill.record(filled - fill_started)
+                    if trace is not None:
+                        trace.add_span("miss_fill", fill_started, filled)
+        except LabelingError:
+            elapsed = time.perf_counter() - started
+            with shard.lock:
+                shard.errors += 1
+                shard.error_seconds += elapsed
+            self._errored_total.inc()
+            self._errored_hist.record(elapsed)
+            raise
         # phase 3: store results and counters in a second lock hold.
         # A batch of N copies of one missing pair counts one miss (one
         # label probe) and N-1 hits, so hits + misses == queries holds.
@@ -259,10 +325,21 @@ class QueryEngine:
     # ingest accounting (the write path itself lives on the session)
     # ------------------------------------------------------------------
     def ingest(self, session_name: str, insertions) -> Tuple[int, int]:
-        """Ingest a batch into a session; returns ``(count, version)``."""
+        """Ingest a batch into a session; returns ``(count, version)``.
+
+        A batch rejected mid-flight keeps the ingest counters untouched
+        (the session layer records exactly which prefix was applied);
+        like the query path, the elapsed time is accounted under the
+        errored histogram instead of being dropped.
+        """
         session = self.manager.get(session_name)
         started = time.perf_counter()
-        count = session.ingest_many(insertions)
+        try:
+            count = session.ingest_many(insertions)
+        except Exception:
+            self._errored_total.inc()
+            self._errored_hist.record(time.perf_counter() - started)
+            raise
         elapsed = time.perf_counter() - started
         shard = self._shard_for(session.uid)
         with shard.lock:
@@ -295,10 +372,24 @@ class QueryEngine:
             return len(stale)
 
     def stats(self) -> ServiceStats:
+        """A *consistent* snapshot of the aggregated counters.
+
+        All shard locks are held simultaneously (acquired in shard
+        order, the same total order everywhere, so no deadlock is
+        possible) while the counters are read.  Each shard updates its
+        counters atomically under its own lock, so per-shard snapshots
+        were always internally consistent; holding the whole set
+        additionally freezes the cross-shard view, so invariants that
+        span shards -- ``hits + misses == queries`` above all -- hold
+        in every snapshot no matter how many writers are mid-batch.
+        """
         ingested = queries = hits = misses = entries = 0
-        query_seconds = ingest_seconds = 0.0
-        for shard in self._shards:
-            with shard.lock:
+        errors = 0
+        query_seconds = ingest_seconds = error_seconds = 0.0
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            for shard in self._shards:
                 ingested += shard.ingested
                 queries += shard.queries
                 hits += shard.hits
@@ -306,6 +397,8 @@ class QueryEngine:
                 entries += len(shard.cache)
                 query_seconds += shard.query_seconds
                 ingest_seconds += shard.ingest_seconds
+                errors += shard.errors
+                error_seconds += shard.error_seconds
         return ServiceStats(
             sessions=len(self.manager),
             shards=len(self._shards),
@@ -320,4 +413,6 @@ class QueryEngine:
             ),
             query_seconds=query_seconds,
             ingest_seconds=ingest_seconds,
+            query_errors=errors,
+            query_error_seconds=error_seconds,
         )

@@ -18,6 +18,7 @@ Operations::
     recover_info     (durability state: WALs, checkpoints, recovery)
     schemes          (lists the registered labeling backends)
     stats
+    metrics          (latency histograms, counters, trace summary)
     close            session
     list_sessions
     ping
@@ -54,6 +55,19 @@ whole batch).  Batch payloads (``query_batch`` pairs, ``ingest``
 events) are capped at :data:`MAX_BATCH` items per request by default;
 an oversized batch is a structured ``protocol`` error, never a dropped
 connection.
+
+Tracing
+-------
+Any request may carry a ``trace_id`` (a short opaque string); the
+server propagates it through the engine, the session layer and -- on a
+durable server -- into the write-ahead-log records the request caused,
+echoes it on the response, and retains the request's span timeline in
+its in-memory trace ring (see :mod:`repro.obs.trace`).  A request
+without one gets a server-generated id, so every response/trace/WAL
+record is joinable either way.  The ``metrics`` op returns the full
+counter/histogram snapshot (per-op latency percentiles included) plus
+a trace-ring summary; the same registry renders the Prometheus text
+exposition behind ``repro serve --metrics-port``.
 
 Insertion events use the exact execution-log JSON schema of
 :func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
@@ -92,6 +106,7 @@ OPS = (
     "recover_info",
     "schemes",
     "stats",
+    "metrics",
     "close",
     "list_sessions",
     "ping",
@@ -136,6 +151,7 @@ class Request:
     op: str
     params: Dict[str, Any] = field(default_factory=dict)
     id: Optional[Any] = None
+    trace_id: Optional[str] = None
 
     def require(self, name: str) -> Any:
         try:
@@ -155,6 +171,7 @@ class Response:
     error: Optional[str] = None
     code: Optional[str] = None
     id: Optional[Any] = None
+    trace_id: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +184,8 @@ def encode_request(request: Request) -> str:
     doc: Dict[str, Any] = {"op": request.op}
     if request.id is not None:
         doc["id"] = request.id
+    if request.trace_id is not None:
+        doc["trace_id"] = request.trace_id
     doc.update(request.params)
     return json.dumps(doc) + "\n"
 
@@ -183,7 +202,10 @@ def decode_request(line: str) -> Request:
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
     request_id = doc.pop("id", None)
-    return Request(op=op, params=doc, id=request_id)
+    trace_id = doc.pop("trace_id", None)
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError("'trace_id' must be a string")
+    return Request(op=op, params=doc, id=request_id, trace_id=trace_id)
 
 
 def encode_response(response: Response) -> str:
@@ -191,6 +213,8 @@ def encode_response(response: Response) -> str:
     doc: Dict[str, Any] = {"ok": response.ok}
     if response.id is not None:
         doc["id"] = response.id
+    if response.trace_id is not None:
+        doc["trace_id"] = response.trace_id
     if response.ok:
         doc["result"] = response.result
     else:
@@ -213,6 +237,7 @@ def decode_response(line: str) -> Response:
         error=doc.get("error"),
         code=doc.get("code"),
         id=doc.get("id"),
+        trace_id=doc.get("trace_id"),
     )
 
 

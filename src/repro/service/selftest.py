@@ -9,6 +9,14 @@ run graph, plus that the checkpoint records the session's scheme and
 restores under it.  Returns nonzero on any mismatch, so CI can
 exercise the server once per dynamic scheme without a separate client
 harness.
+
+With ``metrics_port`` the selftest additionally runs the server
+durable (a temporary data dir, so WAL and checkpoint timings exist),
+serves the Prometheus endpoint on that port, scrapes and strictly
+parses it, and asserts the required series are present and populated
+-- per-op request latency for query/query_batch/ingest, WAL fsync and
+checkpoint-roll timings -- plus that the ``metrics`` op answers and
+that a client-sent ``trace_id`` is echoed end to end.
 """
 
 from __future__ import annotations
@@ -16,10 +24,12 @@ from __future__ import annotations
 import random
 import tempfile
 import threading
+import urllib.request
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.graphs.reachability import reaches
+from repro.obs.metrics import MetricsExporter, parse_prometheus_text
 from repro.schemes import registry as scheme_registry
 from repro.service.checkpoint import load_manifest
 from repro.service.client import ServiceClient
@@ -45,6 +55,7 @@ def run_selftest(
     scheme: str = "drl",
     shards: int = DEFAULT_SHARDS,
     verbose: bool = True,
+    metrics_port: Optional[int] = None,
 ) -> int:
     """Run the scripted session; returns 0 on success, 1 on mismatch."""
     failures: List[str] = []
@@ -60,7 +71,20 @@ def run_selftest(
             print(f"selftest: {message}")
 
     rng = random.Random(seed)
-    server = ReproServer(("127.0.0.1", 0), ReproService(shards=shards))
+    data_tmp: Optional[tempfile.TemporaryDirectory] = None
+    exporter: Optional[MetricsExporter] = None
+    if metrics_port is not None:
+        # a durable server, so the scrape can also validate the WAL
+        # fsync and checkpoint-roll series
+        data_tmp = tempfile.TemporaryDirectory(prefix="repro-selftest-")
+        service = ReproService(shards=shards, data_dir=data_tmp.name)
+        exporter = MetricsExporter(
+            service.metrics.render_prometheus, port=metrics_port
+        ).start()
+        say(f"metrics endpoint on 127.0.0.1:{exporter.port}/metrics")
+    else:
+        service = ReproService(shards=shards)
+    server = ReproServer(("127.0.0.1", 0), service)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     say(f"server listening on 127.0.0.1:{server.port} ({shards} shards)")
@@ -170,12 +194,84 @@ def run_selftest(
                 )
                 client.close_session("restored")
 
+            # observability: a traced single query, the metrics op,
+            # and -- when the endpoint is up -- a strict scrape
+            source, target = pairs[0]
+            traced = client.query(
+                "selftest", source, target, trace_id="selftest-trace"
+            )
+            check(
+                traced == reaches(graph, source, target),
+                "traced single query answered wrong",
+            )
+            metrics = client.metrics()
+            histogram_names = {h["name"] for h in metrics["histograms"]}
+            for required in (
+                "repro_op_latency_seconds",
+                "repro_engine_stage_seconds",
+            ):
+                check(
+                    required in histogram_names,
+                    f"metrics op is missing the {required!r} series",
+                )
+            check(
+                metrics.get("traces", {}).get("finished", 0) > 0,
+                "tracer finished no traces",
+            )
+            say(
+                f"metrics op returned {len(metrics['histograms'])} "
+                f"histogram series, {len(metrics['counters'])} counters"
+            )
+            if exporter is not None:
+                # roll the durable checkpoint so the roll series exists
+                client.snapshot("selftest")
+                client.sync()
+                url = f"http://127.0.0.1:{exporter.port}/metrics"
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    text = response.read().decode("utf-8")
+                try:
+                    series = parse_prometheus_text(text)
+                except ValueError as exc:
+                    check(False, f"exposition text is malformed: {exc}")
+                    series = {}
+                for op in ("query", "query_batch", "ingest"):
+                    samples = [
+                        sample
+                        for sample in series.get(
+                            "repro_op_latency_seconds_count", []
+                        )
+                        if sample["labels"].get("op") == op
+                    ]
+                    check(
+                        bool(samples) and samples[0]["value"] > 0,
+                        f"scrape has no populated latency series for "
+                        f"op {op!r}",
+                    )
+                for required in (
+                    "repro_wal_fsync_seconds_count",
+                    "repro_checkpoint_roll_seconds_count",
+                ):
+                    samples = series.get(required, [])
+                    check(
+                        bool(samples) and samples[0]["value"] > 0,
+                        f"scrape has no populated {required!r} series",
+                    )
+                say(
+                    f"scraped {len(series)} series from {url}; "
+                    "format and required series verified"
+                )
+
             client.close_session("selftest")
             client.shutdown_server()
         thread.join(timeout=10)
         check(not thread.is_alive(), "server did not shut down")
     finally:
         server.server_close()
+        service.close()
+        if exporter is not None:
+            exporter.stop()
+        if data_tmp is not None:
+            data_tmp.cleanup()
 
     if failures:
         for failure in failures:
@@ -191,6 +287,7 @@ def run_selftest_all_dynamic(
     seed: int = 0,
     shards: int = DEFAULT_SHARDS,
     verbose: bool = True,
+    metrics_port: Optional[int] = None,
 ) -> int:
     """Run the selftest once per registered dynamic scheme."""
     status = 0
@@ -199,7 +296,7 @@ def run_selftest_all_dynamic(
             print(f"selftest: === scheme {scheme!r} ===")
         status |= run_selftest(
             size=size, queries=queries, seed=seed, scheme=scheme,
-            shards=shards, verbose=verbose,
+            shards=shards, verbose=verbose, metrics_port=metrics_port,
         )
     return status
 

@@ -14,15 +14,34 @@ drive it:
 
 A ``shutdown`` request stops the TCP server gracefully: in-flight
 requests finish, then ``serve_forever`` returns.
+
+Observability
+-------------
+Every request is traced (:mod:`repro.obs.trace`): the service starts a
+:class:`~repro.obs.trace.Trace` from the request's ``trace_id`` (or
+mints one), activates it on the handler thread so the engine, sessions
+and WAL attach their span timings, records the request's latency into
+the per-op ``repro_op_latency_seconds`` histogram plus an ok/error
+``repro_requests_total`` counter, echoes the id on the response, and
+hands the finished trace to a :class:`~repro.obs.trace.Tracer` that
+keeps bounded rings of recent and slow traces and emits the structured
+slow-query log.  The ``metrics`` op returns the registry snapshot and
+the tracer summary; ``repro serve --metrics-port`` serves the same
+registry as Prometheus text.
 """
 
 from __future__ import annotations
 
+import logging
 import socketserver
 import threading
+import time
 from typing import Any, Callable, Dict, Optional, TextIO
 
 from repro.errors import ProtocolError, ServiceError
+from repro.obs.logs import log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import Tracer, activate
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
 from repro.service.wal import Checkpointer, DurableStore
@@ -40,6 +59,12 @@ from repro.service.sessions import SessionManager
 
 DEFAULT_PORT = 7464  # "RL" on a phone keypad, roughly
 DEFAULT_SHARDS = 4
+
+# queries slower than this are retained in the slow ring and dumped to
+# the structured slow-query log with their full span timeline
+DEFAULT_SLOW_THRESHOLD = 0.5
+
+_server_logger = logging.getLogger("repro.service.server")
 
 
 class ReproService:
@@ -69,10 +94,15 @@ class ReproService:
         data_dir: Optional[str] = None,
         fsync: str = "always",
         checkpoint_interval: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
     ) -> None:
         self.manager = manager or SessionManager(shards=shards)
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.tracer = tracer or Tracer(slow_threshold=slow_threshold)
         self.engine = engine or QueryEngine(
-            self.manager, cache_size, shards=shards
+            self.manager, cache_size, shards=shards, metrics=self.metrics
         )
         self.max_batch = max_batch
         self.shutdown_requested = threading.Event()
@@ -96,11 +126,25 @@ class ReproService:
             "recover_info": self._op_recover_info,
             "schemes": self._op_schemes,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "close": self._op_close,
             "list_sessions": self._op_list_sessions,
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
         }
+        # per-op instruments, pre-bound so the hot path never touches
+        # the registry's lock; "unknown" absorbs bad op names
+        self._op_instruments: Dict[str, tuple] = {}
+        for op in (*self._ops, "unknown"):
+            self._op_instruments[op] = (
+                self.metrics.histogram("repro_op_latency_seconds", op=op),
+                self.metrics.counter(
+                    "repro_requests_total", op=op, status="ok"
+                ),
+                self.metrics.counter(
+                    "repro_requests_total", op=op, status="error"
+                ),
+            )
 
     def close(self) -> None:
         """Stop the checkpointer and flush/close every WAL."""
@@ -119,16 +163,44 @@ class ReproService:
         checkpoint path...) is reported as the generic ``error`` code so
         one poisoned request can never kill the connection or, under
         stdio, the whole server process.
+
+        The request runs under an active trace (the client's
+        ``trace_id`` or a fresh one), its latency lands in the per-op
+        histogram and ok/error counter either way, and the response
+        echoes the trace id so the client can join logs and traces.
         """
+        trace = self.tracer.start(request.op, trace_id=request.trace_id)
+        trace.session = request.params.get("session")
+        instruments = self._op_instruments.get(
+            request.op, self._op_instruments["unknown"]
+        )
+        latency, ok_total, err_total = instruments
+        started = time.perf_counter()
         try:
-            handler = self._ops.get(request.op)
-            if handler is None:
-                raise ProtocolError(f"unknown op {request.op!r}")
-            return Response(ok=True, result=handler(request), id=request.id)
+            with activate(trace):
+                handler = self._ops.get(request.op)
+                if handler is None:
+                    raise ProtocolError(f"unknown op {request.op!r}")
+                response = Response(
+                    ok=True, result=handler(request), id=request.id
+                )
+            status = "ok"
         except Exception as exc:
             # error_response maps ReproError subclasses to their wire
             # codes and anything else to the generic 'error' code
-            return error_response(exc, request.id)
+            response = error_response(exc, request.id)
+            status = "error"
+            log_event(
+                _server_logger, logging.WARNING, "request-error",
+                op=request.op, code=response.code, error=response.error,
+                trace_id=trace.trace_id,
+            )
+        finally:
+            latency.record(time.perf_counter() - started)
+            (ok_total if status == "ok" else err_total).inc()
+            self.tracer.finish(trace, status=status)
+        response.trace_id = trace.trace_id
+        return response
 
     def handle_line(self, line: str) -> str:
         """Answer one raw protocol line with one raw response line."""
@@ -271,6 +343,11 @@ class ReproService:
     def _op_stats(self, request: Request) -> Dict[str, Any]:
         return self.engine.stats().to_dict()
 
+    def _op_metrics(self, request: Request) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["traces"] = self.tracer.summary()
+        return snapshot
+
     def _op_close(self, request: Request) -> Dict[str, Any]:
         name = request.require("session")
         session = self.manager.close(name)
@@ -306,15 +383,28 @@ class _LineHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         service: ReproService = self.server.service  # type: ignore[attr-defined]
+        try:
+            peer = "%s:%s" % self.client_address[:2]
+        except Exception:  # pragma: no cover - exotic address families
+            peer = str(self.client_address)
+        log_event(
+            _server_logger, logging.INFO, "connection-open", peer=peer
+        )
+        requests = 0
         for raw in self.rfile:
             line = raw.decode("utf-8", errors="replace")
             if not line.strip():
                 continue
+            requests += 1
             self.wfile.write(service.handle_line(line).encode("utf-8"))
             self.wfile.flush()
             if service.shutdown_requested.is_set():
                 self.server.trigger_shutdown()  # type: ignore[attr-defined]
                 break
+        log_event(
+            _server_logger, logging.INFO, "connection-close",
+            peer=peer, requests=requests,
+        )
 
 
 class ReproServer(socketserver.ThreadingTCPServer):

@@ -26,16 +26,31 @@ key (see :mod:`repro.service.engine`).
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.datasets import spec_by_name
 from repro.errors import ServiceError, SessionNotFoundError
 from repro.labeling.drl import Label
+from repro.obs.logs import log_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
 from repro.schemes import registry as scheme_registry
 from repro.workflow.execution import Insertion
 from repro.workflow.specification import Specification
+
+_logger = logging.getLogger("repro.service.sessions")
+
+# time spent inside the labeler assigning labels (the paper's O(1)
+# amortized claim, observed): one record per ingest batch, into the
+# process-default registry so standalone sessions and hosted ones land
+# in the same series
+_label_build_hist = default_registry().histogram(
+    "repro_engine_stage_seconds", stage="label_build"
+)
 
 SpecLike = Union[Specification, str]
 
@@ -149,6 +164,7 @@ class Session:
             self._check_open()
             count = 0
             failure = None
+            build_started = time.perf_counter()
             try:
                 for insertion in insertions:
                     self.scheme.insert(insertion)
@@ -158,6 +174,13 @@ class Session:
                 failure = exc
                 raise
             finally:
+                build_ended = time.perf_counter()
+                _label_build_hist.record(build_ended - build_started)
+                trace = current_trace()
+                if trace is not None:
+                    trace.add_span(
+                        "label_build", build_started, build_ended
+                    )
                 if count:
                     self.version += 1
                     if self.on_ingest is not None:
@@ -250,7 +273,12 @@ class SessionManager:
         session = Session(
             name, specification, scheme=scheme, skeleton=skeleton, mode=mode
         )
-        return self.adopt(session)
+        self.adopt(session)
+        log_event(
+            _logger, logging.INFO, "session-create",
+            session=name, spec=specification.name, scheme=session.scheme_name,
+        )
+        return session
 
     def adopt(self, session: Session) -> Session:
         """Register an externally built session (checkpoint restore)."""
@@ -285,6 +313,10 @@ class SessionManager:
                 ) from None
         with session.lock:
             session.closed = True
+        log_event(
+            _logger, logging.INFO, "session-close",
+            session=name, vertices=len(session), version=session.version,
+        )
         return session
 
     def names(self) -> List[str]:

@@ -46,9 +46,11 @@ only then rewrites the WAL under the WAL lock.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -57,6 +59,9 @@ from urllib.parse import quote, unquote
 from repro.errors import ServiceError
 from repro.io.jsonio import insertion_from_json, insertion_to_json
 from repro.io.xmlio import FormatError
+from repro.obs.logs import log_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
 from repro.service.checkpoint import (
     checkpoint_session,
     fsync_dir,
@@ -69,6 +74,16 @@ from repro.service.sessions import Session, SessionManager
 FSYNC_POLICIES = ("always", "batch", "never")
 DEFAULT_BATCH_RECORDS = 64
 DEFAULT_CHECKPOINT_INTERVAL = 30.0
+
+_logger = logging.getLogger("repro.service.wal")
+
+# durability timings, into the process-default registry: append is the
+# serialize+write+flush of one record, fsync is the physical sync (only
+# recorded when one actually runs, so 'batch'/'never' policies show
+# their true amortization), roll is a whole checkpoint generation
+_h_append = default_registry().histogram("repro_wal_append_seconds")
+_h_fsync = default_registry().histogram("repro_wal_fsync_seconds")
+_h_roll = default_registry().histogram("repro_checkpoint_roll_seconds")
 
 _WAL_FORMAT = "repro-wal"
 _WAL_VERSION = 1
@@ -344,21 +359,42 @@ class WriteAheadLog:
                 "version": version,
                 "events": events,
             }
+            trace = current_trace()
+            if trace is not None:
+                # the record carries the request's trace id, so a WAL
+                # line is joinable to the trace/logs that produced it
+                # (replay ignores unknown keys)
+                record["trace_id"] = trace.trace_id
             try:
+                append_started = time.perf_counter()
                 self._handle.write(json.dumps(record) + "\n")
                 # always flush to the OS: process death never loses an
                 # acknowledged batch, only the fsync policy decides
                 # power-loss durability
                 self._handle.flush()
+                append_ended = time.perf_counter()
+                _h_append.record(append_ended - append_started)
+                if trace is not None:
+                    trace.add_span("wal_append", append_started, append_ended)
+                synced = False
                 if self.policy == "always":
-                    os.fsync(self._handle.fileno())
+                    synced = True
                 elif self.policy == "batch":
                     self._unsynced += 1
                     if self._unsynced >= self.batch_records:
-                        os.fsync(self._handle.fileno())
+                        synced = True
                         self._unsynced = 0
                 else:
                     self._unsynced += 1
+                if synced:
+                    fsync_started = time.perf_counter()
+                    os.fsync(self._handle.fileno())
+                    fsync_ended = time.perf_counter()
+                    _h_fsync.record(fsync_ended - fsync_started)
+                    if trace is not None:
+                        trace.add_span(
+                            "wal_fsync", fsync_started, fsync_ended
+                        )
             except Exception as exc:
                 self.failed = True
                 raise ServiceError(
@@ -375,7 +411,13 @@ class WriteAheadLog:
         with self.lock:
             self._check_open()
             self._handle.flush()
+            fsync_started = time.perf_counter()
             os.fsync(self._handle.fileno())
+            fsync_ended = time.perf_counter()
+            _h_fsync.record(fsync_ended - fsync_started)
+            trace = current_trace()
+            if trace is not None:
+                trace.add_span("wal_fsync", fsync_started, fsync_ended)
             self._unsynced = 0
 
     def truncate_to_base(self, version: int, vertices: int) -> int:
@@ -678,10 +720,22 @@ class DurableStore:
                 "checkpoint the stale instance"
             )
         with entry.roll_lock:
+            roll_started = time.perf_counter()
             version, vertices, target = self._write_generation(
                 entry.directory, session
             )
             kept = entry.wal.truncate_to_base(version, vertices)
+            roll_ended = time.perf_counter()
+            _h_roll.record(roll_ended - roll_started)
+            trace = current_trace()
+            if trace is not None:
+                trace.add_span("checkpoint_roll", roll_started, roll_ended)
+            log_event(
+                _logger, logging.INFO, "checkpoint-roll",
+                session=session.name, version=version, vertices=vertices,
+                wal_records=kept,
+                seconds=round(roll_ended - roll_started, 6),
+            )
             for old in entry.directory.glob(_CKPT_PREFIX + "*"):
                 if old.name != target.name and old.is_dir():
                     shutil.rmtree(old, ignore_errors=True)
@@ -807,6 +861,10 @@ class DurableStore:
                 continue
             reports.append(self._recover_one(manager, directory, current))
         self.recovery = reports
+        for report in reports:
+            log_event(
+                _logger, logging.INFO, "recovery-report", **report
+            )
         return reports
 
     def _recover_one(
