@@ -19,6 +19,15 @@ hammering its own session concurrently; on a multi-core runner the
 striped engines pull ahead, on one core the GIL flattens the curve
 (the report records ``cpu_count`` so the numbers stay interpretable).
 
+The worker sweep is the cross-process counterpart: warm QPS through a
+real :class:`~repro.service.cluster.ClusterSupervisor` (TCP, hash
+routing, N worker *processes*) across 1/2/4 workers.  Unlike shards,
+workers escape the GIL entirely -- on a multi-core runner the sweep is
+the paper system's actual parallel speedup.  Every section of
+``BENCH_service.json`` records ``cpu_count`` and an explicit
+``single_core`` flag so numbers collected on one core are never
+misread as parallel speedups.
+
 Run under pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_service.py --benchmark-only
@@ -46,6 +55,7 @@ from repro.workflow.execution import execution_from_derivation
 RUN_SIZE = 2000
 BATCH = 2000
 SHARD_COUNTS = (1, 2, 4, 8)
+WORKER_COUNTS = (1, 2, 4)  # cluster worker processes, 0 = in-process
 SCALING_WORKERS = 8
 SCALING_DURATION = float(os.environ.get("BENCH_SCALING_SECONDS", "1.0"))
 DURABLE_CHUNK = 64  # events per acknowledged ingest on the durable path
@@ -151,6 +161,55 @@ def _warm_scaling_row(shards, duration=SCALING_DURATION, seed=0):
 def shard_scaling(duration=SCALING_DURATION):
     """One warm-QPS row per shard count in :data:`SHARD_COUNTS`."""
     return [_warm_scaling_row(shards, duration) for shards in SHARD_COUNTS]
+
+
+def _worker_scaling_row(workers, duration=SCALING_DURATION, seed=0):
+    """Warm-cache QPS through a real ``workers``-process cluster.
+
+    The closed-loop pool drives the cluster over TCP (the router's
+    hash partitioning spreads the scenario's sessions across worker
+    processes), so the row measures the whole serving tier: protocol,
+    router byte shuffling, and N GILs doing the engine work.
+    """
+    import threading
+
+    from repro.loadgen import client_driver_factory
+    from repro.service.cluster import ClusterSupervisor
+
+    supervisor = ClusterSupervisor(
+        workers=workers, port=0, shards=4, cache_size=1 << 17
+    ).start()
+    thread = threading.Thread(target=supervisor.serve_forever,
+                              daemon=True)
+    thread.start()
+    try:
+        report = run_scenario(
+            WARM_SCENARIO,
+            client_driver_factory("127.0.0.1", supervisor.port),
+            duration=duration,
+            workers=SCALING_WORKERS,
+            seed=seed,
+        )
+    finally:
+        supervisor.stop()
+        thread.join(timeout=30)
+    stats = report.stats
+    return {
+        "workers": workers,
+        "qps": report.qps,
+        "qps_per_worker": report.qps / workers,
+        "queries": report.queries,
+        "hit_rate": stats.get("hit_rate"),
+        "errors": list(report.errors),
+    }
+
+
+def worker_scaling(duration=SCALING_DURATION):
+    """One warm-QPS row per cluster size in :data:`WORKER_COUNTS`."""
+    return [
+        _worker_scaling_row(workers, duration)
+        for workers in WORKER_COUNTS
+    ]
 
 
 def _durable_ingest_seconds(policy, spec, execution, chunk=DURABLE_CHUNK):
@@ -302,6 +361,21 @@ def test_shard_scaling_rows(benchmark):
         assert row["hit_rate"] > 0.5  # the scaling load is warm
 
 
+def test_worker_scaling_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_worker_scaling_row(w, duration=0.3) for w in (1, 2)],
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["rows"] = [
+        {k: str(v) for k, v in row.items()} for row in rows
+    ]
+    assert [row["workers"] for row in rows] == [1, 2]
+    for row in rows:
+        assert not row["errors"]
+        assert row["qps"] > 0
+        assert row["qps_per_worker"] == row["qps"] / row["workers"]
+
+
 # ---------------------------------------------------------------------------
 # standalone report
 # ---------------------------------------------------------------------------
@@ -399,6 +473,22 @@ def main() -> int:
         for error in row["errors"]:
             print(f"  ERROR: {error}")
 
+    print(
+        f"worker scaling:    cluster warm QPS over TCP, "
+        f"{SCALING_DURATION:.1f}s per worker count"
+    )
+    worker_rows = worker_scaling()
+    worker_baseline = worker_rows[0]["qps"]
+    for row in worker_rows:
+        ratio = row["qps"] / worker_baseline if worker_baseline else 0.0
+        print(
+            f"  {row['workers']} worker(s):  {row['qps']:>12,.0f} QPS "
+            f"({ratio:.2f}x 1-worker, "
+            f"{row['qps_per_worker']:,.0f} QPS/worker)"
+        )
+        for error in row["errors"]:
+            print(f"  ERROR: {error}")
+
     obs = observability_overhead()
     print(
         f"observability:     warm {obs['warm_qps']:,.0f} QPS instrumented "
@@ -410,18 +500,33 @@ def main() -> int:
     scaling_4x = (
         by_shards.get(4, 0.0) / by_shards[1] if by_shards.get(1) else 0.0
     )
+    by_workers = {row["workers"]: row["qps"] for row in worker_rows}
+    worker_4x = (
+        by_workers.get(4, 0.0) / by_workers[1]
+        if by_workers.get(1) else 0.0
+    )
 
+    # every section carries its own provenance so a single row quoted
+    # out of context still says whether real parallelism was possible
+    cpu_count = os.cpu_count() or 1
+    provenance = {
+        "cpu_count": cpu_count,
+        "single_core": cpu_count == 1,
+    }
     document = {
         "benchmark": "service",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "single_core": cpu_count == 1,
         "run_size": RUN_SIZE,
         "batch": BATCH,
         "ingest": {
+            **provenance,
             "events": events,
             "seconds": ingest_seconds,
             "events_per_sec": events / ingest_seconds,
         },
         "batch_query": {
+            **provenance,
             "cold_qps": BATCH / cold,
             "cold_qps_no_kernel": BATCH / cold_plain,
             "kernel_cold_speedup": cold_plain / cold,
@@ -430,10 +535,12 @@ def main() -> int:
             "warm_speedup": cold / warm,
         },
         "durable_ingest": {
+            **provenance,
             "chunk": DURABLE_CHUNK,
             "rows": durable_rows,
         },
         "shard_scaling": {
+            **provenance,
             "workers": SCALING_WORKERS,
             "batch_pairs": WARM_SCENARIO.batch_pairs,
             "duration": SCALING_DURATION,
@@ -441,7 +548,20 @@ def main() -> int:
             "rows": scaling_rows,
             "qps_4_shards_over_1": scaling_4x,
         },
-        "observability": obs,
+        "worker_scaling": {
+            **provenance,
+            "worker_counts": list(WORKER_COUNTS),
+            "driver_threads": SCALING_WORKERS,
+            "batch_pairs": WARM_SCENARIO.batch_pairs,
+            "duration": SCALING_DURATION,
+            "scenario": WARM_SCENARIO.to_dict(),
+            "rows": worker_rows,
+            "qps_4_workers_over_1": worker_4x,
+        },
+        "observability": {
+            **provenance,
+            **obs,
+        },
     }
     with open(OUTPUT, "w") as handle:
         json.dump(document, handle, indent=2)
@@ -452,6 +572,9 @@ def main() -> int:
         return 1
     if any(row["errors"] for row in scaling_rows):
         print("ERROR: shard scaling rows reported failures")
+        return 1
+    if any(row["errors"] for row in worker_rows):
+        print("ERROR: worker scaling rows reported failures")
         return 1
     return 0
 
@@ -484,9 +607,59 @@ def check_obs_overhead(floor=0.95, attempts=3) -> int:
     return 1
 
 
+def check_worker_scaling(floor=1.05, attempts=3) -> int:
+    """CI gate: 4 cluster workers must beat 1 by ``floor`` on >= 2 cores.
+
+    The whole point of the process-per-shard tier is multi-core
+    speedup, so on a multi-core runner warm QPS through a 4-worker
+    cluster must be at least ``floor`` times the 1-worker baseline.
+    On a single core the comparison is meaningless -- four processes
+    time-slice one core and the router adds a hop -- so the gate
+    *skips, loudly*, rather than asserting a speedup the hardware
+    cannot produce (the BENCH_service.json ``single_core`` flag records
+    the same caveat for readers of the numbers).
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        print(
+            f"worker-scaling SKIPPED: runner has {cpu_count} CPU core; "
+            f"a {max(WORKER_COUNTS)}-process cluster cannot run in "
+            "parallel here, so asserting a speedup would only measure "
+            "scheduler noise (gate requires >= 2 cores)"
+        )
+        return 0
+    worst = None
+    for attempt in range(1, attempts + 1):
+        one = _worker_scaling_row(1)
+        four = _worker_scaling_row(4)
+        ratio = four["qps"] / one["qps"] if one["qps"] else 0.0
+        print(
+            f"worker-scaling attempt {attempt}: "
+            f"{one['qps']:,.0f} QPS @ 1 worker vs "
+            f"{four['qps']:,.0f} QPS @ 4 workers "
+            f"({ratio:.3f}x, floor {floor}, {cpu_count} cores)"
+        )
+        if one["errors"] or four["errors"]:
+            print(f"worker-scaling errors: {one['errors']} "
+                  f"{four['errors']}")
+            return 1
+        if ratio >= floor:
+            print("worker-scaling OK")
+            return 0
+        worst = ratio
+    print(
+        f"worker-scaling FAILED: 4 workers hold warm QPS at "
+        f"{worst:.3f}x of 1 worker (floor {floor} on "
+        f"{cpu_count} cores)"
+    )
+    return 1
+
+
 if __name__ == "__main__":
     import sys
 
     if "--check-obs-overhead" in sys.argv[1:]:
         raise SystemExit(check_obs_overhead())
+    if "--check-worker-scaling" in sys.argv[1:]:
+        raise SystemExit(check_worker_scaling())
     raise SystemExit(main())

@@ -201,6 +201,17 @@ def cmd_serve(args) -> int:
 
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = in-process)")
+    if args.workers and args.stdio:
+        raise SystemExit("--stdio needs the in-process server; "
+                         "drop --workers")
+    if args.workers and args.metrics_port is not None:
+        raise SystemExit(
+            "--metrics-port needs the in-process server (workers are "
+            "separate processes; scrape the 'metrics' op through the "
+            "router instead); drop --workers or --metrics-port"
+        )
     if args.data_dir and args.checkpoint_interval <= 0:
         raise SystemExit("--checkpoint-interval must be positive")
     # stderr always: stdout may be the protocol stream under --stdio
@@ -211,13 +222,41 @@ def cmd_serve(args) -> int:
         if args.scheme == "all":
             return run_selftest_all_dynamic(
                 size=args.size, seed=args.seed, shards=args.shards,
-                metrics_port=args.metrics_port,
+                metrics_port=args.metrics_port, workers=args.workers,
             )
         return run_selftest(
             spec_name=args.spec, size=args.size, seed=args.seed,
             scheme=args.scheme, shards=args.shards,
-            metrics_port=args.metrics_port,
+            metrics_port=args.metrics_port, workers=args.workers,
         )
+    if args.workers:
+        from repro.service.cluster import ClusterSupervisor
+
+        supervisor = ClusterSupervisor(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            shards=args.shards,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            checkpoint_interval=(
+                args.checkpoint_interval if args.data_dir else None
+            ),
+            slow_threshold=args.slow_threshold,
+        )
+        supervisor.start()
+        print(
+            f"repro cluster listening on {args.host}:{supervisor.port} "
+            f"({args.workers} workers x {args.shards} shards"
+            + (f", durable under {args.data_dir}" if args.data_dir else "")
+            + ")"
+        )
+        try:
+            supervisor.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            supervisor.stop()
+        return 0
     service = ReproService(
         cache_size=args.cache_size,
         shards=args.shards,
@@ -288,7 +327,25 @@ def cmd_stats(args) -> int:
         except (OSError, ReproError) as exc:
             print(f"stats: cannot reach {args.host}:{args.port}: {exc}")
             return 1
+        # against a cluster the merged payload carries per-worker rows;
+        # show each worker, then the merged total, so the dashboard
+        # works unchanged against either serving tier
+        per_worker = stats.get("per_worker") or []
+        for row in per_worker:
+            print(
+                f"worker {row.get('worker')}: "
+                f"sessions={row.get('sessions')} "
+                f"queries={row.get('queries')} "
+                f"hits={row.get('cache_hits')} "
+                f"ingested={row.get('ingested')} "
+                f"hit_rate={row.get('hit_rate', 0.0):.3f}"
+            )
+        total_tag = (
+            f"total ({stats.get('workers')} workers): "
+            if per_worker else ""
+        )
         print(
+            f"{total_tag}"
             f"sessions={stats.get('sessions')} "
             f"queries={stats.get('queries')} "
             f"hits={stats.get('cache_hits')} "
@@ -355,32 +412,46 @@ def cmd_loadgen(args) -> int:
     )
 
     from repro.loadgen.crash import (
+        KILL_WORKER_SCENARIO,
+        KILL_WORKER_SUMMARY,
         SCENARIO_NAME as CRASH_SCENARIO,
         SCENARIO_SUMMARY as CRASH_SUMMARY,
         run_crash_recovery,
+        run_kill_worker,
     )
 
     if args.list:
         for name, scenario in sorted(scenarios().items()):
             print(f"{name:<24} {scenario.summary}")
         print(f"{CRASH_SCENARIO:<24} {CRASH_SUMMARY}")
+        print(f"{KILL_WORKER_SCENARIO:<24} {KILL_WORKER_SUMMARY}")
         return 0
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
-    if args.scenario == CRASH_SCENARIO:
+    if args.scenario in (CRASH_SCENARIO, KILL_WORKER_SCENARIO):
         # not a closed-loop scenario: it owns its server subprocess
         if args.port:
             raise SystemExit(
-                "crash-recovery manages its own server; drop --port"
+                f"{args.scenario} manages its own server; drop --port"
             )
         try:
-            report = run_crash_recovery(
-                data_dir=args.data_dir,
-                fsync=args.fsync,
-                kill_after=max(0.2, args.duration / 2),
-                seed=args.seed,
-                verbose=not args.json,
-            )
+            if args.scenario == KILL_WORKER_SCENARIO:
+                report = run_kill_worker(
+                    data_dir=args.data_dir,
+                    fsync=args.fsync,
+                    kill_after=max(0.2, args.duration / 2),
+                    seed=args.seed,
+                    workers=args.cluster_workers,
+                    verbose=not args.json,
+                )
+            else:
+                report = run_crash_recovery(
+                    data_dir=args.data_dir,
+                    fsync=args.fsync,
+                    kill_after=max(0.2, args.duration / 2),
+                    seed=args.seed,
+                    verbose=not args.json,
+                )
         except ReproError as exc:
             raise SystemExit(str(exc)) from None
         if args.json:
@@ -389,10 +460,16 @@ def cmd_loadgen(args) -> int:
             for error in report.errors:
                 print(f"loadgen: ERROR {error}")
             print(
-                f"loadgen: crash-recovery {'PASSED' if report.ok else 'FAILED'} "
+                f"loadgen: {args.scenario} "
+                f"{'PASSED' if report.ok else 'FAILED'} "
                 f"-- {report.acknowledged} acknowledged, "
                 f"{len(report.lost)} lost, {report.verified_pairs} "
                 f"answers BFS-verified ({report.wrong_answers} wrong)"
+                + (
+                    f", {report.worker_restarts} worker restart(s)"
+                    if args.scenario == KILL_WORKER_SCENARIO
+                    else ""
+                )
             )
         return 0 if report.ok else 1
     try:
@@ -514,9 +591,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=4,
                    help="lock stripes for the session registry and "
                         "query cache (1 = the classic single lock)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fork this many worker processes, each owning "
+                        "a disjoint slice of sessions by stable name "
+                        "hash, behind a hash-routing frontend -- the "
+                        "multi-core path (0 = today's in-process "
+                        "threaded server)")
     p.add_argument("--data-dir", default=None,
                    help="durability: recover every session found here "
-                        "on boot, then write-ahead-log all ingests")
+                        "on boot, then write-ahead-log all ingests "
+                        "(with --workers: one subdir per worker)")
     p.add_argument("--fsync", choices=["always", "batch", "never"],
                    default="always",
                    help="WAL fsync policy (with --data-dir): 'always' "
@@ -588,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="always",
                    help="crash-recovery only: the spawned server's WAL "
                         "fsync policy")
+    p.add_argument("--cluster-workers", type=int, default=2,
+                   help="kill-worker only: worker processes in the "
+                        "spawned cluster (>= 2)")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_loadgen)

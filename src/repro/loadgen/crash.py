@@ -18,6 +18,18 @@ The server is killed from a watchdog thread while the ingest loop is
 running, so the kill lands mid-request with high probability; the
 ingest loop treats the resulting connection error as the expected
 crash, not a failure.
+
+``kill-worker`` (:func:`run_kill_worker`) is the cluster variant: a
+``repro serve --workers N --data-dir`` cluster, the ingest stream
+aimed at one session, and a SIGKILL aimed at the *worker process
+owning it* while the router stays up.  The supervisor must detect the
+death, restart the worker, and replay its WAL; the client sees a
+structured ``service`` error for the interrupted request (never a
+dropped connection -- the router holds it open), probes whether the
+failed chunk survived (one ingest request is one atomic WAL record,
+so its first vertex's presence decides the whole chunk), resends it
+if not, and finishes the run.  Zero acknowledged insertions may be
+lost, and every reachability answer must match BFS ground truth.
 """
 
 from __future__ import annotations
@@ -50,6 +62,12 @@ SCENARIO_SUMMARY = (
     "acknowledged insertion was lost"
 )
 
+KILL_WORKER_SCENARIO = "kill-worker"
+KILL_WORKER_SUMMARY = (
+    "SIGKILL one cluster worker mid-ingest; the supervisor restarts "
+    "it, WAL replay loses zero acknowledged insertions"
+)
+
 
 @dataclass
 class CrashReport:
@@ -68,6 +86,11 @@ class CrashReport:
     torn_tail: Optional[str] = None  # recovery's dropped-tail report
     kill_after: float = 0.0
     errors: List[str] = field(default_factory=list)
+    # cluster (kill-worker) fields; zero on the single-server scenario
+    workers: int = 0
+    worker_restarts: int = 0
+    interrupted_chunks: int = 0
+    resent_chunks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -87,6 +110,10 @@ class CrashReport:
             "wrong_answers": self.wrong_answers,
             "torn_tail": self.torn_tail,
             "kill_after": self.kill_after,
+            "workers": self.workers,
+            "worker_restarts": self.worker_restarts,
+            "interrupted_chunks": self.interrupted_chunks,
+            "resent_chunks": self.resent_chunks,
             "ok": self.ok,
             "errors": list(self.errors),
         }
@@ -305,6 +332,243 @@ def run_crash_recovery(
             say(
                 f"zero acknowledged insertions lost; {len(pairs)} "
                 f"reachability answers BFS-verified ({wrong} wrong)"
+            )
+            client.shutdown_server()
+        process.wait(timeout=30.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30.0)
+        if owns_dir:
+            tempdir.cleanup()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the cluster variant
+# ---------------------------------------------------------------------------
+
+
+def _chunk_survived(
+    client: ServiceClient, session: str, vid: int, timeout: float = 30.0
+) -> bool:
+    """Whether an interrupted chunk's WAL record survived the crash.
+
+    One ingest request is one atomic WAL record, so probing the
+    chunk's first vertex decides the whole chunk: present means the
+    record was durable before the kill, absent means it never landed
+    and the chunk must be resent.  Retries while the worker restart is
+    still in flight (``service`` errors).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.query_batch(session, [(vid, vid)])
+            return True
+        except ServiceError:
+            # worker still restarting (or died again); wait and retry
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+        except Exception:
+            # LabelingError and kin: the vertex is gone -> not applied
+            return False
+
+
+def run_kill_worker(
+    data_dir: Optional[str] = None,
+    spec: str = "running-example",
+    scheme: str = "drl",
+    fsync: str = "always",
+    run_size: int = 800,
+    chunk: int = 4,
+    kill_after: float = 1.0,
+    queries: int = 400,
+    seed: int = 0,
+    workers: int = 2,
+    verbose: bool = True,
+) -> CrashReport:
+    """SIGKILL the worker owning the session; prove zero acked loss.
+
+    Starts a ``--workers N`` cluster subprocess, streams one session's
+    run chunk by chunk, and SIGKILLs the *owning worker process* (its
+    pid comes from ``cluster_info``) once half the run is acknowledged.
+    The router never goes down: the interrupted request fails with a
+    structured ``service`` error on a *live* connection, the
+    supervisor restarts the worker, WAL replay restores everything
+    acknowledged, and the ingest loop resumes -- probing whether the
+    failed chunk's atomic WAL record survived before deciding to
+    resend it.  The full run then verifies like the single-server
+    scenario: every acked vertex present, reachability BFS-checked.
+    """
+    if workers < 2:
+        raise ServiceError(
+            "kill-worker needs a cluster (workers >= 2): with one "
+            "worker there is no surviving fleet to prove routing "
+            "stays up"
+        )
+    report = CrashReport(
+        scenario=KILL_WORKER_SCENARIO, fsync=fsync, spec=spec,
+        kill_after=kill_after, workers=workers,
+    )
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"kill-worker: {message}")
+
+    specification = resolve_spec(spec)
+    run = sample_run(specification, run_size, random.Random(seed))
+    execution = execution_from_derivation(run)
+    events = execution.insertions
+    report.run_size = len(events)
+
+    owns_dir = data_dir is None
+    if owns_dir:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-killw-")
+        data_dir = tempdir.name
+    port = _free_port()
+    say(
+        f"starting {workers}-worker cluster on port {port} "
+        f"(fsync={fsync}, data dir {data_dir})"
+    )
+    process = _spawn_server(
+        port, str(data_dir), fsync, extra=["--workers", str(workers)]
+    )
+    acked: List[int] = []
+    kill_threshold = max(chunk, len(events) // 2)
+    session = "crash"
+
+    try:
+        _wait_ready(port, process)
+        with ServiceClient("127.0.0.1", port, timeout=30.0) as client:
+            topology = client.cluster_info()
+            from repro.service.cluster import session_worker
+
+            owner = session_worker(session, workers)
+            victim_pid = topology["per_worker"][owner]["pid"]
+            say(
+                f"session {session!r} owned by worker {owner} "
+                f"(pid {victim_pid}); killing it mid-ingest"
+            )
+            client.create_session(session, spec=spec, scheme=scheme)
+
+            def watchdog() -> None:
+                deadline = time.monotonic() + kill_after
+                while (time.monotonic() < deadline
+                       and len(acked) < kill_threshold):
+                    time.sleep(0.001)
+                try:
+                    os.kill(victim_pid, signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover - raced
+                    pass
+
+            killer = threading.Thread(target=watchdog, daemon=True)
+            killer.start()
+            for start in range(0, len(events), chunk):
+                batch = events[start : start + chunk]
+                while True:
+                    try:
+                        client.ingest(session, batch)
+                        acked.extend(event.vid for event in batch)
+                        break
+                    except (ServiceError, ProtocolError, OSError):
+                        # the kill landed on this chunk; the router is
+                        # still up, the worker is restarting
+                        report.interrupted_chunks += 1
+                        if _chunk_survived(client, session,
+                                           batch[0].vid):
+                            # the atomic WAL record beat the kill: the
+                            # chunk is durable, count it acknowledged
+                            acked.extend(ev.vid for ev in batch)
+                            break
+                        report.resent_chunks += 1
+            killer.join(timeout=kill_after + 30.0)
+            report.acknowledged = len(acked)
+            report.unacknowledged = len(events) - len(acked)
+            say(
+                f"{len(acked)}/{len(events)} insertions acknowledged; "
+                f"{report.interrupted_chunks} chunk(s) interrupted, "
+                f"{report.resent_chunks} resent"
+            )
+
+            topology = client.cluster_info()
+            report.worker_restarts = topology.get("restarts", 0)
+            if report.worker_restarts < 1:
+                report.errors.append(
+                    "the victim worker was never restarted; the kill "
+                    "missed (raise kill_after)"
+                )
+                return report
+            if not all(
+                row.get("alive")
+                for row in topology.get("per_worker", [])
+            ):
+                report.errors.append(
+                    f"fleet not fully alive after restart: {topology}"
+                )
+                return report
+
+            info = client.recover_info()
+            owner_info = info.get("per_worker", [])[owner]
+            recovered = {
+                r["session"]: r
+                for r in owner_info.get("recovered", [])
+            }
+            record = recovered.get(session)
+            if record is None or record.get("skipped"):
+                report.errors.append(
+                    f"session {session!r} was not WAL-recovered by "
+                    f"the restarted worker: {recovered}"
+                )
+                return report
+            report.recovered_vertices = record.get("vertices", 0)
+            report.torn_tail = record.get("torn_tail")
+            if report.torn_tail:
+                say(
+                    f"recovery dropped a torn WAL tail "
+                    f"({report.torn_tail})"
+                )
+
+            # presence of every acknowledged insertion, in one batch
+            try:
+                client.query_batch(session, [(v, v) for v in acked])
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                report.errors.append(
+                    f"presence probe over acked vertices failed: {exc}"
+                )
+                for vid in acked:
+                    try:
+                        client.query_batch(session, [(vid, vid)])
+                    except Exception:
+                        report.lost.append(vid)
+                say(
+                    f"{len(report.lost)} acknowledged insertions "
+                    "missing after worker restart"
+                )
+                return report
+
+            rng = random.Random(seed + 1)
+            pairs = [
+                (rng.choice(acked), rng.choice(acked))
+                for _ in range(queries)
+            ]
+            answers = client.query_batch(session, pairs)
+            wrong = sum(
+                1
+                for (a, b), answer in zip(pairs, answers)
+                if answer != reaches(run.graph, a, b)
+            )
+            report.verified_pairs = len(pairs)
+            report.wrong_answers = wrong
+            if wrong:
+                report.errors.append(
+                    f"{wrong}/{len(pairs)} post-restart answers "
+                    "contradict BFS ground truth"
+                )
+            say(
+                f"zero acknowledged insertions lost across "
+                f"{report.worker_restarts} worker restart(s); "
+                f"{len(pairs)} answers BFS-verified ({wrong} wrong)"
             )
             client.shutdown_server()
         process.wait(timeout=30.0)

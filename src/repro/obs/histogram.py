@@ -72,6 +72,41 @@ class HistogramSnapshot:
     def empty(cls) -> "HistogramSnapshot":
         return cls((0,) * NUM_BUCKETS, 0, 0, 0, 0)
 
+    def raw_dict(self) -> Dict[str, object]:
+        """The full integer state, JSON-friendly and exactly mergeable.
+
+        This is the wire form a cluster worker ships to the router so
+        per-worker histograms can be merged *exactly* (all fields are
+        integers; :meth:`from_raw` round-trips losslessly).
+        """
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_raw(cls, doc: Dict[str, object]) -> "HistogramSnapshot":
+        """Rebuild a snapshot from :meth:`raw_dict` output.
+
+        Raises ``ValueError`` on a malformed document (wrong bucket
+        count, non-integer state) rather than guessing.
+        """
+        counts = doc.get("counts")
+        if not isinstance(counts, (list, tuple)) or len(counts) > NUM_BUCKETS:
+            raise ValueError("raw histogram has a bad 'counts' vector")
+        padded = tuple(int(c) for c in counts)
+        padded += (0,) * (NUM_BUCKETS - len(padded))
+        return cls(
+            counts=padded,
+            count=int(doc.get("count", 0)),
+            sum_ns=int(doc.get("sum_ns", 0)),
+            min_ns=int(doc.get("min_ns", 0)),
+            max_ns=int(doc.get("max_ns", 0)),
+        )
+
     def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         """The snapshot of both populations combined (exact)."""
         if not self.count:

@@ -112,11 +112,15 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # exposition
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, raw: bool = False) -> Dict[str, Any]:
         """Every series, JSON-friendly (the ``metrics`` op payload).
 
         Histograms appear as their summary dict (count/sum/mean/min/
-        max/p50/p95/p99); counters as their integer value.
+        max/p50/p95/p99); counters as their integer value.  With
+        ``raw`` the histograms instead carry their full integer state
+        (:meth:`~repro.obs.histogram.HistogramSnapshot.raw_dict`), the
+        form a cluster router requests from its workers so per-worker
+        series can be merged exactly before summarizing.
         """
         with self._lock:
             counters = list(self._counters.items())
@@ -129,7 +133,11 @@ class MetricsRegistry:
             ],
             "histograms": [
                 {"name": name, "labels": dict(labels),
-                 **histogram.snapshot().to_dict()}
+                 **(
+                     histogram.snapshot().raw_dict()
+                     if raw
+                     else histogram.snapshot().to_dict()
+                 )}
                 for (name, labels), histogram in sorted(histograms)
             ],
         }
@@ -217,7 +225,7 @@ class _NullRegistry:
     def histogram(self, name: str, **labels: str) -> _NullHistogram:
         return self._HISTOGRAM
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, raw: bool = False) -> Dict[str, Any]:
         return {"counters": [], "histograms": []}
 
     def render_prometheus(self) -> str:

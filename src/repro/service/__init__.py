@@ -11,6 +11,10 @@ checkpoint/recovery of live sessions built on the label store
 (:mod:`repro.service.checkpoint`), and -- under a ``--data-dir`` -- a
 per-session write-ahead log with configurable fsync policy, background
 checkpoint rolling, and crash recovery (:mod:`repro.service.wal`).
+``repro serve --workers N`` escapes the GIL entirely: a supervisor
+forks N worker processes, each owning a disjoint slice of sessions by
+stable name hash, behind a single-threaded hash-routing frontend that
+speaks the same wire protocol (:mod:`repro.service.cluster`).
 
 Because dynamic labels are assigned on-the-fly and never change, the
 service answers provenance queries about a run *while that run is
@@ -24,6 +28,7 @@ restore the scheme they were written under.
 
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterSupervisor, session_worker
 from repro.service.engine import QueryEngine, ServiceStats
 from repro.service.protocol import Request, Response
 from repro.service.server import ReproServer, ReproService, serve_stdio
@@ -45,6 +50,8 @@ __all__ = [
     "ReproService",
     "ReproServer",
     "ServiceClient",
+    "ClusterSupervisor",
+    "session_worker",
     "serve_stdio",
     "checkpoint_session",
     "restore_session",

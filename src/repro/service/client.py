@@ -17,14 +17,46 @@ Two calling conventions share the connection:
 
 The client is not thread-safe: use one ``ServiceClient`` per thread
 (connections are cheap; sessions are shared server-side).
+
+Failover
+--------
+``connect_timeout`` bounds the TCP connect and ``timeout`` every
+subsequent read/write.  When the socket dies mid-call -- a worker
+restart behind a cluster router, a server bounce -- an *idempotent*
+operation (:data:`IDEMPOTENT_OPS`: reads and pure probes, never
+``ingest``/``create_session``/``close``) is transparently retried once
+on a fresh connection after a short backoff.  Non-idempotent calls and
+pipelines surface the error unchanged; the caller decides whether a
+resend is safe (the crash-recovery loadgen probes before resending).
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError
+
+#: ops safe to retry on a fresh connection after a socket failure --
+#: pure reads and probes; retrying a mutation could double-apply it
+IDEMPOTENT_OPS = frozenset({
+    "query", "query_batch", "stats", "metrics", "ping",
+    "list_sessions", "schemes", "recover_info", "cluster_info",
+})
+
+#: delay before the single reconnect attempt, seconds
+RECONNECT_BACKOFF = 0.05
+
+
+class _ConnectionLost(ProtocolError):
+    """The server closed the connection mid-conversation.
+
+    A :class:`ProtocolError` subclass so existing callers matching the
+    historical "server closed the connection" error keep working; the
+    client's retry path additionally catches it to trigger the single
+    reconnect for idempotent ops.
+    """
 from repro.service.protocol import (
     Request,
     Response,
@@ -45,11 +77,31 @@ PIPELINE_WINDOW = 8
 class ServiceClient:
     """Talks to a :class:`~repro.service.server.ReproServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        reconnect: bool = True,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self._reconnect = reconnect
+        self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        self._sock.settimeout(self._timeout)
         self._reader = self._sock.makefile("r", encoding="utf-8")
         self._writer = self._sock.makefile("w", encoding="utf-8")
-        self._next_id = 0
 
     # ------------------------------------------------------------------
     def call(
@@ -60,11 +112,26 @@ class ServiceClient:
         ``trace_id`` rides on the request and is propagated through
         every server-side layer the request crosses (trace ring, logs,
         WAL records); the server mints one when the client sends none.
+
+        If the socket dies and ``op`` is idempotent
+        (:data:`IDEMPOTENT_OPS`), the client reconnects once after
+        :data:`RECONNECT_BACKOFF` seconds and retries; mutations are
+        never retried (a lost ack does not prove a lost write).
         """
         self._next_id += 1
         request = Request(
             op=op, params=params, id=self._next_id, trace_id=trace_id
         )
+        try:
+            return self._round_trip(request)
+        except (_ConnectionLost, OSError):
+            if not (self._reconnect and op in IDEMPOTENT_OPS):
+                raise
+            time.sleep(RECONNECT_BACKOFF)
+            self._reopen()
+            return self._round_trip(request)
+
+    def _round_trip(self, request: Request) -> Any:
         self._writer.write(encode_request(request))
         self._writer.flush()
         response = self._read_response()
@@ -74,6 +141,14 @@ class ServiceClient:
                 f"request id {request.id!r}"
             )
         return raise_for_response(response)
+
+    def _reopen(self) -> None:
+        """Drop the dead socket and connect fresh (same endpoint)."""
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - closing a dead socket
+            pass
+        self._connect()
 
     def pipeline(
         self,
@@ -121,7 +196,7 @@ class ServiceClient:
     def _read_response(self) -> Response:
         line = self._reader.readline()
         if not line:
-            raise ProtocolError("server closed the connection")
+            raise _ConnectionLost("server closed the connection")
         return decode_response(line)
 
     # ------------------------------------------------------------------
@@ -290,6 +365,11 @@ class ServiceClient:
 
     def ping(self) -> bool:
         return bool(self.call("ping")["pong"])
+
+    def cluster_info(self) -> Dict[str, Any]:
+        """The serving topology (``{"cluster": false}`` on a plain
+        server; worker pids/ports/restarts behind a cluster router)."""
+        return self.call("cluster_info")
 
     def shutdown_server(self) -> Dict[str, Any]:
         return self.call("shutdown")

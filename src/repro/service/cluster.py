@@ -1,0 +1,1025 @@
+"""The process-per-shard serving tier: supervisor + hash router.
+
+One Python process serves every request under one GIL, so the engine's
+lock-striped shards and the packed batch kernels can never use more
+than one core.  Sessions, however, are *embarrassingly partitionable*:
+a session's graph, labels, cache entries and WAL are touched only by
+requests naming that session.  :class:`ClusterSupervisor` exploits
+that:
+
+* it forks ``N`` **worker processes** (``multiprocessing`` spawn
+  context), each a complete, unmodified single-process server --
+  its own :class:`~repro.service.server.ReproService` (engine +
+  session manager + optional :class:`~repro.service.wal.DurableStore`
+  rooted at ``data_dir/worker-<i>/``) behind a
+  :class:`~repro.service.server.ReproServer` on an ephemeral loopback
+  port;
+* it fronts them with a **single-threaded non-blocking router**
+  (:mod:`selectors`) that speaks the existing JSON-lines protocol to
+  clients, owns no session state, and does no labeling work -- so the
+  GIL it runs under is spent purely on byte shuffling.
+
+Routing
+-------
+Each session lives on exactly one worker, chosen by a **stable** hash
+of its name (:func:`session_worker` -- CRC-32, *not* Python's salted
+``hash()``), so the same name maps to the same worker directory across
+restarts and the worker's WAL/checkpoint layout stays valid.  A
+session-scoped request line is forwarded to its owner *verbatim* and
+the worker's response line -- which already echoes the client's
+request id -- is relayed back untouched: the single-owner fast path
+rewrites zero bytes.  Responses per worker connection arrive strictly
+in request order (the protocol's ordering guarantee), so the router
+matches them positionally, with no id table.
+
+Fan-out ops (``schemes``/``stats``/``metrics``/``list_sessions``/
+``recover_info``/``sync``/``ping``/``shutdown``) broadcast to every
+worker and merge: ``stats`` sums the integer counters and recomputes
+the hit rate (plus ``per_worker`` rows), ``metrics`` asks workers for
+their **raw all-integer histogram state** and merges it *exactly*
+(:meth:`~repro.obs.histogram.HistogramSnapshot.merge` is associative),
+then summarizes.  A request naming sessions owned by different workers
+is rejected with a structured ``protocol`` error -- cross-worker
+requests have no single owner and no atomicity story.
+
+Failover
+--------
+Every worker's process sentinel is registered in the selector.  When a
+worker dies (crash, OOM kill, SIGKILL), in-flight requests routed to
+it fail with structured ``service`` errors -- the router and every
+other worker keep serving -- and the supervisor immediately respawns
+it.  A durable worker replays its checkpoint + WAL tail on boot
+(the ``data_dir/worker-<i>/`` layout is per-worker, so recovery is
+local), which is what makes "SIGKILL one worker, lose zero
+acknowledged ingests" hold; the kernel releases the dead worker's
+``LOCK`` flock, so the respawn can always mount the store.
+
+A ``cluster.json`` manifest in the data dir records the worker count:
+booting the same data dir with a different ``--workers`` would hash
+sessions to the wrong directories, so the mismatch is refused.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import selectors
+import signal
+import socket
+import zlib
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServiceError
+from repro.obs.histogram import HistogramSnapshot, merge_snapshots
+from repro.obs.logs import log_event
+from repro.service.protocol import (
+    MAX_BATCH,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+)
+
+_cluster_logger = logging.getLogger("repro.service.cluster")
+
+#: manifest file recording the worker count a data dir was laid out for
+MANIFEST = "cluster.json"
+
+#: seconds a freshly spawned worker gets to report its port
+WORKER_BOOT_TIMEOUT = 60.0
+
+#: ops forwarded to the one worker owning the named session
+_SESSION_OPS = frozenset({"ingest", "query", "query_batch", "snapshot",
+                          "close"})
+
+#: ops broadcast to every worker and merged
+_BROADCAST_OPS = frozenset({"schemes", "stats", "metrics",
+                            "list_sessions", "recover_info", "ping",
+                            "shutdown"})
+
+
+def session_worker(name: str, workers: int) -> int:
+    """The worker index owning session ``name`` -- stable across
+    processes and restarts.
+
+    CRC-32 of the UTF-8 name, not Python's ``hash()``: the builtin is
+    salted per process (PYTHONHASHSEED), which would scatter a restart
+    onto the wrong worker directories.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return zlib.crc32(name.encode("utf-8")) % workers
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(index: int, conn, config: Dict[str, Any]) -> None:
+    """Entry point of one worker process (spawn target).
+
+    Builds an ordinary single-process server (the exact code path
+    ``--workers 0`` runs), binds an ephemeral loopback port, reports it
+    through ``conn``, and serves until a ``shutdown`` request arrives.
+    A durable worker recovers its checkpoint + WAL tail inside
+    ``ReproService.__init__`` before the port is ever reported, so the
+    router never routes to a half-recovered worker.
+    """
+    # the router owns lifecycle; a terminal Ctrl-C must not race it
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.service.server import ReproServer, ReproService
+
+    try:
+        service = ReproService(
+            cache_size=config["cache_size"],
+            shards=config["shards"],
+            max_batch=config["max_batch"],
+            data_dir=config["data_dir"],
+            fsync=config["fsync"],
+            checkpoint_interval=config["checkpoint_interval"],
+            slow_threshold=config["slow_threshold"],
+        )
+        server = ReproServer(("127.0.0.1", 0), service)
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    conn.send(("ready", server.port))
+    conn.close()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.close()
+
+
+class _Worker:
+    """The supervisor's handle on one worker process."""
+
+    __slots__ = ("index", "process", "port", "restarts")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.port: int = 0
+        self.restarts: int = 0
+
+
+# ---------------------------------------------------------------------------
+# router bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    """One client request's place in that client's response order.
+
+    Responses must leave a connection in request order even when a
+    fast single-owner answer overtakes a slow broadcast merge, so each
+    request takes a slot in the client's deque and the flusher only
+    emits from the front.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: Optional[bytes] = None  # the ready response line
+
+
+class _Gather:
+    """One broadcast request waiting for every worker's answer."""
+
+    __slots__ = ("op", "request", "slot", "client", "replies", "missing")
+
+    def __init__(self, op: str, request: Request, slot: _Slot,
+                 client: "_ClientConn", workers: int) -> None:
+        self.op = op
+        self.request = request
+        self.slot = slot
+        self.client = client
+        self.replies: List[Optional[Response]] = [None] * workers
+        self.missing = workers
+
+
+class _ClientConn:
+    """One accepted client connection's buffers and response order."""
+
+    __slots__ = ("sock", "recv", "send", "slots", "closed", "peer")
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        self.sock = sock
+        self.recv = b""
+        self.send = bytearray()
+        self.slots: Deque[_Slot] = deque()
+        self.closed = False
+        self.peer = peer
+
+
+class _WorkerConn:
+    """The router's connection to one worker, plus its FIFO of pending
+    request contexts (responses arrive strictly in request order)."""
+
+    __slots__ = ("sock", "recv", "send", "pending")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.recv = b""
+        self.send = bytearray()
+        # each entry: ("forward", slot, client) or ("gather", gather, i)
+        self.pending: Deque[Tuple] = deque()
+
+
+# ---------------------------------------------------------------------------
+# the supervisor
+# ---------------------------------------------------------------------------
+
+
+class ClusterSupervisor:
+    """Runs the worker fleet and the routing frontend.
+
+    Usage::
+
+        supervisor = ClusterSupervisor(workers=4, port=0,
+                                       data_dir="/var/lib/repro")
+        supervisor.start()            # spawn workers, bind the port
+        supervisor.serve_forever()    # the router loop (blocking)
+
+    ``workers=0`` is not a cluster -- callers keep the in-process
+    :class:`~repro.service.server.ReproServer` path for that.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 65536,
+        shards: int = 4,
+        max_batch: int = MAX_BATCH,
+        data_dir: Optional[str] = None,
+        fsync: str = "always",
+        checkpoint_interval: Optional[float] = None,
+        slow_threshold: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a cluster needs at least 1 worker")
+        self.workers = workers
+        self.host = host
+        self._requested_port = port
+        self.data_dir = data_dir
+        self._config = {
+            "cache_size": cache_size,
+            "shards": shards,
+            "max_batch": max_batch,
+            "data_dir": None,  # per-worker, filled at spawn
+            "fsync": fsync,
+            "checkpoint_interval": checkpoint_interval,
+            "slow_threshold": slow_threshold,
+        }
+        self._mp = multiprocessing.get_context("spawn")
+        self._fleet: List[_Worker] = [_Worker(i) for i in range(workers)]
+        self._conns: List[Optional[_WorkerConn]] = [None] * workers
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._listener: Optional[socket.socket] = None
+        self._wakeup_r: Optional[socket.socket] = None
+        self._wakeup_w: Optional[socket.socket] = None
+        self._clients: Dict[socket.socket, _ClientConn] = {}
+        self._running = False
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The router's bound port (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise ServiceError("cluster is not started")
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "ClusterSupervisor":
+        """Spawn the fleet, connect to it, bind the client port."""
+        if self._started:
+            raise ServiceError("cluster already started")
+        self._check_manifest()
+        self._selector = selectors.DefaultSelector()
+        for worker in self._fleet:
+            self._spawn(worker)
+        for worker in self._fleet:
+            self._attach(worker)
+        self._listener = socket.create_server(
+            (self.host, self._requested_port), backlog=128,
+            reuse_port=False,
+        )
+        self._listener.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                ("accept", None))
+        self._wakeup_r, self._wakeup_w = socket.socketpair()
+        self._wakeup_r.setblocking(False)
+        self._selector.register(self._wakeup_r, selectors.EVENT_READ,
+                                ("wakeup", None))
+        self._started = True
+        log_event(
+            _cluster_logger, logging.INFO, "cluster-start",
+            workers=self.workers, port=self.port,
+            pids=[w.process.pid for w in self._fleet],
+        )
+        return self
+
+    def _check_manifest(self) -> None:
+        if self.data_dir is None:
+            return
+        os.makedirs(self.data_dir, exist_ok=True)
+        path = os.path.join(self.data_dir, MANIFEST)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            laid_out = int(manifest.get("workers", 0))
+            if laid_out != self.workers:
+                raise ServiceError(
+                    f"data dir {self.data_dir!r} was laid out for "
+                    f"{laid_out} workers; starting with {self.workers} "
+                    f"would route sessions to the wrong worker "
+                    f"directories"
+                )
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump({"workers": self.workers}, handle)
+                handle.write("\n")
+
+    def _worker_dir(self, index: int) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, f"worker-{index}")
+
+    def _spawn(self, worker: _Worker) -> None:
+        """Start one worker process and learn its port."""
+        parent, child = self._mp.Pipe(duplex=False)
+        config = dict(self._config)
+        config["data_dir"] = self._worker_dir(worker.index)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(worker.index, child, config),
+            name=f"repro-worker-{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        if not parent.poll(WORKER_BOOT_TIMEOUT):
+            process.terminate()
+            raise ServiceError(
+                f"worker {worker.index} did not report a port within "
+                f"{WORKER_BOOT_TIMEOUT}s"
+            )
+        status, payload = parent.recv()
+        parent.close()
+        if status != "ready":
+            process.join(timeout=5)
+            raise ServiceError(
+                f"worker {worker.index} failed to boot: {payload}"
+            )
+        worker.process = process
+        worker.port = payload
+
+    def _attach(self, worker: _Worker) -> None:
+        """Connect to a (re)spawned worker and register its fds."""
+        sock = socket.create_connection(("127.0.0.1", worker.port),
+                                        timeout=10.0)
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _WorkerConn(sock)
+        self._conns[worker.index] = conn
+        self._selector.register(sock, selectors.EVENT_READ,
+                                ("worker", worker.index))
+        # the sentinel becomes readable the instant the process dies --
+        # faster and more reliable than noticing the socket EOF
+        self._selector.register(worker.process.sentinel,
+                                selectors.EVENT_READ,
+                                ("sentinel", worker.index))
+
+    def stop(self) -> None:
+        """Stop the router loop and the fleet (thread-safe)."""
+        if self._wakeup_w is not None:
+            try:
+                self._wakeup_w.send(b"x")
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # ------------------------------------------------------------------
+    # the router loop
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the router until ``shutdown`` (op or :meth:`stop`)."""
+        if not self._started:
+            raise ServiceError("call start() before serve_forever()")
+        self._running = True
+        try:
+            while self._running:
+                if self._stopping and self._drained():
+                    break
+                for key, events in self._selector.select(timeout=0.5):
+                    kind, payload = key.data
+                    if kind == "accept":
+                        self._accept()
+                    elif kind == "client":
+                        self._client_event(payload, events)
+                    elif kind == "worker":
+                        self._worker_event(payload, events)
+                    elif kind == "sentinel":
+                        self._worker_died(payload)
+                    elif kind == "wakeup":
+                        self._wakeup_r.recv(4096)
+                        self._begin_shutdown()
+        finally:
+            self._running = False
+            self._cleanup()
+
+    def _drained(self) -> bool:
+        # a shutdown is done once every client's responses -- the
+        # shutdown ack above all -- are computed AND handed to the
+        # kernel, so the last flush is never cut off
+        return all(
+            not c.send and not c.slots for c in self._clients.values()
+        )
+
+    def _cleanup(self) -> None:
+        for client in list(self._clients.values()):
+            self._close_client(client)
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    self._selector.unregister(conn.sock)
+                except (KeyError, ValueError):
+                    pass
+                conn.sock.close()
+        for worker in self._fleet:
+            if worker.process is not None:
+                try:
+                    self._selector.unregister(worker.process.sentinel)
+                except (KeyError, ValueError):
+                    pass
+                if not self._stopping and worker.process.is_alive():
+                    # exception-path teardown: nobody broadcast a
+                    # shutdown, so don't wait politely
+                    worker.process.terminate()
+                worker.process.join(timeout=10)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+        for sock in (self._listener, self._wakeup_r, self._wakeup_w):
+            if sock is not None:
+                sock.close()
+        if self._selector is not None:
+            self._selector.close()
+        self._started = False
+        log_event(_cluster_logger, logging.INFO, "cluster-stop",
+                  restarts=sum(w.restarts for w in self._fleet))
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def _accept(self) -> None:
+        try:
+            sock, address = self._listener.accept()
+        except OSError:  # pragma: no cover - raced disconnect
+            return
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP test sockets
+            pass
+        try:
+            peer = "%s:%s" % address[:2]
+        except Exception:  # pragma: no cover - exotic families
+            peer = str(address)
+        client = _ClientConn(sock, peer)
+        self._clients[sock] = client
+        self._selector.register(sock, selectors.EVENT_READ,
+                                ("client", client))
+
+    def _client_event(self, client: _ClientConn, events: int) -> None:
+        if events & selectors.EVENT_WRITE and client.send:
+            self._flush_client(client)
+        if client.closed or not events & selectors.EVENT_READ:
+            return
+        try:
+            data = client.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_client(client)
+            return
+        if not data:
+            self._close_client(client)
+            return
+        client.recv += data
+        while b"\n" in client.recv:
+            line, client.recv = client.recv.split(b"\n", 1)
+            if line.strip():
+                self._route(client, line + b"\n")
+
+    def _close_client(self, client: _ClientConn) -> None:
+        if client.closed:
+            return
+        client.closed = True
+        self._clients.pop(client.sock, None)
+        try:
+            self._selector.unregister(client.sock)
+        except (KeyError, ValueError):
+            pass
+        client.sock.close()
+        # pending worker responses for this client are consumed and
+        # dropped by the positional matcher via the closed flag
+
+    def _client_interest(self, client: _ClientConn) -> None:
+        if client.closed:
+            return
+        events = selectors.EVENT_READ
+        if client.send:
+            events |= selectors.EVENT_WRITE
+        self._selector.modify(client.sock, events, ("client", client))
+
+    def _flush_client(self, client: _ClientConn) -> None:
+        try:
+            while client.send:
+                sent = client.sock.send(client.send)
+                del client.send[:sent]
+        except BlockingIOError:
+            pass
+        except OSError:
+            self._close_client(client)
+            return
+        self._client_interest(client)
+
+    def _emit(self, client: _ClientConn, slot: _Slot,
+              data: bytes) -> None:
+        """Fill a slot and flush every leading ready slot in order."""
+        slot.data = data
+        while client.slots and client.slots[0].data is not None:
+            client.send += client.slots.popleft().data
+        if client.send and not client.closed:
+            self._flush_client(client)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, client: _ClientConn, raw: bytes) -> None:
+        slot = _Slot()
+        client.slots.append(slot)
+        try:
+            request = decode_request(raw.decode("utf-8",
+                                                errors="replace"))
+        except ProtocolError as exc:
+            self._emit(client, slot, encode_response(
+                error_response(exc)).encode("utf-8"))
+            return
+        try:
+            op = request.op
+            if op == "cluster_info":
+                self._answer(client, slot, request,
+                             self._cluster_info())
+            elif op in _BROADCAST_OPS:
+                self._broadcast(client, slot, request)
+            elif op == "sync" and request.params.get("session") is None:
+                self._broadcast(client, slot, request)
+            else:
+                self._forward(client, slot, request, raw)
+        except Exception as exc:
+            self._emit(client, slot, encode_response(
+                error_response(exc, request.id)).encode("utf-8"))
+
+    def _answer(self, client: _ClientConn, slot: _Slot,
+                request: Request, result: Any) -> None:
+        response = Response(ok=True, result=result, id=request.id,
+                            trace_id=request.trace_id)
+        self._emit(client, slot,
+                   encode_response(response).encode("utf-8"))
+
+    def _owner_of(self, request: Request) -> int:
+        """The worker index a session-scoped request routes to.
+
+        A malformed routing key (missing, non-string) is *not* judged
+        here -- the request goes to worker 0, whose unmodified op
+        handler produces the canonical structured error.  The one
+        router-level rejection is a *list* of sessions spanning
+        workers: no single worker could own it.
+        """
+        key = "name" if request.op == "create_session" else "session"
+        value = request.params.get(key)
+        if isinstance(value, str):
+            return session_worker(value, self.workers)
+        if isinstance(value, list):
+            owners = {
+                session_worker(item, self.workers)
+                for item in value if isinstance(item, str)
+            }
+            if len(owners) > 1:
+                raise ProtocolError(
+                    f"op {request.op!r} mixes sessions owned by "
+                    f"different workers; cross-worker requests are "
+                    f"not supported -- issue one request per session"
+                )
+            raise ProtocolError(
+                f"'{key}' must be a single session name"
+            )
+        return 0
+
+    def _forward(self, client: _ClientConn, slot: _Slot,
+                 request: Request, raw: bytes) -> None:
+        index = self._owner_of(request)
+        conn = self._conns[index]
+        if conn is None:  # mid-restart; only reachable on spawn failure
+            raise ServiceError(f"worker {index} is unavailable")
+        conn.pending.append(("forward", slot, client))
+        self._send_worker(index, conn, raw)
+
+    def _broadcast(self, client: _ClientConn, slot: _Slot,
+                   request: Request) -> None:
+        gather = _Gather(request.op, request, slot, client,
+                         self.workers)
+        if request.op == "shutdown":
+            # flag before the workers can exit: their sentinels firing
+            # must read as expected exits, not crashes to restart
+            self._stopping = True
+        if request.op == "metrics":
+            # ask workers for raw integer histograms so the merged
+            # series is exact; summarized on the way out
+            request = Request(op="metrics",
+                              params={**request.params, "raw": True},
+                              id=request.id, trace_id=request.trace_id)
+        raw = encode_request(request).encode("utf-8")
+        for index, conn in enumerate(self._conns):
+            if conn is None:
+                gather.replies[index] = error_response(
+                    ServiceError(f"worker {index} is unavailable"))
+                gather.missing -= 1
+                continue
+            conn.pending.append(("gather", gather, index))
+            self._send_worker(index, conn, raw)
+        if gather.missing == 0:  # every worker down: still answer
+            self._finish_gather(gather)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _send_worker(self, index: int, conn: _WorkerConn,
+                     raw: bytes) -> None:
+        conn.send += raw
+        try:
+            while conn.send:
+                sent = conn.sock.send(conn.send)
+                del conn.send[:sent]
+        except BlockingIOError:
+            pass
+        except OSError:
+            # the sentinel event will fail pendings and restart
+            return
+        self._worker_interest(index, conn)
+
+    def _worker_interest(self, index: int, conn: _WorkerConn) -> None:
+        events = selectors.EVENT_READ
+        if conn.send:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, ("worker", index))
+        except (KeyError, ValueError):  # pragma: no cover - mid-restart
+            pass
+
+    def _worker_event(self, index: int, events: int) -> None:
+        conn = self._conns[index]
+        if conn is None:  # pragma: no cover - stale event mid-restart
+            return
+        if events & selectors.EVENT_WRITE and conn.send:
+            self._send_worker(index, conn, b"")
+        if not events & selectors.EVENT_READ:
+            return
+        try:
+            data = conn.sock.recv(262144)
+        except BlockingIOError:
+            return
+        except OSError:
+            data = b""
+        if not data:
+            # EOF: normal during shutdown (workers exit after
+            # answering); otherwise the sentinel handler takes over
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            return
+        conn.recv += data
+        while b"\n" in conn.recv:
+            line, conn.recv = conn.recv.split(b"\n", 1)
+            if not line.strip():
+                continue
+            self._worker_reply(index, conn, line + b"\n")
+
+    def _worker_reply(self, index: int, conn: _WorkerConn,
+                      raw: bytes) -> None:
+        if not conn.pending:  # pragma: no cover - protocol violation
+            log_event(_cluster_logger, logging.WARNING,
+                      "unmatched-worker-reply", worker=index)
+            return
+        entry = conn.pending.popleft()
+        if entry[0] == "forward":
+            _, slot, client = entry
+            if not client.closed:
+                self._emit(client, slot, raw)
+            return
+        _, gather, windex = entry
+        try:
+            gather.replies[windex] = decode_response(
+                raw.decode("utf-8", errors="replace"))
+        except ProtocolError as exc:  # pragma: no cover - broken worker
+            gather.replies[windex] = error_response(exc)
+        gather.missing -= 1
+        if gather.missing == 0:
+            self._finish_gather(gather)
+
+    def _worker_died(self, index: int) -> None:
+        """A worker's sentinel fired: fail its in-flight work, then
+        restart it (synchronously -- the brief router pause is the
+        price of never routing to a vacant slot)."""
+        worker = self._fleet[index]
+        try:
+            self._selector.unregister(worker.process.sentinel)
+        except (KeyError, ValueError):
+            pass
+        conn = self._conns[index]
+        self._conns[index] = None
+        if conn is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            # responses the worker wrote before dying are sitting in
+            # the socket buffer; deliver them before failing the rest
+            self._drain_dead_worker(index, conn)
+            conn.sock.close()
+            self._fail_pending(index, conn)
+        worker.process.join(timeout=5)
+        if self._stopping:
+            return  # expected: workers exit after a shutdown broadcast
+        log_event(
+            _cluster_logger, logging.WARNING, "worker-died",
+            worker=index, exitcode=worker.process.exitcode,
+            restarts=worker.restarts,
+        )
+        try:
+            self._restart(worker)
+        except Exception as exc:
+            # leave the slot vacant: requests routed here fail with a
+            # structured error while the rest of the fleet serves on
+            log_event(
+                _cluster_logger, logging.ERROR, "worker-restart-failed",
+                worker=index, error=str(exc),
+            )
+
+    def _drain_dead_worker(self, index: int, conn: _WorkerConn) -> None:
+        while True:
+            try:
+                data = conn.sock.recv(262144)
+            except (BlockingIOError, OSError):
+                break
+            if not data:
+                break
+            conn.recv += data
+        while b"\n" in conn.recv and conn.pending:
+            line, conn.recv = conn.recv.split(b"\n", 1)
+            if line.strip():
+                self._worker_reply(index, conn, line + b"\n")
+
+    def _fail_pending(self, index: int, conn: _WorkerConn) -> None:
+        exc = ServiceError(
+            f"worker {index} died while handling the request; "
+            f"it is being restarted -- idempotent calls may be retried"
+        )
+        while conn.pending:
+            entry = conn.pending.popleft()
+            if entry[0] == "forward":
+                _, slot, client = entry
+                if not client.closed:
+                    self._emit(client, slot, encode_response(
+                        error_response(exc)).encode("utf-8"))
+            else:
+                _, gather, windex = entry
+                gather.replies[windex] = error_response(exc)
+                gather.missing -= 1
+                if gather.missing == 0:
+                    self._finish_gather(gather)
+
+    def _restart(self, worker: _Worker) -> None:
+        worker.restarts += 1
+        self._spawn(worker)
+        self._attach(worker)
+        log_event(
+            _cluster_logger, logging.INFO, "worker-restarted",
+            worker=worker.index, pid=worker.process.pid,
+            restarts=worker.restarts,
+        )
+
+    # ------------------------------------------------------------------
+    # merges
+    # ------------------------------------------------------------------
+    def _finish_gather(self, gather: _Gather) -> None:
+        if gather.client.closed:
+            if gather.op == "shutdown":
+                self._begin_shutdown()
+            return
+        failure = next(
+            (r for r in gather.replies if r is not None and not r.ok),
+            None,
+        )
+        if failure is not None:
+            response = Response(
+                ok=False, error=failure.error, code=failure.code,
+                id=gather.request.id, trace_id=gather.request.trace_id,
+            )
+        else:
+            results = [r.result for r in gather.replies]
+            merged = self._merge(gather.op, gather.request, results)
+            response = Response(ok=True, result=merged,
+                                id=gather.request.id,
+                                trace_id=gather.request.trace_id)
+        self._emit(gather.client, gather.slot,
+                   encode_response(response).encode("utf-8"))
+        if gather.op == "shutdown":
+            self._begin_shutdown()
+
+    def _merge(self, op: str, request: Request,
+               results: List[Any]) -> Any:
+        if op == "ping":
+            return {"pong": True, "workers": self.workers}
+        if op == "schemes":
+            return results[0]  # every worker hosts the same registry
+        if op == "list_sessions":
+            names: List[str] = []
+            for result in results:
+                names.extend(result.get("sessions", []))
+            return {"sessions": sorted(names)}
+        if op == "shutdown":
+            return {"stopping": True, "workers": self.workers}
+        if op == "sync":
+            return {
+                "synced": sum(r.get("synced", 0) for r in results),
+                "fsync": results[0].get("fsync"),
+            }
+        if op == "recover_info":
+            return {
+                "durable": all(r.get("durable", True) for r in results),
+                "cluster": True,
+                "workers": self.workers,
+                "per_worker": [
+                    {"worker": i, **result}
+                    for i, result in enumerate(results)
+                ],
+            }
+        if op == "stats":
+            return merge_stats(results)
+        if op == "metrics":
+            raw = bool(request.params.get("raw"))
+            return merge_metrics(results, raw=raw)
+        raise ServiceError(f"no merge for op {op!r}")  # pragma: no cover
+
+    def _cluster_info(self) -> Dict[str, Any]:
+        return {
+            "cluster": True,
+            "workers": self.workers,
+            "restarts": sum(w.restarts for w in self._fleet),
+            "per_worker": [
+                {
+                    "worker": w.index,
+                    "pid": w.process.pid if w.process else None,
+                    "port": w.port,
+                    "restarts": w.restarts,
+                    "alive": bool(w.process and w.process.is_alive()),
+                }
+                for w in self._fleet
+            ],
+        }
+
+    def _begin_shutdown(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        # workers that saw the shutdown broadcast are already exiting;
+        # a stop() call must still bring down a quiet fleet
+        raw = encode_request(Request(op="shutdown")).encode("utf-8")
+        for index, conn in enumerate(self._conns):
+            worker = self._fleet[index]
+            if conn is None or not (worker.process
+                                    and worker.process.is_alive()):
+                continue
+            conn.pending.append(("gather",
+                                 _Gather("noop", Request(op="shutdown"),
+                                         _Slot(), _ClosedClient(),
+                                         1),
+                                 0))
+            self._send_worker(index, conn, raw)
+
+
+class _ClosedClient:
+    """A stand-in client for internally originated requests."""
+
+    closed = True
+    slots: Deque = deque()
+
+
+# ---------------------------------------------------------------------------
+# merge functions (module-level: tested directly)
+# ---------------------------------------------------------------------------
+
+
+def merge_stats(results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-worker ``stats`` payloads into the cluster view.
+
+    Integer and float counters sum, list fields concatenate, the hit
+    rate is recomputed from the summed hit/miss counts (a mean of
+    ratios would be wrong), and the per-worker payloads ride along
+    under ``per_worker`` so dashboards can show both.
+    """
+    if not results:
+        return {"workers": 0, "per_worker": []}
+    merged: Dict[str, Any] = {}
+    for key, value in results[0].items():
+        if key == "hit_rate":
+            continue
+        if isinstance(value, bool):  # pragma: no cover - none today
+            merged[key] = value
+        elif isinstance(value, (int, float)):
+            merged[key] = sum(r.get(key, 0) for r in results)
+        elif isinstance(value, list):
+            merged[key] = [item for r in results
+                           for item in r.get(key, [])]
+        else:
+            merged[key] = value
+    hits = merged.get("cache_hits", 0)
+    misses = merged.get("cache_misses", 0)
+    merged["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+    merged["workers"] = len(results)
+    merged["per_worker"] = [
+        {"worker": i, **result} for i, result in enumerate(results)
+    ]
+    return merged
+
+
+def merge_metrics(results: List[Dict[str, Any]],
+                  raw: bool = False) -> Dict[str, Any]:
+    """Combine per-worker raw ``metrics`` payloads *exactly*.
+
+    Counters sum by ``(name, labels)``.  Histograms arrive as raw
+    all-integer state (the router requests ``raw: true`` from its
+    workers), rebuild into :class:`HistogramSnapshot` and merge
+    exactly -- the merged p50/p95/p99 are computed from the true
+    combined bucket counts, not averaged from per-worker percentiles.
+    Trace summaries sum their counts.
+    """
+    counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    histograms: Dict[
+        Tuple[str, Tuple[Tuple[str, str], ...]],
+        List[HistogramSnapshot],
+    ] = {}
+    traces: Dict[str, Any] = {}
+    for result in results:
+        for entry in result.get("counters", []):
+            key = (entry["name"],
+                   tuple(sorted(entry.get("labels", {}).items())))
+            counters[key] = counters.get(key, 0) + int(entry["value"])
+        for entry in result.get("histograms", []):
+            key = (entry["name"],
+                   tuple(sorted(entry.get("labels", {}).items())))
+            histograms.setdefault(key, []).append(
+                HistogramSnapshot.from_raw(entry))
+        summary = result.get("traces")
+        if isinstance(summary, dict):
+            for field, value in summary.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    if field == "slow_threshold_s":
+                        traces.setdefault(field, value)
+                    else:
+                        traces[field] = traces.get(field, 0) + value
+                else:  # pragma: no cover - no such fields today
+                    traces.setdefault(field, value)
+    merged_histograms = []
+    for (name, labels), snapshots in sorted(histograms.items()):
+        snapshot = merge_snapshots(snapshots)
+        payload = snapshot.raw_dict() if raw else snapshot.to_dict()
+        merged_histograms.append(
+            {"name": name, "labels": dict(labels), **payload})
+    return {
+        "counters": [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in sorted(counters.items())
+        ],
+        "histograms": merged_histograms,
+        "traces": traces,
+        "workers": len(results),
+    }

@@ -23,6 +23,7 @@ Operations::
     list_sessions
     ping
     shutdown
+    cluster_info     (process topology: workers, pids, ports, restarts)
 
 ``scheme`` selects the session's labeling backend by registry name
 (``drl`` by default); ``schemes`` returns every registered backend with
@@ -69,6 +70,22 @@ counter/histogram snapshot (per-op latency percentiles included) plus
 a trace-ring summary; the same registry renders the Prometheus text
 exposition behind ``repro serve --metrics-port``.
 
+Clustering
+----------
+The same wire protocol is served unchanged by a multi-process cluster
+(``repro serve --workers N``; :mod:`repro.service.cluster`): a router
+forwards each session-scoped request to the worker process owning that
+session (a stable hash of the session name) and broadcasts fan-out ops
+(``schemes``/``stats``/``metrics``/``list_sessions``/``recover_info``/
+``sync``/``ping``/``shutdown``) to every worker, merging the answers --
+``metrics`` merges the workers' all-integer histogram state *exactly*.
+``cluster_info`` reports the topology (a plain server answers
+``{"cluster": false}``); ``metrics`` accepts ``raw: true`` to return
+full integer histogram state instead of summaries (what the router
+asks its workers for).  A request naming *several* sessions owned by
+different workers (a ``session`` list) is rejected with a structured
+``protocol`` error: cross-worker requests have no single owner.
+
 Insertion events use the exact execution-log JSON schema of
 :func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
 can be streamed to the service without transformation.
@@ -111,6 +128,7 @@ OPS = (
     "list_sessions",
     "ping",
     "shutdown",
+    "cluster_info",
 )
 
 # default per-request cap on batch payload items (query_batch pairs,

@@ -17,6 +17,14 @@ parses it, and asserts the required series are present and populated
 -- per-op request latency for query/query_batch/ingest, WAL fsync and
 checkpoint-roll timings -- plus that the ``metrics`` op answers and
 that a client-sent ``trace_id`` is echoed end to end.
+
+With ``workers > 0`` the exact same scripted session runs against a
+:class:`~repro.service.cluster.ClusterSupervisor` instead of the
+in-process server -- same client, same wire protocol, zero script
+changes -- which is the point: a cluster must be indistinguishable to
+clients.  Cluster-only checks ride along: ``cluster_info`` reports the
+topology, and merged ``stats`` totals cover ``shards * workers``
+engine stripes.
 """
 
 from __future__ import annotations
@@ -56,11 +64,17 @@ def run_selftest(
     shards: int = DEFAULT_SHARDS,
     verbose: bool = True,
     metrics_port: Optional[int] = None,
+    workers: int = 0,
 ) -> int:
     """Run the scripted session; returns 0 on success, 1 on mismatch."""
     failures: List[str] = []
     if spec_name is None:
         spec_name = default_spec_for(scheme)
+    if workers and metrics_port is not None:
+        raise ValueError(
+            "the Prometheus endpoint leg needs the in-process server; "
+            "run --selftest with either --workers or --metrics-port"
+        )
 
     def check(condition: bool, message: str) -> None:
         if not condition:
@@ -82,14 +96,43 @@ def run_selftest(
             service.metrics.render_prometheus, port=metrics_port
         ).start()
         say(f"metrics endpoint on 127.0.0.1:{exporter.port}/metrics")
-    else:
+    elif not workers:
         service = ReproService(shards=shards)
-    server = ReproServer(("127.0.0.1", 0), service)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    say(f"server listening on 127.0.0.1:{server.port} ({shards} shards)")
+    supervisor = None
+    if workers:
+        from repro.service.cluster import ClusterSupervisor
+
+        supervisor = ClusterSupervisor(
+            workers=workers, port=0, shards=shards
+        ).start()
+        thread = threading.Thread(
+            target=supervisor.serve_forever, daemon=True
+        )
+        thread.start()
+        port = supervisor.port
+        say(
+            f"cluster router on 127.0.0.1:{port} "
+            f"({workers} workers x {shards} shards)"
+        )
+    else:
+        server = ReproServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.port
+        say(f"server listening on 127.0.0.1:{port} ({shards} shards)")
     try:
-        with ServiceClient("127.0.0.1", server.port) as client:
+        with ServiceClient("127.0.0.1", port) as client:
+            if workers:
+                topology = client.cluster_info()
+                check(
+                    topology.get("cluster") is True
+                    and topology.get("workers") == workers
+                    and all(
+                        row.get("alive")
+                        for row in topology.get("per_worker", [])
+                    ),
+                    f"cluster_info reported a bad topology: {topology}",
+                )
             check(client.ping(), "ping failed")
             advertised = {s["name"]: s for s in client.list_schemes()}
             check(
@@ -145,11 +188,28 @@ def run_selftest(
             check(warm == answers, "warm-cache answers diverged")
             stats = client.stats()
             check(stats["cache_hits"] >= len(pairs), "cache never hit")
+            # a cluster's merged stats cover every worker's stripes
+            expected_shards = shards * (workers or 1)
             check(
-                stats.get("shards") == shards,
+                stats.get("shards") == expected_shards,
                 f"stats report {stats.get('shards')!r} shards, "
-                f"expected {shards}",
+                f"expected {expected_shards}",
             )
+            if workers:
+                check(
+                    stats.get("workers") == workers
+                    and len(stats.get("per_worker", [])) == workers,
+                    "merged stats are missing the per-worker rows",
+                )
+                totals = sum(
+                    row.get("queries", 0)
+                    for row in stats.get("per_worker", [])
+                )
+                check(
+                    totals == stats.get("queries"),
+                    f"per-worker query counts sum to {totals}, "
+                    f"merged total says {stats.get('queries')}",
+                )
 
             # the pipelined fast path must agree with the plain batch
             # (chunked into several requests, matched back by id)
@@ -263,11 +323,15 @@ def run_selftest(
 
             client.close_session("selftest")
             client.shutdown_server()
-        thread.join(timeout=10)
+        thread.join(timeout=15)
         check(not thread.is_alive(), "server did not shut down")
     finally:
-        server.server_close()
-        service.close()
+        if supervisor is not None:
+            supervisor.stop()
+            thread.join(timeout=15)
+        else:
+            server.server_close()
+            service.close()
         if exporter is not None:
             exporter.stop()
         if data_tmp is not None:
@@ -288,6 +352,7 @@ def run_selftest_all_dynamic(
     shards: int = DEFAULT_SHARDS,
     verbose: bool = True,
     metrics_port: Optional[int] = None,
+    workers: int = 0,
 ) -> int:
     """Run the selftest once per registered dynamic scheme."""
     status = 0
@@ -297,6 +362,7 @@ def run_selftest_all_dynamic(
         status |= run_selftest(
             size=size, queries=queries, seed=seed, scheme=scheme,
             shards=shards, verbose=verbose, metrics_port=metrics_port,
+            workers=workers,
         )
     return status
 

@@ -131,6 +131,7 @@ class ReproService:
             "list_sessions": self._op_list_sessions,
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
+            "cluster_info": self._op_cluster_info,
         }
         # per-op instruments, pre-bound so the hot path never touches
         # the registry's lock; "unknown" absorbs bad op names
@@ -344,7 +345,12 @@ class ReproService:
         return self.engine.stats().to_dict()
 
     def _op_metrics(self, request: Request) -> Dict[str, Any]:
-        snapshot = self.metrics.snapshot()
+        # raw=true ships the full integer histogram state instead of
+        # summaries -- what a cluster router asks its workers for so
+        # per-worker series merge exactly before summarizing
+        snapshot = self.metrics.snapshot(
+            raw=bool(request.params.get("raw"))
+        )
         snapshot["traces"] = self.tracer.summary()
         return snapshot
 
@@ -371,6 +377,11 @@ class ReproService:
     def _op_shutdown(self, request: Request) -> Dict[str, Any]:
         self.shutdown_requested.set()
         return {"stopping": True}
+
+    def _op_cluster_info(self, request: Request) -> Dict[str, Any]:
+        # a plain in-process server is not a cluster; the router
+        # answers this op itself with the real topology
+        return {"cluster": False, "workers": 0}
 
 
 # ---------------------------------------------------------------------------
