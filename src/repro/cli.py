@@ -12,6 +12,7 @@ Subcommands::
     python -m repro serve [--port P | --stdio]     # provenance query service
     python -m repro loadgen [SCENARIO]             # drive a load scenario
     python -m repro stats [--watch]                # a live server's telemetry
+    python -m repro lint [PATH...]                 # AST invariant lint suite
 
 ``label`` and ``serve`` take ``--scheme`` to pick any registered
 *dynamic* labeling backend (``drl`` by default; see ``repro schemes``);
@@ -400,6 +401,55 @@ def _ms(seconds) -> str:
     return f"{seconds * 1000:.3f}ms"
 
 
+def cmd_lint(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import ALL_CHECKERS, RULE_IDS, lint
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULE_IDS)
+        for checker in ALL_CHECKERS:
+            scope = "project" if checker.project else "file"
+            print(f"{checker.rule:<{width}}  [{scope:>7}]  "
+                  f"{checker.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # default: the source tree and the tooling next to this package
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        paths = [
+            candidate
+            for candidate in (os.path.join(root, "src"),
+                              os.path.join(root, "tools"))
+            if os.path.isdir(candidate)
+        ] or ["."]
+    rules = None
+    if args.rules:
+        rules = [part.strip() for part in args.rules.split(",")
+                 if part.strip()]
+    try:
+        report = lint(paths, rules=rules)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    for finding in report.findings:
+        print(finding.render())
+    suffix = (
+        f", {len(report.suppressed)} suppressed"
+        if report.suppressed else ""
+    )
+    print(
+        f"lint: {len(report.findings)} finding(s) across "
+        f"{report.files} file(s), {len(report.rules)} rule(s)"
+        f"{suffix}"
+    )
+    return report.exit_code
+
+
 def cmd_loadgen(args) -> int:
     import json
 
@@ -678,6 +728,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("lint",
+                       help="run the AST invariant lint suite "
+                            "(repro.analysis)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: the "
+                        "repo's src/ and tools/)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run "
+                        "(default: all; see --list-rules)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("stats",
                        help="poll a live server's stats and latency "

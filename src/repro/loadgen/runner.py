@@ -241,7 +241,7 @@ class _Worker:
         finally:
             try:
                 self.driver.finish()
-            except Exception:  # pragma: no cover - teardown best effort
+            except Exception:  # pragma: no cover  # repro: noqa[broad-except] -- teardown is best-effort; worker errors were already recorded above
                 pass
 
 

@@ -17,11 +17,16 @@ provenance query service:
   slow-query log.
 * :mod:`repro.obs.logs` -- JSON-lines (or text) structured logging on
   stdlib ``logging``, wired to ``repro serve --log-level/--log-format``.
+* :mod:`repro.obs.names` -- the one registry of metric series, span and
+  logger names; every instrumented call site imports its name from
+  there (the ``metric-names`` rule of :mod:`repro.analysis` enforces
+  it, so a typo'd series cannot be minted silently).
 
 Everything here is standard library only, by design: observability
 must never be the dependency that keeps the service from booting.
 """
 
+from repro.obs import names
 from repro.obs.histogram import (
     Histogram,
     HistogramSnapshot,
@@ -54,6 +59,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "names",
     "Histogram",
     "HistogramSnapshot",
     "bucket_index",

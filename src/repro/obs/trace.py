@@ -30,7 +30,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-_slow_logger = logging.getLogger("repro.obs.slow")
+from repro.obs.names import SLOW_QUERY_LOGGER
+
+_slow_logger = logging.getLogger(SLOW_QUERY_LOGGER)
 
 _active = threading.local()
 

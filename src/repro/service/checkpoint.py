@@ -39,6 +39,7 @@ from typing import Optional
 
 from repro.errors import ServiceError
 from repro.obs.metrics import default_registry
+from repro.obs.names import CHECKPOINT_WRITE_SECONDS
 from repro.io.jsonio import (
     execution_from_json,
     execution_to_json,
@@ -52,7 +53,7 @@ from repro.service.sessions import Session, SessionManager
 # wall time of one full checkpoint write (snapshot + staged files +
 # fsyncs); the roll series in repro.service.wal wraps this plus the
 # WAL truncation
-_h_write = default_registry().histogram("repro_checkpoint_write_seconds")
+_h_write = default_registry().histogram(CHECKPOINT_WRITE_SECONDS)
 
 _FORMAT = "repro-checkpoint"
 _VERSION = 1
@@ -140,7 +141,7 @@ def checkpoint_session(session: Session, directory, durable: bool = True) -> Pat
 
 def _dump(document, path, indent=None) -> None:
     with open(path, "w") as handle:
-        json.dump(document, handle, indent=indent)
+        json.dump(document, handle, indent=indent)  # repro: noqa[durability-fsync] -- checkpoint_session fsyncs every staged file (and the directory) before the manifest rename publishes them
 
 
 def load_manifest(directory) -> dict:

@@ -45,6 +45,15 @@ IDEMPOTENT_OPS = frozenset({
     "list_sessions", "schemes", "recover_info", "cluster_info",
 })
 
+#: ops that change server state and are therefore never auto-retried.
+#: Together the two sets partition ``protocol.OPS`` exactly -- the
+#: ``ops-surface`` rule of :mod:`repro.analysis` and a unit test both
+#: fail if a new op is added to the protocol without being classified
+#: here (``sync`` mutates: it advances on-disk durability state).
+MUTATING_OPS = frozenset({
+    "create_session", "ingest", "snapshot", "sync", "close", "shutdown",
+})
+
 #: delay before the single reconnect attempt, seconds
 RECONNECT_BACKOFF = 0.05
 

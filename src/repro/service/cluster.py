@@ -103,6 +103,17 @@ _BROADCAST_OPS = frozenset({"schemes", "stats", "metrics",
                             "list_sessions", "recover_info", "ping",
                             "shutdown"})
 
+#: every op the router knows how to place: session-keyed forwards,
+#: broadcasts, and the three special cases ``_route`` handles inline
+#: (``cluster_info`` is answered by the router itself; a
+#: ``create_session`` is forwarded to the owner of its ``name``; a
+#: session-less ``sync`` broadcasts, a keyed one forwards).  The
+#: ``ops-surface`` rule of :mod:`repro.analysis` fails the build if
+#: this union ever drifts from ``protocol.OPS``.
+_ROUTED_OPS = _SESSION_OPS | _BROADCAST_OPS | frozenset({
+    "cluster_info", "create_session", "sync",
+})
+
 
 def session_worker(name: str, workers: int) -> int:
     """The worker index owning session ``name`` -- stable across

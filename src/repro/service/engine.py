@@ -27,7 +27,9 @@ amortizes it three ways:
   that stays correct if a future scheme ever relabels or rewires.)
 * **striping** -- the cache and its counters are split across
   ``shards`` independent lock-striped shards keyed by
-  ``hash(session uid)``, so batches against different sessions never
+  ``session uid % shards`` (uids are dense ints; the salted builtin
+  ``hash()`` is banned from routing), so batches against different
+  sessions never
   contend on a lock.  A session's entries all live in one shard
   (its uid picks it), which keeps per-session LRU behavior intact.
 
@@ -68,6 +70,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import LabelingError
 from repro.obs.metrics import default_registry
+from repro.obs.names import (
+    ENGINE_ERRORED_SECONDS,
+    ENGINE_ERRORS_TOTAL,
+    ENGINE_STAGE_SECONDS,
+    STAGE_CACHE_PROBE,
+    STAGE_MISS_FILL,
+)
 from repro.obs.trace import current_trace
 from repro.service.sessions import Session, SessionManager
 
@@ -167,16 +176,16 @@ class QueryEngine:
         self.metrics = metrics if metrics is not None else default_registry()
         self._observe = bool(getattr(self.metrics, "enabled", True))
         self._stage_probe = self.metrics.histogram(
-            "repro_engine_stage_seconds", stage="cache_probe"
+            ENGINE_STAGE_SECONDS, stage=STAGE_CACHE_PROBE
         )
         self._stage_fill = self.metrics.histogram(
-            "repro_engine_stage_seconds", stage="miss_fill"
+            ENGINE_STAGE_SECONDS, stage=STAGE_MISS_FILL
         )
         self._errored_hist = self.metrics.histogram(
-            "repro_engine_errored_seconds"
+            ENGINE_ERRORED_SECONDS
         )
         self._errored_total = self.metrics.counter(
-            "repro_engine_errors_total"
+            ENGINE_ERRORS_TOTAL
         )
         # route cache misses through the scheme's query_many batch
         # kernel; False forces the per-pair reaches_labels loop (the
@@ -199,7 +208,9 @@ class QueryEngine:
         return len(self._shards)
 
     def _shard_for(self, uid: int) -> _Shard:
-        return self._shards[hash(uid) % len(self._shards)]
+        # uids are small positive ints, so plain modulo spreads them
+        # evenly; the salted builtin hash() is banned (nondet-hash)
+        return self._shards[uid % len(self._shards)]
 
     # ------------------------------------------------------------------
     # queries
@@ -252,7 +263,7 @@ class QueryEngine:
             probed = time.perf_counter()
             self._stage_probe.record(probed - started)
             if trace is not None:
-                trace.add_span("cache_probe", started, probed)
+                trace.add_span(STAGE_CACHE_PROBE, started, probed)
         # validate the misses before computing anything.  A hit proves
         # both vertices were labeled (keys are only ever written for
         # computed answers), so only missing pairs can name an unknown
@@ -296,7 +307,7 @@ class QueryEngine:
                     filled = time.perf_counter()
                     self._stage_fill.record(filled - fill_started)
                     if trace is not None:
-                        trace.add_span("miss_fill", fill_started, filled)
+                        trace.add_span(STAGE_MISS_FILL, fill_started, filled)
         except LabelingError:
             elapsed = time.perf_counter() - started
             with shard.lock:

@@ -38,6 +38,13 @@ from typing import List, Optional, Tuple
 
 from repro.graphs.reachability import reaches
 from repro.obs.metrics import MetricsExporter, parse_prometheus_text
+from repro.obs.names import (
+    CHECKPOINT_ROLL_SECONDS,
+    ENGINE_STAGE_SECONDS,
+    OP_LATENCY_SECONDS,
+    WAL_FSYNC_SECONDS,
+    series_count,
+)
 from repro.schemes import registry as scheme_registry
 from repro.service.checkpoint import load_manifest
 from repro.service.client import ServiceClient
@@ -267,8 +274,8 @@ def run_selftest(
             metrics = client.metrics()
             histogram_names = {h["name"] for h in metrics["histograms"]}
             for required in (
-                "repro_op_latency_seconds",
-                "repro_engine_stage_seconds",
+                OP_LATENCY_SECONDS,
+                ENGINE_STAGE_SECONDS,
             ):
                 check(
                     required in histogram_names,
@@ -298,7 +305,7 @@ def run_selftest(
                     samples = [
                         sample
                         for sample in series.get(
-                            "repro_op_latency_seconds_count", []
+                            series_count(OP_LATENCY_SECONDS), []
                         )
                         if sample["labels"].get("op") == op
                     ]
@@ -308,8 +315,8 @@ def run_selftest(
                         f"op {op!r}",
                     )
                 for required in (
-                    "repro_wal_fsync_seconds_count",
-                    "repro_checkpoint_roll_seconds_count",
+                    series_count(WAL_FSYNC_SECONDS),
+                    series_count(CHECKPOINT_ROLL_SECONDS),
                 ):
                     samples = series.get(required, [])
                     check(

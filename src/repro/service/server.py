@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Optional, TextIO
 from repro.errors import ProtocolError, ServiceError
 from repro.obs.logs import log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.names import OP_LATENCY_SECONDS, REQUESTS_TOTAL
 from repro.obs.trace import Tracer, activate
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
@@ -138,12 +139,12 @@ class ReproService:
         self._op_instruments: Dict[str, tuple] = {}
         for op in (*self._ops, "unknown"):
             self._op_instruments[op] = (
-                self.metrics.histogram("repro_op_latency_seconds", op=op),
+                self.metrics.histogram(OP_LATENCY_SECONDS, op=op),
                 self.metrics.counter(
-                    "repro_requests_total", op=op, status="ok"
+                    REQUESTS_TOTAL, op=op, status="ok"
                 ),
                 self.metrics.counter(
-                    "repro_requests_total", op=op, status="error"
+                    REQUESTS_TOTAL, op=op, status="error"
                 ),
             )
 

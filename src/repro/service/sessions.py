@@ -29,6 +29,7 @@ import itertools
 import logging
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -37,6 +38,7 @@ from repro.errors import ServiceError, SessionNotFoundError
 from repro.labeling.drl import Label
 from repro.obs.logs import log_event
 from repro.obs.metrics import default_registry
+from repro.obs.names import ENGINE_STAGE_SECONDS, STAGE_LABEL_BUILD
 from repro.obs.trace import current_trace
 from repro.schemes import registry as scheme_registry
 from repro.workflow.execution import Insertion
@@ -49,7 +51,7 @@ _logger = logging.getLogger("repro.service.sessions")
 # process-default registry so standalone sessions and hosted ones land
 # in the same series
 _label_build_hist = default_registry().histogram(
-    "repro_engine_stage_seconds", stage="label_build"
+    ENGINE_STAGE_SECONDS, stage=STAGE_LABEL_BUILD
 )
 
 SpecLike = Union[Specification, str]
@@ -179,7 +181,7 @@ class Session:
                 trace = current_trace()
                 if trace is not None:
                     trace.add_span(
-                        "label_build", build_started, build_ended
+                        STAGE_LABEL_BUILD, build_started, build_ended
                     )
                 if count:
                     self.version += 1
@@ -237,9 +239,11 @@ class SessionManager:
     """Hosts many named sessions; thread-safe create/get/close.
 
     The registry is lock-striped across ``shards`` independent
-    ``(lock, dict)`` slices keyed by ``hash(name)``, so create/get/close
-    on *different* sessions never contend on one mutex -- the same
-    striping the query engine applies to its cache.  Cross-shard views
+    ``(lock, dict)`` slices keyed by CRC-32 of the name (stable across
+    processes, unlike the salted builtin ``hash()``, and therefore the
+    same stripe layout the cluster's session router uses), so
+    create/get/close on *different* sessions never contend on one
+    mutex -- the same striping the query engine applies to its cache.  Cross-shard views
     (:meth:`names`, ``len``) take each shard lock in turn; they are
     monitoring surfaces and need no global atomicity.
     """
@@ -257,7 +261,7 @@ class SessionManager:
         return len(self._tables)
 
     def _slot(self, name: str) -> Tuple[threading.Lock, Dict[str, Session]]:
-        index = hash(name) % len(self._tables)
+        index = zlib.crc32(name.encode("utf-8")) % len(self._tables)
         return self._locks[index], self._tables[index]
 
     def create(

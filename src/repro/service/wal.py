@@ -61,6 +61,14 @@ from repro.io.jsonio import insertion_from_json, insertion_to_json
 from repro.io.xmlio import FormatError
 from repro.obs.logs import log_event
 from repro.obs.metrics import default_registry
+from repro.obs.names import (
+    CHECKPOINT_ROLL_SECONDS,
+    SPAN_CHECKPOINT_ROLL,
+    SPAN_WAL_APPEND,
+    SPAN_WAL_FSYNC,
+    WAL_APPEND_SECONDS,
+    WAL_FSYNC_SECONDS,
+)
 from repro.obs.trace import current_trace
 from repro.service.checkpoint import (
     checkpoint_session,
@@ -81,9 +89,9 @@ _logger = logging.getLogger("repro.service.wal")
 # serialize+write+flush of one record, fsync is the physical sync (only
 # recorded when one actually runs, so 'batch'/'never' policies show
 # their true amortization), roll is a whole checkpoint generation
-_h_append = default_registry().histogram("repro_wal_append_seconds")
-_h_fsync = default_registry().histogram("repro_wal_fsync_seconds")
-_h_roll = default_registry().histogram("repro_checkpoint_roll_seconds")
+_h_append = default_registry().histogram(WAL_APPEND_SECONDS)
+_h_fsync = default_registry().histogram(WAL_FSYNC_SECONDS)
+_h_roll = default_registry().histogram(CHECKPOINT_ROLL_SECONDS)
 
 _WAL_FORMAT = "repro-wal"
 _WAL_VERSION = 1
@@ -375,7 +383,9 @@ class WriteAheadLog:
                 append_ended = time.perf_counter()
                 _h_append.record(append_ended - append_started)
                 if trace is not None:
-                    trace.add_span("wal_append", append_started, append_ended)
+                    trace.add_span(
+                        SPAN_WAL_APPEND, append_started, append_ended
+                    )
                 synced = False
                 if self.policy == "always":
                     synced = True
@@ -393,7 +403,7 @@ class WriteAheadLog:
                     _h_fsync.record(fsync_ended - fsync_started)
                     if trace is not None:
                         trace.add_span(
-                            "wal_fsync", fsync_started, fsync_ended
+                            SPAN_WAL_FSYNC, fsync_started, fsync_ended
                         )
             except Exception as exc:
                 self.failed = True
@@ -417,7 +427,7 @@ class WriteAheadLog:
             _h_fsync.record(fsync_ended - fsync_started)
             trace = current_trace()
             if trace is not None:
-                trace.add_span("wal_fsync", fsync_started, fsync_ended)
+                trace.add_span(SPAN_WAL_FSYNC, fsync_started, fsync_ended)
             self._unsynced = 0
 
     def truncate_to_base(self, version: int, vertices: int) -> int:
@@ -566,7 +576,7 @@ class DurableStore:
                 f"data dir {self.root} is locked by another live "
                 "process; two servers must not share one data dir"
             ) from None
-        self._lock_handle.write(f"{os.getpid()}\n")
+        self._lock_handle.write(f"{os.getpid()}\n")  # repro: noqa[durability-fsync] -- the LOCK file's pid is advisory debug info; flock(2) is the actual mutual-exclusion mechanism and holds without fsync
         self._lock_handle.flush()
 
     # ------------------------------------------------------------------
@@ -729,7 +739,9 @@ class DurableStore:
             _h_roll.record(roll_ended - roll_started)
             trace = current_trace()
             if trace is not None:
-                trace.add_span("checkpoint_roll", roll_started, roll_ended)
+                trace.add_span(
+                    SPAN_CHECKPOINT_ROLL, roll_started, roll_ended
+                )
             log_event(
                 _logger, logging.INFO, "checkpoint-roll",
                 session=session.name, version=version, vertices=vertices,
