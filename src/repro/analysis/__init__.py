@@ -21,34 +21,40 @@ from repro.analysis.core import (
     Checker,
     Finding,
     LintReport,
+    ParseCache,
     Project,
     SourceFile,
     iter_python_files,
     lint_paths,
 )
+from repro.analysis.flow_rules import FLOW_RULES
 from repro.analysis.project_rules import PROJECT_RULES
 from repro.analysis.rules import FILE_RULES
 
-#: every checker, per-file rules first, frozen registration order
-ALL_CHECKERS = tuple(FILE_RULES) + tuple(PROJECT_RULES)
+#: every checker: per-file rules, project rules, then the
+#: interprocedural flow rules -- frozen registration order
+ALL_CHECKERS = tuple(FILE_RULES) + tuple(PROJECT_RULES) + \
+    tuple(FLOW_RULES)
 
 #: frozen rule ids, in registration order (tests pin this set)
 RULE_IDS = tuple(checker.rule for checker in ALL_CHECKERS)
 
 
-def lint(paths, rules=None) -> LintReport:
+def lint(paths, rules=None, jobs=1) -> LintReport:
     """Run the full suite (or ``rules``) over ``paths``."""
-    return lint_paths(paths, ALL_CHECKERS, rules=rules)
+    return lint_paths(paths, ALL_CHECKERS, rules=rules, jobs=jobs)
 
 
 __all__ = [
     "ALL_CHECKERS",
     "Checker",
     "FILE_RULES",
+    "FLOW_RULES",
     "Finding",
     "LintReport",
     "PARSE_RULE",
     "PROJECT_RULES",
+    "ParseCache",
     "Project",
     "RULE_IDS",
     "SourceFile",

@@ -1,0 +1,146 @@
+"""The committed findings baseline (``.reprolint-baseline.json``).
+
+A new rule landing on a big tree surfaces pre-existing findings that
+are real but not this change's job to fix.  The baseline records
+those accepted findings so CI keeps passing, while *new* findings --
+anything not in the baseline -- still fail the build.  Findings may
+only leave the baseline (by being fixed), never accumulate: CI gates
+on the file never growing.
+
+Baselined findings are matched by a *fingerprint* that survives
+unrelated edits: rule id, file basename, and the stripped source
+line's text, plus an occurrence index for identical lines.  Line
+numbers are recorded for humans but never matched on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import Finding, LintReport
+
+__all__ = [
+    "BASELINE_NAME",
+    "apply_baseline",
+    "compute_fingerprints",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_NAME = ".reprolint-baseline.json"
+_VERSION = 1
+
+
+def _line_text(finding: Finding,
+               cache: Dict[str, List[str]]) -> str:
+    lines = cache.get(finding.file)
+    if lines is None:
+        try:
+            lines = Path(finding.file).read_text(
+                encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        cache[finding.file] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def compute_fingerprints(findings: List[Finding]) -> List[str]:
+    """One stable fingerprint per finding, order-aligned.
+
+    ``sha256(rule | file-basename | stripped-line-text | index)`` --
+    the index disambiguates identical lines flagged by the same rule
+    in the same file, counted in finding order.
+    """
+    cache: Dict[str, List[str]] = {}
+    seen: Dict[Tuple[str, str, str], int] = {}
+    fingerprints: List[str] = []
+    for finding in findings:
+        text = _line_text(finding, cache)
+        basename = finding.file.replace("\\", "/").rsplit("/", 1)[-1]
+        key = (finding.rule, basename, text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{basename}|{text}|{index}".encode("utf-8")
+        ).hexdigest()[:20]
+        fingerprints.append(digest)
+    return fingerprints
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    """The parsed baseline, or None when the file does not exist."""
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or \
+            not isinstance(data.get("findings"), list):
+        raise ValueError(
+            f"{path}: not a reprolint baseline (expected an object "
+            "with a 'findings' array)"
+        )
+    return data
+
+
+def apply_baseline(report: LintReport,
+                   baseline: Optional[Dict[str, object]]
+                   ) -> Tuple[LintReport, List[Dict[str, object]]]:
+    """Split baselined findings out of the report.
+
+    Returns ``(report, baselined)`` where the report keeps only *new*
+    findings (what CI gates on) and ``baselined`` lists the accepted
+    ones that were seen again.  Without a baseline the report passes
+    through untouched.
+    """
+    if baseline is None:
+        return report, []
+    accepted: Dict[str, Dict[str, object]] = {}
+    for entry in baseline.get("findings", []):
+        if isinstance(entry, dict) and isinstance(
+                entry.get("fingerprint"), str):
+            accepted[entry["fingerprint"]] = entry
+    kept: List[Finding] = []
+    baselined: List[Dict[str, object]] = []
+    budget = dict.fromkeys(accepted, 1)
+    for finding, fingerprint in zip(
+            report.findings, compute_fingerprints(report.findings)):
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            record = dict(finding.to_dict())
+            record["fingerprint"] = fingerprint
+            baselined.append(record)
+        else:
+            kept.append(finding)
+    report.findings = kept
+    return report, baselined
+
+
+def write_baseline(report: LintReport, path: Path) -> int:
+    """Accept every current finding into the baseline; returns count."""
+    entries: List[Dict[str, object]] = []
+    for finding, fingerprint in zip(
+            report.findings, compute_fingerprints(report.findings)):
+        entries.append({
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "file": finding.file,
+            "line": finding.line,
+            "message": finding.message,
+        })
+    entries.sort(key=lambda e: (e["file"], e["line"], e["rule"]))
+    document = {
+        "version": _VERSION,
+        "comment": (
+            "Accepted pre-existing lint findings. This file may only "
+            "shrink: fix a finding and remove its entry. CI gates on "
+            "it never growing."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n",
+                    encoding="utf-8")
+    return len(entries)

@@ -119,6 +119,27 @@ class SourceFile:
         return None
 
 
+class ParseCache:
+    """Parse each file exactly once per run, keyed by resolved path."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[Optional["SourceFile"],
+                                       Optional[Finding]]] = {}
+
+    def parse(self, path: Path) -> Tuple[Optional["SourceFile"],
+                                         Optional[Finding]]:
+        try:
+            key = str(path.resolve())
+        except OSError:  # pragma: no cover - exotic filesystems
+            key = str(path)
+        if key not in self._entries:
+            self._entries[key] = parse_file(path)
+        return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Project:
     """Everything the walker found, for cross-module checkers.
 
@@ -128,13 +149,24 @@ class Project:
     lives.  When no source root is present -- the paths under lint are
     fixture snippets, not the service -- project checkers no-op, so the
     per-file rules still work on arbitrary trees.
+
+    A project carries the run's :class:`ParseCache`, so any checker
+    needing an extra file parsed (or the runner expanding a single
+    file to its anchored tree) parses each path at most once.
     """
 
-    def __init__(self, files: Sequence[SourceFile]) -> None:
+    def __init__(self, files: Sequence[SourceFile],
+                 cache: Optional[ParseCache] = None) -> None:
         self.files = list(files)
+        self.cache = cache if cache is not None else ParseCache()
         self._by_suffix: Dict[str, SourceFile] = {}
         for source in self.files:
             self._by_suffix[source.path.as_posix()] = source
+
+    def parse(self, path: Path) -> Tuple[Optional["SourceFile"],
+                                         Optional[Finding]]:
+        """Parse through the run's cache (once per path per run)."""
+        return self.cache.parse(Path(path))
 
     def module(self, suffix: str) -> Optional[SourceFile]:
         """The parsed file whose path ends with ``suffix`` (posix)."""
@@ -207,6 +239,9 @@ class LintReport:
     files: int
     rules: List[str]
     suppressed: List[Dict[str, object]] = field(default_factory=list)
+    #: the analysed project (for graph export); never serialised
+    project: Optional["Project"] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def exit_code(self) -> int:
@@ -229,13 +264,14 @@ def iter_python_files(paths: Iterable) -> List[Path]:
     itself a ``.py`` file is taken as-is.
     """
     collected: List[Path] = []
+    seen: set = set()
     for raw in paths:
         path = Path(raw)
         if path.is_file():
             if path.suffix == ".py":
                 collected.append(path)
             continue
-        for candidate in sorted(path.rglob("*.py")):
+        for candidate in path.rglob("*.py"):
             parts = candidate.relative_to(path).parts
             if any(
                 part == "__pycache__" or part.startswith(".")
@@ -243,7 +279,17 @@ def iter_python_files(paths: Iterable) -> List[Path]:
             ):
                 continue
             collected.append(candidate)
-    return collected
+    unique: List[Path] = []
+    for candidate in sorted(collected, key=lambda p: p.as_posix()):
+        try:
+            key = str(candidate.resolve())
+        except OSError:  # pragma: no cover - exotic filesystems
+            key = str(candidate)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(candidate)
+    return unique
 
 
 def _display(path: Path) -> str:
@@ -272,12 +318,83 @@ def parse_file(path: Path) -> Tuple[Optional[SourceFile], Optional[Finding]]:
     return SourceFile(path, display, text, tree), None
 
 
+#: anchored-tree marker: a file path ending in this activates project
+#: rules; a lone file *inside* such a tree pulls the tree in as context
+_ANCHOR_SUFFIX = ("repro", "service", "protocol.py")
+
+
+def _find_anchor_root(path: Path) -> Optional[Path]:
+    """The directory above ``path`` containing the anchored tree."""
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - exotic filesystems
+        return None
+    for parent in resolved.parents:
+        candidate = parent.joinpath(*_ANCHOR_SUFFIX)
+        if candidate.is_file():
+            return parent
+    return None
+
+
+def _file_lint_job(args: Tuple[str, Tuple[str, ...]]) -> List[Finding]:
+    """Worker for ``jobs > 1``: per-file rules over one file."""
+    path_str, rule_ids = args
+    from repro.analysis import ALL_CHECKERS
+
+    source, failure = parse_file(Path(path_str))
+    if failure is not None:
+        return [failure]
+    out: List[Finding] = []
+    for checker in ALL_CHECKERS:
+        if checker.project or checker.rule not in rule_ids:
+            continue
+        out.extend(checker.check(source))
+    return out
+
+
+def _run_file_checkers_parallel(
+    sources: Sequence[SourceFile],
+    file_checkers: Sequence[Checker],
+    jobs: int,
+) -> List[Finding]:
+    """Fan the per-file rules out over a process pool.
+
+    Falls back to serial execution when the platform refuses to give
+    us a pool (restricted sandboxes) -- the lint must never fail for
+    infrastructure reasons.
+    """
+    rule_ids = tuple(checker.rule for checker in file_checkers)
+    job_args = [(str(source.path), rule_ids) for source in sources]
+    try:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(sources))) as pool:
+            buckets = pool.map(_file_lint_job, job_args)
+        return [finding for bucket in buckets for finding in bucket]
+    except (ImportError, OSError, PermissionError,
+            ValueError):  # pragma: no cover - sandbox-dependent
+        out: List[Finding] = []
+        for checker in file_checkers:
+            for source in sources:
+                out.extend(checker.check(source))
+        return out
+
+
 def lint_paths(
     paths: Iterable,
     checkers: Sequence[Checker],
     rules: Optional[Iterable[str]] = None,
+    jobs: int = 1,
 ) -> LintReport:
-    """Run ``checkers`` (optionally narrowed to ``rules``) over ``paths``."""
+    """Run ``checkers`` (optionally narrowed to ``rules``) over ``paths``.
+
+    Files are linted in sorted order, each parsed once per run.  With
+    ``jobs > 1`` the per-file rules fan out over a multiprocessing
+    pool (project rules always run in-process -- they need the whole
+    tree).  A *file* argument that lives inside an anchored service
+    tree pulls the rest of the tree in as context, so project rules
+    still apply; findings are then scoped to the requested files.
+    """
     if rules is not None:
         wanted = set(rules)
         known = {checker.rule for checker in checkers}
@@ -288,22 +405,63 @@ def lint_paths(
                 f"known: {sorted(known)}"
             )
         checkers = [c for c in checkers if c.rule in wanted]
+    cache = ParseCache()
+    target_paths = iter_python_files(paths)
+    # single-file anchoring: explicit .py arguments inside an anchored
+    # tree activate project rules with the whole tree as context
+    context_paths: List[Path] = []
+    has_anchor = any(
+        path.as_posix().endswith("/".join(_ANCHOR_SUFFIX))
+        for path in target_paths
+    )
+    explicit_files = [
+        Path(raw) for raw in paths
+        if Path(raw).is_file() and Path(raw).suffix == ".py"
+    ]
+    if explicit_files and not has_anchor:
+        roots: List[Path] = []
+        for path in explicit_files:
+            root = _find_anchor_root(path)
+            if root is not None and root not in roots:
+                roots.append(root)
+        if roots:
+            target_keys = {str(p.resolve()) for p in target_paths}
+            for candidate in iter_python_files(sorted(roots)):
+                if str(candidate.resolve()) not in target_keys:
+                    context_paths.append(candidate)
+    scoped = bool(context_paths)
+
     sources: List[SourceFile] = []
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        source, failure = parse_file(path)
+    for path in target_paths:
+        source, failure = cache.parse(path)
         if failure is not None:
             findings.append(failure)
         else:
             sources.append(source)
-    project = Project(sources)
+    context_sources: List[SourceFile] = []
+    for path in context_paths:
+        source, _ = cache.parse(path)  # context parse errors stay quiet
+        if source is not None:
+            context_sources.append(source)
+    project = Project(sources + context_sources, cache=cache)
     raw: List[Finding] = []
-    for checker in checkers:
-        if checker.project:
-            raw.extend(checker.check_project(project))
-        else:
+    file_checkers = [c for c in checkers if not c.project]
+    if jobs > 1 and file_checkers and len(sources) > 1:
+        raw.extend(_run_file_checkers_parallel(
+            sources, file_checkers, jobs))
+    else:
+        for checker in file_checkers:
             for source in sources:
                 raw.extend(checker.check(source))
+    for checker in checkers:
+        if checker.project:
+            for finding in checker.check_project(project):
+                if scoped and not any(
+                        finding.file == source.display
+                        for source in sources):
+                    continue
+                raw.extend([finding])
     suppressed: List[Dict[str, object]] = []
     by_display = {source.display: source for source in sources}
     for finding in raw:
@@ -331,4 +489,5 @@ def lint_paths(
         files=len(sources),
         rules=[checker.rule for checker in checkers],
         suppressed=suppressed,
+        project=project,
     )

@@ -1,0 +1,177 @@
+"""SARIF 2.1.0 emission for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests: uploading the report annotates the PR diff
+with each finding at its file/line.  Only the small stable core of
+the format is emitted -- tool driver with the rule catalog, one
+``result`` per finding -- and :func:`validate_sarif` structurally
+checks that core (the suite is dependency-free, so there is no JSON
+Schema library to lean on; the validator is the schema check the
+tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Checker, LintReport
+
+__all__ = ["report_to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def report_to_sarif(report: LintReport,
+                    checkers: Sequence[Checker]) -> Dict[str, object]:
+    """The lint report as a SARIF 2.1.0 document (a plain dict)."""
+    by_rule = {checker.rule: checker for checker in checkers}
+    rule_ids = sorted(
+        set(report.rules) | {finding.rule for finding in report.findings}
+    )
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for position, rule_id in enumerate(rule_ids):
+        checker = by_rule.get(rule_id)
+        rules.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": checker.summary if checker is not None
+                else rule_id,
+            },
+            "help": {
+                "text": checker.hint if checker is not None else "",
+            },
+        })
+        rule_index[rule_id] = position
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "error",
+            "message": {
+                "text": (finding.message +
+                         (f" (hint: {finding.hint})" if finding.hint
+                          else "")),
+            },
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 0) + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/",  # repo-relative docs
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def validate_sarif(document: object) -> List[str]:
+    """Structural schema check; returns the list of violations.
+
+    An empty list means the document satisfies the SARIF 2.1.0 core
+    that GitHub code scanning requires: version, one run with a named
+    tool driver carrying a rule array, and results whose ruleIds are
+    declared and whose locations carry a uri plus a 1-based startLine.
+    """
+    errors: List[str] = []
+
+    def need(cond: bool, message: str) -> bool:
+        if not cond:
+            errors.append(message)
+        return cond
+
+    if not need(isinstance(document, dict), "document is not an object"):
+        return errors
+    need(document.get("version") == SARIF_VERSION,
+         f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not need(isinstance(runs, list) and len(runs) >= 1,
+                "runs must be a non-empty array"):
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not need(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not need(isinstance(driver, dict),
+                    f"{where}.tool.driver missing"):
+            continue
+        need(isinstance(driver.get("name"), str) and driver["name"],
+             f"{where}.tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        declared = set()
+        if need(isinstance(rules, list),
+                f"{where}.tool.driver.rules must be an array"):
+            for rule_pos, rule in enumerate(rules):
+                rwhere = f"{where}.rules[{rule_pos}]"
+                if need(isinstance(rule, dict) and
+                        isinstance(rule.get("id"), str),
+                        f"{rwhere}.id must be a string"):
+                    declared.add(rule["id"])
+        results = run.get("results")
+        if not need(isinstance(results, list),
+                    f"{where}.results must be an array"):
+            continue
+        for pos, result in enumerate(results):
+            rwhere = f"{where}.results[{pos}]"
+            if not need(isinstance(result, dict),
+                        f"{rwhere} is not an object"):
+                continue
+            rule_id = result.get("ruleId")
+            need(isinstance(rule_id, str) and bool(rule_id),
+                 f"{rwhere}.ruleId must be a string")
+            if isinstance(rule_id, str) and declared:
+                need(rule_id in declared,
+                     f"{rwhere}.ruleId {rule_id!r} not declared in "
+                     "the driver rules")
+            message = result.get("message")
+            need(isinstance(message, dict) and
+                 isinstance(message.get("text"), str),
+                 f"{rwhere}.message.text must be a string")
+            locations = result.get("locations")
+            if not need(isinstance(locations, list) and locations,
+                        f"{rwhere}.locations must be non-empty"):
+                continue
+            for lpos, location in enumerate(locations):
+                lwhere = f"{rwhere}.locations[{lpos}]"
+                physical = location.get("physicalLocation") \
+                    if isinstance(location, dict) else None
+                if not need(isinstance(physical, dict),
+                            f"{lwhere}.physicalLocation missing"):
+                    continue
+                artifact = physical.get("artifactLocation")
+                need(isinstance(artifact, dict) and
+                     isinstance(artifact.get("uri"), str),
+                     f"{lwhere}.artifactLocation.uri must be a string")
+                region = physical.get("region")
+                if need(isinstance(region, dict),
+                        f"{lwhere}.region missing"):
+                    need(isinstance(region.get("startLine"), int) and
+                         region["startLine"] >= 1,
+                         f"{lwhere}.region.startLine must be >= 1")
+    return errors

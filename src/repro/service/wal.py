@@ -398,7 +398,7 @@ class WriteAheadLog:
                     self._unsynced += 1
                 if synced:
                     fsync_started = time.perf_counter()
-                    os.fsync(self._handle.fileno())
+                    os.fsync(self._handle.fileno())  # repro: noqa[blocking-under-lock] -- the fsync-before-ack IS the durability contract: the session lock must stay held until the WAL entry is on disk, or an ack could precede persistence
                     fsync_ended = time.perf_counter()
                     _h_fsync.record(fsync_ended - fsync_started)
                     if trace is not None:

@@ -47,6 +47,10 @@ FROZEN_RULE_IDS = {
     "ops-surface",
     "ops-idempotent",
     "docs-drift",
+    "deadlock-cycle",
+    "blocking-under-lock",
+    "exception-escape",
+    "resource-leak",
 }
 
 

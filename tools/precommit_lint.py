@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Pre-commit hook: lint the staged Python files with ``repro lint``.
+
+Runs the full rule suite over every staged (added/copied/modified/
+renamed) ``.py`` file, honouring the committed findings baseline and
+the inline ``# repro: noqa[rule] -- reason`` suppressions.  Staged
+files inside the anchored service tree pull the rest of the tree in
+as context, so the project-wide and interprocedural rules still
+apply; findings are scoped to the staged files.
+
+Install::
+
+    ln -s ../../tools/precommit_lint.py .git/hooks/pre-commit
+
+or call it from an existing hook.  Exit status 0 lets the commit
+proceed; 1 blocks it and prints the findings.  ``--all`` lints the
+whole tree instead of the staged set (useful from CI or by hand).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import lint  # noqa: E402
+from repro.analysis.baseline import (  # noqa: E402
+    BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+)
+
+
+def staged_python_files() -> list:
+    proc = subprocess.run(
+        ["git", "diff", "--cached", "--name-only",
+         "--diff-filter=ACMR", "--", "*.py"],
+        capture_output=True, text=True, cwd=REPO, check=True,
+    )
+    return [
+        REPO / line.strip()
+        for line in proc.stdout.splitlines()
+        if line.strip() and (REPO / line.strip()).is_file()
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--all", action="store_true",
+                        help="lint src/ and tools/ instead of the "
+                             "staged files")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the per-file rules over N processes")
+    args = parser.parse_args(argv)
+
+    if args.all:
+        paths = [REPO / "src", REPO / "tools"]
+    else:
+        paths = staged_python_files()
+        if not paths:
+            return 0
+
+    report = lint(paths, jobs=max(args.jobs, 1))
+    try:
+        baseline = load_baseline(REPO / BASELINE_NAME)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    report, baselined = apply_baseline(report, baseline)
+
+    for finding in report.findings:
+        print(finding.render())
+    if report.findings:
+        print(f"pre-commit: {len(report.findings)} lint finding(s) in "
+              "the staged files -- fix them, or suppress with "
+              "'# repro: noqa[rule] -- reason'", file=sys.stderr)
+        return 1
+    suffix = f", {len(baselined)} baselined" if baselined else ""
+    print(f"pre-commit: lint clean across {report.files} staged "
+          f"file(s){suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
