@@ -682,6 +682,55 @@ class MetricNamesRule(Checker):
                     )
 
 
+# ---------------------------------------------------------------------------
+# failpoint name registry
+# ---------------------------------------------------------------------------
+
+
+class FailpointNamesRule(Checker):
+    """Every ``FAILPOINTS.hit(...)`` site must pass a string literal
+    from the frozen :data:`repro.faults.FAILPOINT_NAMES` catalog -- a
+    computed or unregistered name is a crash point the failpoint test
+    matrix can never arm, so it silently escapes the crash sweep."""
+
+    rule = "failpoint-names"
+    summary = "FAILPOINTS.hit name not in the frozen catalog"
+    hint = (
+        "pass a string literal registered in "
+        "repro.faults.FAILPOINT_NAMES (add it there first; the "
+        "failpoint matrix in tests/test_faults.py sweeps that table)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        from repro.faults import FAILPOINT_NAMES
+
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "hit"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "FAILPOINTS"
+            ):
+                continue
+            if not node.args or not _is_str_constant(node.args[0]):
+                yield self.finding(
+                    source, node.lineno,
+                    "FAILPOINTS.hit() with a non-literal name; the "
+                    "crash matrix cannot enumerate it",
+                    col=node.col_offset,
+                )
+                continue
+            name = node.args[0].value
+            if name not in FAILPOINT_NAMES:
+                yield self.finding(
+                    source, node.lineno,
+                    f"failpoint {name!r} is not registered in "
+                    "repro.faults.FAILPOINT_NAMES",
+                    col=node.col_offset,
+                )
+
+
 FILE_RULES = (
     LockDisciplineRule(),
     LockOrderRule(),
@@ -692,4 +741,5 @@ FILE_RULES = (
     MutableDefaultRule(),
     BroadExceptRule(),
     MetricNamesRule(),
+    FailpointNamesRule(),
 )

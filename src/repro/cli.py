@@ -193,9 +193,23 @@ def cmd_bench(args) -> int:
     return bench_main(["bench"] + args.experiments)
 
 
+def _parse_endpoint(value: str, flag: str):
+    """Parse one ``host:port`` argument into a ``(host, port)`` pair."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"{flag} must be host:port, got {value!r}")
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise SystemExit(
+            f"{flag} has a non-numeric port: {value!r}"
+        ) from None
+
+
 def cmd_serve(args) -> int:
     import sys
 
+    from repro.faults import FAILPOINTS
     from repro.obs.logs import configure_logging
     from repro.obs.metrics import MetricsExporter
     from repro.service.server import ReproServer, ReproService, serve_stdio
@@ -215,6 +229,32 @@ def cmd_serve(args) -> int:
         )
     if args.data_dir and args.checkpoint_interval <= 0:
         raise SystemExit("--checkpoint-interval must be positive")
+    if args.keep_generations < 1:
+        raise SystemExit("--keep-generations must be >= 1")
+    replicate_from = None
+    if args.replicate_from:
+        if args.workers:
+            raise SystemExit(
+                "--replicate-from pairs whole servers; a replica of a "
+                "cluster follows each worker directly -- drop --workers"
+            )
+        if not args.data_dir:
+            raise SystemExit("--replicate-from needs --data-dir (a "
+                             "replica applies into its own WAL)")
+        replicate_from = _parse_endpoint(args.replicate_from,
+                                         "--replicate-from")
+    repl_peers = tuple(
+        _parse_endpoint(peer.strip(), "--peers")
+        for peer in (args.peers or "").split(",") if peer.strip()
+    )
+    if args.repl_min_acks < 0:
+        raise SystemExit("--repl-min-acks must be >= 0")
+    try:
+        FAILPOINTS.arm_from_env()
+        if args.failpoints:
+            FAILPOINTS.arm_from_spec(args.failpoints)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     # stderr always: stdout may be the protocol stream under --stdio
     configure_logging(level=args.log_level, fmt=args.log_format)
     if args.selftest:
@@ -245,6 +285,7 @@ def cmd_serve(args) -> int:
                 args.checkpoint_interval if args.data_dir else None
             ),
             slow_threshold=args.slow_threshold,
+            keep_generations=args.keep_generations,
         )
         supervisor.start()
         print(
@@ -267,6 +308,11 @@ def cmd_serve(args) -> int:
             args.checkpoint_interval if args.data_dir else None
         ),
         slow_threshold=args.slow_threshold,
+        keep_generations=args.keep_generations,
+        replicate_from=replicate_from,
+        repl_peers=repl_peers,
+        repl_min_acks=args.repl_min_acks,
+        replica_id=args.replica_id,
     )
     exporter = None
     if args.metrics_port is not None:
@@ -291,6 +337,13 @@ def cmd_serve(args) -> int:
             + (f": {', '.join(sorted(recovered))}" if recovered else "")
             + ")",
             # stdout is the protocol stream under --stdio
+            file=sys.stderr if args.stdio else sys.stdout,
+        )
+    if replicate_from is not None:
+        print(
+            f"repro replica following "
+            f"{replicate_from[0]}:{replicate_from[1]} "
+            f"(read-only until promoted)",
             file=sys.stderr if args.stdio else sys.stdout,
         )
     try:
@@ -510,11 +563,14 @@ def cmd_loadgen(args) -> int:
     )
 
     from repro.loadgen.crash import (
+        KILL_PRIMARY_SCENARIO,
+        KILL_PRIMARY_SUMMARY,
         KILL_WORKER_SCENARIO,
         KILL_WORKER_SUMMARY,
         SCENARIO_NAME as CRASH_SCENARIO,
         SCENARIO_SUMMARY as CRASH_SUMMARY,
         run_crash_recovery,
+        run_kill_primary,
         run_kill_worker,
     )
 
@@ -523,10 +579,12 @@ def cmd_loadgen(args) -> int:
             print(f"{name:<24} {scenario.summary}")
         print(f"{CRASH_SCENARIO:<24} {CRASH_SUMMARY}")
         print(f"{KILL_WORKER_SCENARIO:<24} {KILL_WORKER_SUMMARY}")
+        print(f"{KILL_PRIMARY_SCENARIO:<24} {KILL_PRIMARY_SUMMARY}")
         return 0
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
-    if args.scenario in (CRASH_SCENARIO, KILL_WORKER_SCENARIO):
+    if args.scenario in (CRASH_SCENARIO, KILL_WORKER_SCENARIO,
+                         KILL_PRIMARY_SCENARIO):
         # not a closed-loop scenario: it owns its server subprocess
         if args.port:
             raise SystemExit(
@@ -540,6 +598,15 @@ def cmd_loadgen(args) -> int:
                     kill_after=max(0.2, args.duration / 2),
                     seed=args.seed,
                     workers=args.cluster_workers,
+                    verbose=not args.json,
+                )
+            elif args.scenario == KILL_PRIMARY_SCENARIO:
+                report = run_kill_primary(
+                    data_dir=args.data_dir,
+                    fsync=args.fsync,
+                    kill_after=max(0.2, args.duration / 2),
+                    seed=args.seed,
+                    replicas=args.replicas,
                     verbose=not args.json,
                 )
             else:
@@ -566,6 +633,12 @@ def cmd_loadgen(args) -> int:
                 + (
                     f", {report.worker_restarts} worker restart(s)"
                     if args.scenario == KILL_WORKER_SCENARIO
+                    else ""
+                )
+                + (
+                    f", promoted port {report.promoted_port} at "
+                    f"epoch {report.promoted_epoch}"
+                    if args.scenario == KILL_PRIMARY_SCENARIO
                     else ""
                 )
             )
@@ -707,6 +780,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-interval", type=float, default=30.0,
                    help="with --data-dir: seconds between background "
                         "rolls of outstanding WALs into checkpoints")
+    p.add_argument("--keep-generations", type=int, default=1,
+                   help="with --data-dir: retain this many checkpoint "
+                        "generations per session for 'as_of' time-"
+                        "travel reads (1 = only the current one)")
+    p.add_argument("--replicate-from", default=None, metavar="HOST:PORT",
+                   help="run as a read replica of the primary at this "
+                        "address (needs --data-dir): apply its shipped "
+                        "WAL stream, serve reads, accept 'promote'")
+    p.add_argument("--peers", default=None, metavar="H:P,H:P",
+                   help="replica only: other endpoints to probe for "
+                        "the new primary after a failover")
+    p.add_argument("--repl-min-acks", type=int, default=0,
+                   help="primary only: acknowledge an ingest only "
+                        "after this many replicas cover it (0 = "
+                        "asynchronous shipping)")
+    p.add_argument("--replica-id", default=None,
+                   help="replica only: stable id reported in acks "
+                        "(default: one derived from host/pid)")
+    p.add_argument("--failpoints", default=None, metavar="SPEC",
+                   help="arm deterministic failpoints, e.g. "
+                        "'wal.pre_fsync=crash,ckpt.pre_flip=raise@2' "
+                        "(also read from $REPRO_FAILPOINTS)")
     from repro.obs.logs import LOG_FORMATS, LOG_LEVELS
     from repro.service.server import DEFAULT_SLOW_THRESHOLD
 
@@ -773,6 +868,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster-workers", type=int, default=2,
                    help="kill-worker only: worker processes in the "
                         "spawned cluster (>= 2)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="kill-primary only: read replicas following "
+                        "the spawned primary (>= 1)")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_loadgen)

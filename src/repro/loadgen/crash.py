@@ -68,6 +68,12 @@ KILL_WORKER_SUMMARY = (
     "it, WAL replay loses zero acknowledged insertions"
 )
 
+KILL_PRIMARY_SCENARIO = "kill-primary"
+KILL_PRIMARY_SUMMARY = (
+    "SIGKILL a replicated primary mid-ingest, promote the most-"
+    "caught-up replica, verify zero acknowledged loss"
+)
+
 
 @dataclass
 class CrashReport:
@@ -91,6 +97,10 @@ class CrashReport:
     worker_restarts: int = 0
     interrupted_chunks: int = 0
     resent_chunks: int = 0
+    # replication (kill-primary) fields
+    replicas: int = 0
+    promoted_port: int = 0
+    promoted_epoch: int = 0
 
     @property
     def ok(self) -> bool:
@@ -114,6 +124,9 @@ class CrashReport:
             "worker_restarts": self.worker_restarts,
             "interrupted_chunks": self.interrupted_chunks,
             "resent_chunks": self.resent_chunks,
+            "replicas": self.replicas,
+            "promoted_port": self.promoted_port,
+            "promoted_epoch": self.promoted_epoch,
             "ok": self.ok,
             "errors": list(self.errors),
         }
@@ -342,6 +355,260 @@ def run_crash_recovery(
         if owns_dir:
             tempdir.cleanup()
     return report
+
+
+# ---------------------------------------------------------------------------
+# the replication variant
+# ---------------------------------------------------------------------------
+
+
+def run_kill_primary(
+    data_dir: Optional[str] = None,
+    spec: str = "running-example",
+    scheme: str = "drl",
+    fsync: str = "always",
+    run_size: int = 800,
+    chunk: int = 4,
+    kill_after: float = 2.0,
+    queries: int = 400,
+    seed: int = 0,
+    replicas: int = 2,
+    verbose: bool = True,
+) -> CrashReport:
+    """SIGKILL the primary mid-ingest; promote; prove zero acked loss.
+
+    Starts one primary (``--repl-min-acks 1``: an ingest is only
+    acknowledged once at least one replica covers it) and ``replicas``
+    read replicas following it, streams a run chunk by chunk, and
+    SIGKILLs the *primary process* once half the run is acknowledged.
+    The most-caught-up replica (``choose_promotion_target``) is then
+    promoted under a bumped fencing epoch; because every acknowledged
+    write was replica-covered before its ack, the promoted server must
+    hold all of them -- the ingest stream resumes against it (probing
+    whether the interrupted chunk's atomic record already shipped
+    before resending), and the full run verifies like the other crash
+    scenarios: every acked vertex present, reachability BFS-checked.
+    Replica staleness is asserted wire-visible along the way (the
+    ``replica_lag`` object on replica reads).
+    """
+    if replicas < 1:
+        raise ServiceError(
+            "kill-primary needs at least one replica to promote"
+        )
+    report = CrashReport(
+        scenario=KILL_PRIMARY_SCENARIO, fsync=fsync, spec=spec,
+        kill_after=kill_after, replicas=replicas,
+    )
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"kill-primary: {message}")
+
+    specification = resolve_spec(spec)
+    run = sample_run(specification, run_size, random.Random(seed))
+    execution = execution_from_derivation(run)
+    events = execution.insertions
+    report.run_size = len(events)
+
+    owns_dir = data_dir is None
+    if owns_dir:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-killp-")
+        data_dir = tempdir.name
+    primary_port = _free_port()
+    replica_ports = [_free_port() for _ in range(replicas)]
+    say(
+        f"starting primary on port {primary_port} with {replicas} "
+        f"replica(s) on {replica_ports} (fsync={fsync}, data dir "
+        f"{data_dir})"
+    )
+    primary = _spawn_server(
+        primary_port, os.path.join(str(data_dir), "primary"), fsync,
+        extra=["--repl-min-acks", "1"],
+    )
+    fleet: List[subprocess.Popen] = []
+    session = "crash"
+    acked: List[int] = []
+    kill_threshold = max(chunk, len(events) // 2)
+    try:
+        _wait_ready(primary_port, primary)
+        for index, port in enumerate(replica_ports):
+            peers = ",".join(
+                f"127.0.0.1:{p}" for p in replica_ports if p != port
+            )
+            extra = [
+                "--replicate-from", f"127.0.0.1:{primary_port}",
+                "--replica-id", f"replica-{index}",
+            ]
+            if peers:
+                extra += ["--peers", peers]
+            fleet.append(_spawn_server(
+                port, os.path.join(str(data_dir), f"replica-{index}"),
+                fsync, extra=extra,
+            ))
+        for port, process in zip(replica_ports, fleet):
+            _wait_ready(port, process)
+
+        def watchdog() -> None:
+            deadline = time.monotonic() + kill_after
+            while (time.monotonic() < deadline
+                   and len(acked) < kill_threshold):
+                time.sleep(0.001)
+            if primary.poll() is None:
+                primary.send_signal(signal.SIGKILL)
+
+        killer = threading.Thread(target=watchdog, daemon=True)
+        pending = 0  # first event index not certainly acknowledged
+        try:
+            with ServiceClient(
+                "127.0.0.1", primary_port, timeout=30.0
+            ) as client:
+                client.create_session(session, spec=spec, scheme=scheme)
+                killer.start()
+                for start in range(0, len(events), chunk):
+                    batch = events[start : start + chunk]
+                    client.ingest(session, batch)
+                    acked.extend(event.vid for event in batch)
+                    pending = start + chunk
+        except (OSError, ProtocolError, ServiceError):
+            # the kill landed mid-request (or the ack wait died with
+            # the primary): everything from `pending` on is uncertain
+            report.interrupted_chunks = 1
+        killer.join(timeout=kill_after + 30.0)
+        primary.wait(timeout=30.0)
+        report.acknowledged = len(acked)
+        report.unacknowledged = len(events) - len(acked)
+        say(
+            f"primary killed; {len(acked)}/{len(events)} insertions "
+            "had been acknowledged"
+        )
+        if not acked:
+            report.errors.append(
+                "the primary died before acknowledging any insertion; "
+                "raise kill_after"
+            )
+            return report
+        # staleness must be wire-visible: a read served by a replica
+        # (they are all still up) carries the replica_lag object
+        if not _probe_replica_lag(replica_ports[0], session, acked[0]):
+            report.errors.append(
+                "no replica read carried a replica_lag object; "
+                "staleness is not wire-visible"
+            )
+
+        from repro.service.replication import choose_promotion_target
+
+        endpoints = [("127.0.0.1", port) for port in replica_ports]
+        target = choose_promotion_target(endpoints)
+        if target is None:
+            report.errors.append(
+                f"no live replica to promote among {endpoints}"
+            )
+            return report
+        report.promoted_port = target[1]
+        with ServiceClient(*target, timeout=30.0) as client:
+            promoted = client.promote()
+            report.promoted_epoch = promoted["epoch"]
+            say(
+                f"promoted 127.0.0.1:{target[1]} to primary "
+                f"(epoch {promoted['epoch']}, applied "
+                f"{promoted['applied']} records)"
+            )
+            # finish the run against the new primary, deciding the
+            # interrupted chunk by probing its atomic record
+            for start in range(pending, len(events), chunk):
+                batch = events[start : start + chunk]
+                if start == pending and report.interrupted_chunks:
+                    if _vertex_present(client, session, batch[0].vid):
+                        acked.extend(ev.vid for ev in batch)
+                        continue
+                    report.resent_chunks += 1
+                client.ingest(session, batch)
+                acked.extend(event.vid for event in batch)
+            report.acknowledged = len(acked)
+            report.unacknowledged = len(events) - len(acked)
+
+            # presence of every acknowledged insertion, in one batch
+            try:
+                client.query_batch(session, [(v, v) for v in acked])
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                report.errors.append(
+                    f"presence probe over acked vertices failed: {exc}"
+                )
+                for vid in acked:
+                    try:
+                        client.query_batch(session, [(vid, vid)])
+                    except Exception:
+                        report.lost.append(vid)
+                say(
+                    f"{len(report.lost)} acknowledged insertions "
+                    "missing after promotion"
+                )
+                return report
+
+            rng = random.Random(seed + 1)
+            pairs = [
+                (rng.choice(acked), rng.choice(acked))
+                for _ in range(queries)
+            ]
+            answers = client.query_batch(session, pairs)
+            wrong = sum(
+                1
+                for (a, b), answer in zip(pairs, answers)
+                if answer != reaches(run.graph, a, b)
+            )
+            report.verified_pairs = len(pairs)
+            report.wrong_answers = wrong
+            if wrong:
+                report.errors.append(
+                    f"{wrong}/{len(pairs)} post-promotion answers "
+                    "contradict BFS ground truth"
+                )
+            say(
+                f"zero acknowledged insertions lost across the "
+                f"failover; {len(pairs)} answers BFS-verified "
+                f"({wrong} wrong)"
+            )
+            client.shutdown_server()
+    finally:
+        for process in [primary] + fleet:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30.0)
+        if owns_dir:
+            tempdir.cleanup()
+    return report
+
+
+def _probe_replica_lag(port: int, session: str, vid: int) -> bool:
+    """Whether a replica read carries the wire-visible lag object.
+
+    Retries briefly: the replica may still be applying the snapshot
+    that creates the session.  Returns ``False`` (never raises) so the
+    caller can fail the run with a structured report error.
+    """
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=5.0) as reader:
+                reader.query_batch(session, [(vid, vid)])
+                return reader.last_replica_lag is not None
+        except Exception:  # noqa: BLE001 - still syncing; retry
+            time.sleep(0.05)
+    return False
+
+
+def _vertex_present(
+    client: ServiceClient, session: str, vid: int
+) -> bool:
+    """Whether ``vid`` survived onto the promoted primary."""
+    try:
+        client.query_batch(session, [(vid, vid)])
+        return True
+    except (OSError, ProtocolError):
+        raise
+    except Exception:
+        # LabelingError and kin: the vertex is gone -> not applied
+        return False
 
 
 # ---------------------------------------------------------------------------

@@ -48,6 +48,17 @@ CHECKPOINT_ROLL_SECONDS = "repro_checkpoint_roll_seconds"
 #: one full checkpoint write (snapshot + staged files + fsyncs)
 CHECKPOINT_WRITE_SECONDS = "repro_checkpoint_write_seconds"
 
+#: replica side: applying one shipped replication record batch
+REPL_APPLY_SECONDS = "repro_repl_apply_seconds"
+
+# --- counter series ---------------------------------------------------
+
+#: primary side: WAL records published to the replication hub
+REPL_RECORDS_SHIPPED_TOTAL = "repro_repl_records_shipped_total"
+
+#: replica side: shipped records applied into the local store
+REPL_RECORDS_APPLIED_TOTAL = "repro_repl_records_applied_total"
+
 # --- counter series ---------------------------------------------------
 
 #: requests by op and outcome, labeled ``op=...``, ``status=ok|error``
@@ -72,6 +83,7 @@ STAGE_LABEL_BUILD = "label_build"
 SPAN_WAL_APPEND = "wal_append"
 SPAN_WAL_FSYNC = "wal_fsync"
 SPAN_CHECKPOINT_ROLL = "checkpoint_roll"
+SPAN_REPL_APPLY = "repl_apply"
 
 # --- logger names ------------------------------------------------------
 
@@ -87,12 +99,15 @@ HISTOGRAM_NAMES = (
     WAL_FSYNC_SECONDS,
     CHECKPOINT_ROLL_SECONDS,
     CHECKPOINT_WRITE_SECONDS,
+    REPL_APPLY_SECONDS,
 )
 
 #: every counter series name above
 COUNTER_NAMES = (
     REQUESTS_TOTAL,
     ENGINE_ERRORS_TOTAL,
+    REPL_RECORDS_SHIPPED_TOTAL,
+    REPL_RECORDS_APPLIED_TOTAL,
 )
 
 #: every span name a trace can carry (stage names double as spans)
@@ -103,6 +118,7 @@ SPAN_NAMES = (
     SPAN_WAL_APPEND,
     SPAN_WAL_FSYNC,
     SPAN_CHECKPOINT_ROLL,
+    SPAN_REPL_APPLY,
 )
 
 

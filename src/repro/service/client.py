@@ -22,16 +22,29 @@ Failover
 --------
 ``connect_timeout`` bounds the TCP connect and ``timeout`` every
 subsequent read/write.  When the socket dies mid-call -- a worker
-restart behind a cluster router, a server bounce -- an *idempotent*
-operation (:data:`IDEMPOTENT_OPS`: reads and pure probes, never
-``ingest``/``create_session``/``close``) is transparently retried once
-on a fresh connection after a short backoff.  Non-idempotent calls and
-pipelines surface the error unchanged; the caller decides whether a
-resend is safe (the crash-recovery loadgen probes before resending).
+restart behind a cluster router, a server bounce, a primary dying
+under replication -- an *idempotent* operation
+(:data:`IDEMPOTENT_OPS`: reads and pure probes, never
+``ingest``/``create_session``/``close``) is transparently retried on a
+fresh connection under bounded exponential backoff with jitter: the
+delay starts at ``retry_backoff`` seconds, doubles per attempt up to
+``retry_backoff_cap``, is jittered to 50-100% of itself (so a fleet of
+clients never reconnects in lockstep), and the whole retry loop gives
+up once ``retry_deadline`` seconds have elapsed.  With ``failover``
+endpoints configured, each failed attempt also rotates to the next
+endpoint -- a client pointed at a dead primary walks onto the promoted
+replica by itself.  Non-idempotent calls and pipelines surface the
+error unchanged; the caller decides whether a resend is safe (the
+crash-recovery loadgen probes before resending).
+
+Every response from a read replica carries a ``replica_lag`` object;
+the client keeps the latest on :attr:`ServiceClient.last_replica_lag`
+so callers can bound staleness without touching the wire format.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -39,23 +52,36 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ProtocolError
 
 #: ops safe to retry on a fresh connection after a socket failure --
-#: pure reads and probes; retrying a mutation could double-apply it
+#: pure reads and probes; retrying a mutation could double-apply it.
+#: ``repl_subscribe`` is a read (the applier resumes from its own
+#: position), though the replication applier manages its own retry.
 IDEMPOTENT_OPS = frozenset({
     "query", "query_batch", "stats", "metrics", "ping",
     "list_sessions", "schemes", "recover_info", "cluster_info",
+    "repl_subscribe",
 })
 
 #: ops that change server state and are therefore never auto-retried.
 #: Together the two sets partition ``protocol.OPS`` exactly -- the
 #: ``ops-surface`` rule of :mod:`repro.analysis` and a unit test both
 #: fail if a new op is added to the protocol without being classified
-#: here (``sync`` mutates: it advances on-disk durability state).
+#: here (``sync`` mutates: it advances on-disk durability state;
+#: ``repl_ack`` advances coverage; ``promote`` flips roles).
 MUTATING_OPS = frozenset({
     "create_session", "ingest", "snapshot", "sync", "close", "shutdown",
+    "repl_ack", "promote",
 })
 
-#: delay before the single reconnect attempt, seconds
+#: initial retry delay, seconds (doubles per attempt; kept under its
+#: historical name -- it used to be the one fixed reconnect delay)
 RECONNECT_BACKOFF = 0.05
+
+#: ceiling on a single backoff delay, seconds
+RETRY_BACKOFF_CAP = 1.0
+
+#: total retry budget per call, seconds; once it is spent the last
+#: connection error surfaces to the caller
+RETRY_DEADLINE = 5.0
 
 
 class _ConnectionLost(ProtocolError):
@@ -93,16 +119,53 @@ class ServiceClient:
         timeout: float = 30.0,
         connect_timeout: Optional[float] = None,
         reconnect: bool = True,
+        retry_backoff: float = RECONNECT_BACKOFF,
+        retry_backoff_cap: float = RETRY_BACKOFF_CAP,
+        retry_deadline: float = RETRY_DEADLINE,
+        failover: Sequence[Tuple[str, int]] = (),
     ) -> None:
-        self._host = host
-        self._port = port
+        self._endpoints: List[Tuple[str, int]] = [(host, int(port))]
+        for endpoint in failover:
+            candidate = (endpoint[0], int(endpoint[1]))
+            if candidate not in self._endpoints:
+                self._endpoints.append(candidate)
+        self._endpoint_index = 0
+        self._host, self._port = self._endpoints[0]
         self._timeout = timeout
         self._connect_timeout = (
             connect_timeout if connect_timeout is not None else timeout
         )
         self._reconnect = reconnect
+        self._retry_backoff = max(0.0, retry_backoff)
+        self._retry_backoff_cap = max(retry_backoff, retry_backoff_cap)
+        self._retry_deadline = retry_deadline
         self._next_id = 0
-        self._connect()
+        #: the latest ``replica_lag`` any response carried, if any
+        self.last_replica_lag: Optional[Dict[str, Any]] = None
+        self._connect_any()
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The endpoint currently connected (changes under failover)."""
+        return (self._host, self._port)
+
+    def _connect_any(self) -> None:
+        """Connect to the first live endpoint, rotating on refusal.
+
+        Nothing has been sent yet, so trying the next endpoint is safe
+        for every op class -- this is connection establishment, not a
+        request retry.
+        """
+        last: Optional[Exception] = None
+        for _ in self._endpoints:
+            try:
+                self._connect()
+                return
+            except OSError as exc:
+                last = exc
+                self._advance_endpoint()
+        assert last is not None
+        raise last
 
     def _connect(self) -> None:
         self._sock = socket.create_connection(
@@ -123,9 +186,11 @@ class ServiceClient:
         WAL records); the server mints one when the client sends none.
 
         If the socket dies and ``op`` is idempotent
-        (:data:`IDEMPOTENT_OPS`), the client reconnects once after
-        :data:`RECONNECT_BACKOFF` seconds and retries; mutations are
-        never retried (a lost ack does not prove a lost write).
+        (:data:`IDEMPOTENT_OPS`), the client retries on fresh
+        connections under exponential backoff with jitter until
+        ``retry_deadline`` is spent, rotating through the ``failover``
+        endpoints; mutations are never retried (a lost ack does not
+        prove a lost write).
         """
         self._next_id += 1
         request = Request(
@@ -133,12 +198,41 @@ class ServiceClient:
         )
         try:
             return self._round_trip(request)
-        except (_ConnectionLost, OSError):
+        except (_ConnectionLost, OSError) as exc:
             if not (self._reconnect and op in IDEMPOTENT_OPS):
                 raise
-            time.sleep(RECONNECT_BACKOFF)
-            self._reopen()
-            return self._round_trip(request)
+            return self._retry(request, exc)
+
+    def _retry(self, request: Request, failure: Exception) -> Any:
+        """Bounded-backoff retry of one idempotent request."""
+        deadline = time.monotonic() + self._retry_deadline
+        attempt = 0
+        while True:
+            delay = min(
+                self._retry_backoff_cap,
+                self._retry_backoff * (2 ** attempt),
+            )
+            # full delay 50-100%: decorrelates a fleet of clients all
+            # reconnecting after the same server bounce
+            delay *= 0.5 + random.random() / 2
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise failure
+            time.sleep(min(delay, max(0.0, remaining)))
+            attempt += 1
+            try:
+                self._reopen()
+                return self._round_trip(request)
+            except (_ConnectionLost, OSError) as exc:
+                failure = exc
+                self._advance_endpoint()
+
+    def _advance_endpoint(self) -> None:
+        if len(self._endpoints) > 1:
+            self._endpoint_index = (
+                self._endpoint_index + 1
+            ) % len(self._endpoints)
+            self._host, self._port = self._endpoints[self._endpoint_index]
 
     def _round_trip(self, request: Request) -> Any:
         self._writer.write(encode_request(request))
@@ -206,7 +300,10 @@ class ServiceClient:
         line = self._reader.readline()
         if not line:
             raise _ConnectionLost("server closed the connection")
-        return decode_response(line)
+        response = decode_response(line)
+        if response.replica_lag is not None:
+            self.last_replica_lag = response.replica_lag
+        return response
 
     # ------------------------------------------------------------------
     # convenience wrappers, one per operation
@@ -255,14 +352,17 @@ class ServiceClient:
         source: int,
         target: int,
         trace_id: Optional[str] = None,
+        as_of: Optional[int] = None,
     ) -> bool:
-        result = self.call(
-            "query",
-            session=session,
-            source=source,
-            target=target,
-            trace_id=trace_id,
-        )
+        """One reachability probe; ``as_of`` answers from the retained
+        checkpoint of that generation instead of the live session
+        (time-travel read; see ``--keep-generations``)."""
+        params: Dict[str, Any] = {
+            "session": session, "source": source, "target": target,
+        }
+        if as_of is not None:
+            params["as_of"] = as_of
+        result = self.call("query", trace_id=trace_id, **params)
         return bool(result["answer"])
 
     def query_batch(
@@ -272,6 +372,7 @@ class ServiceClient:
         chunk: Optional[int] = None,
         window: int = PIPELINE_WINDOW,
         trace_id: Optional[str] = None,
+        as_of: Optional[int] = None,
     ) -> List[bool]:
         """Batched reachability; chunked and pipelined when asked.
 
@@ -279,7 +380,9 @@ class ServiceClient:
         chunk), the pairs are split into chunks of that size and issued
         through :meth:`pipeline`, so arbitrarily large batches respect
         the server's per-request cap while still costing roughly one
-        round trip.  Answers always come back in input order.
+        round trip.  Answers always come back in input order.  ``as_of``
+        answers every pair from the retained checkpoint of that
+        generation (time-travel read).
         """
         pairs = list(pairs)
         if chunk is None and len(pairs) > PIPELINE_CHUNK:
@@ -287,16 +390,21 @@ class ServiceClient:
         if chunk is not None and chunk < 1:
             raise ValueError("chunk must be >= 1")
         if chunk is None or len(pairs) <= chunk:
-            result = self.call(
-                "query_batch",
-                session=session,
-                pairs=[[source, target] for source, target in pairs],
-                trace_id=trace_id,
-            )
+            params: Dict[str, Any] = {
+                "session": session,
+                "pairs": [[source, target] for source, target in pairs],
+            }
+            if as_of is not None:
+                params["as_of"] = as_of
+            result = self.call("query_batch", trace_id=trace_id, **params)
             return [bool(answer) for answer in result["answers"]]
         # pipelined chunks each carry the trace id (a top-level wire
         # field, so it rides inside the params dict unchanged)
-        extra = {"trace_id": trace_id} if trace_id is not None else {}
+        extra: Dict[str, Any] = (
+            {"trace_id": trace_id} if trace_id is not None else {}
+        )
+        if as_of is not None:
+            extra["as_of"] = as_of
         calls = [
             (
                 "query_batch",
@@ -382,6 +490,47 @@ class ServiceClient:
 
     def shutdown_server(self) -> Dict[str, Any]:
         return self.call("shutdown")
+
+    def repl_subscribe(
+        self,
+        from_seq: int,
+        epoch: int = 0,
+        replica_id: Optional[str] = None,
+        wait: float = 1.0,
+    ) -> Dict[str, Any]:
+        """Long-poll the primary's replication stream from a position.
+
+        Returns either ``{"records": [...], "seq", "epoch"}`` or, when
+        ``from_seq`` fell off the primary's in-memory ring (or is
+        negative), ``{"reset": true, "seq", "epoch", "snapshot"}`` --
+        a full-state resync point.  Used by the replica applier; also
+        handy for tailing the stream in tooling.
+        """
+        params: Dict[str, Any] = {
+            "from_seq": from_seq, "epoch": epoch, "wait": wait,
+        }
+        if replica_id is not None:
+            params["replica_id"] = replica_id
+        return self.call("repl_subscribe", **params)
+
+    def repl_ack(
+        self, replica_id: str, seq: int, epoch: int = 0
+    ) -> Dict[str, Any]:
+        """Report a replica's applied position to the primary."""
+        return self.call(
+            "repl_ack", replica_id=replica_id, seq=seq, epoch=epoch
+        )
+
+    def promote(self, epoch: Optional[int] = None) -> Dict[str, Any]:
+        """Promote a replica to primary under a bumped fencing epoch.
+
+        The server bumps its epoch durably (to ``epoch`` when given,
+        else one past its current) before accepting writes; the old
+        primary, if it resurfaces, is fenced on first contact.
+        """
+        if epoch is None:
+            return self.call("promote")
+        return self.call("promote", epoch=epoch)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -73,6 +73,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError, ServiceError
+from repro.faults import FAILPOINTS
 from repro.obs.histogram import HistogramSnapshot, merge_snapshots
 from repro.obs.logs import log_event
 from repro.service.protocol import (
@@ -108,10 +109,15 @@ _BROADCAST_OPS = frozenset({"schemes", "stats", "metrics",
 #: (``cluster_info`` is answered by the router itself; a
 #: ``create_session`` is forwarded to the owner of its ``name``; a
 #: session-less ``sync`` broadcasts, a keyed one forwards).  The
+#: replication ops fall through to the default forward path (worker 0),
+#: whose unmodified handler produces the canonical structured error:
+#: replication pairs whole *servers*, not routed shards -- a replica of
+#: a cluster follows each worker directly, not the router.  The
 #: ``ops-surface`` rule of :mod:`repro.analysis` fails the build if
 #: this union ever drifts from ``protocol.OPS``.
 _ROUTED_OPS = _SESSION_OPS | _BROADCAST_OPS | frozenset({
     "cluster_info", "create_session", "sync",
+    "repl_subscribe", "repl_ack", "promote",
 })
 
 
@@ -145,6 +151,9 @@ def _worker_main(index: int, conn, config: Dict[str, Any]) -> None:
     """
     # the router owns lifecycle; a terminal Ctrl-C must not race it
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # spawn children inherit the environment but not the parent's
+    # armed registry state; re-arm so failpoints fire inside workers
+    FAILPOINTS.arm_from_env()
     from repro.service.server import ReproServer, ReproService
 
     try:
@@ -156,6 +165,7 @@ def _worker_main(index: int, conn, config: Dict[str, Any]) -> None:
             fsync=config["fsync"],
             checkpoint_interval=config["checkpoint_interval"],
             slow_threshold=config["slow_threshold"],
+            keep_generations=config.get("keep_generations", 1),
         )
         server = ReproServer(("127.0.0.1", 0), service)
     except Exception as exc:
@@ -277,6 +287,7 @@ class ClusterSupervisor:
         fsync: str = "always",
         checkpoint_interval: Optional[float] = None,
         slow_threshold: float = 0.5,
+        keep_generations: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("a cluster needs at least 1 worker")
@@ -292,6 +303,7 @@ class ClusterSupervisor:
             "fsync": fsync,
             "checkpoint_interval": checkpoint_interval,
             "slow_threshold": slow_threshold,
+            "keep_generations": keep_generations,
         }
         self._mp = multiprocessing.get_context("spawn")
         self._fleet: List[_Worker] = [_Worker(i) for i in range(workers)]
@@ -827,6 +839,7 @@ class ClusterSupervisor:
                     self._finish_gather(gather)
 
     def _restart(self, worker: _Worker) -> None:
+        FAILPOINTS.hit("cluster.pre_respawn")
         worker.restarts += 1
         self._spawn(worker)
         self._attach(worker)
@@ -883,10 +896,25 @@ class ClusterSupervisor:
                 "fsync": results[0].get("fsync"),
             }
         if op == "recover_info":
+            # surface every torn WAL tail any worker dropped at boot --
+            # with the per-record forensics (bytes dropped, last good
+            # seq) -- so one cluster-level probe answers "did any shard
+            # lose an unacknowledged tail, and how much?"
+            torn_tails = [
+                {"worker": i, **report}
+                for i, result in enumerate(results)
+                for report in result.get("recovered", [])
+                if report.get("torn_tail")
+            ]
             return {
                 "durable": all(r.get("durable", True) for r in results),
                 "cluster": True,
                 "workers": self.workers,
+                "torn_tails": torn_tails,
+                "torn_bytes_dropped": sum(
+                    int(t.get("torn_bytes_dropped", 0))
+                    for t in torn_tails
+                ),
                 "per_worker": [
                     {"worker": i, **result}
                     for i, result in enumerate(results)

@@ -24,6 +24,9 @@ Operations::
     ping
     shutdown
     cluster_info     (process topology: workers, pids, ports, restarts)
+    repl_subscribe   from_seq[, epoch, replica_id, wait]  (ship WAL records)
+    repl_ack         replica_id, seq[, epoch]  (replica coverage ack)
+    promote          [epoch]  (replica -> primary; fences older epochs)
 
 ``scheme`` selects the session's labeling backend by registry name
 (``drl`` by default); ``schemes`` returns every registered backend with
@@ -86,6 +89,24 @@ asks its workers for).  A request naming *several* sessions owned by
 different workers (a ``session`` list) is rejected with a structured
 ``protocol`` error: cross-worker requests have no single owner.
 
+Replication
+-----------
+A durable server can ship its WAL stream to read replicas (see
+:mod:`repro.service.replication`): a replica long-polls
+``repl_subscribe`` (``from_seq`` is the global ship position; the
+response either carries the next records or ``reset`` plus a full
+snapshot when the position fell off the primary's ring), applies them
+into its own durable store, and reports coverage with ``repl_ack``.
+Every response from a replica carries a top-level ``replica_lag``
+object (``applied`` position, ``epoch``, ``role``) so staleness is
+wire-visible on every read.  ``promote`` flips a replica into a
+primary under a bumped fencing *epoch*; any server contacted with a
+higher epoch than its own fences itself and rejects further ingests,
+which is what makes a zombie primary harmless.  ``query`` and
+``query_batch`` accept an optional ``as_of`` checkpoint generation
+(see ``--keep-generations``) answered from the retained checkpoint of
+that version -- time-travel reads.
+
 Insertion events use the exact execution-log JSON schema of
 :func:`repro.io.jsonio.insertion_to_json`, so a recorded execution file
 can be streamed to the service without transformation.
@@ -129,6 +150,9 @@ OPS = (
     "ping",
     "shutdown",
     "cluster_info",
+    "repl_subscribe",
+    "repl_ack",
+    "promote",
 )
 
 # default per-request cap on batch payload items (query_batch pairs,
@@ -190,6 +214,9 @@ class Response:
     code: Optional[str] = None
     id: Optional[Any] = None
     trace_id: Optional[str] = None
+    # set on every response from a read replica: {"applied": <global
+    # ship position>, "epoch": <fencing epoch>, "role": "replica"}
+    replica_lag: Optional[Dict[str, Any]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -233,6 +260,8 @@ def encode_response(response: Response) -> str:
         doc["id"] = response.id
     if response.trace_id is not None:
         doc["trace_id"] = response.trace_id
+    if response.replica_lag is not None:
+        doc["replica_lag"] = response.replica_lag
     if response.ok:
         doc["result"] = response.result
     else:
@@ -256,6 +285,7 @@ def decode_response(line: str) -> Response:
         code=doc.get("code"),
         id=doc.get("id"),
         trace_id=doc.get("trace_id"),
+        replica_lag=doc.get("replica_lag"),
     )
 
 

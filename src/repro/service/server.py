@@ -36,15 +36,27 @@ import logging
 import socketserver
 import threading
 import time
-from typing import Any, Callable, Dict, Optional, TextIO
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.errors import ProtocolError, ServiceError
+from repro.faults import FAILPOINTS
 from repro.obs.logs import log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.names import OP_LATENCY_SECONDS, REQUESTS_TOTAL
 from repro.obs.trace import Tracer, activate
 from repro.service.checkpoint import checkpoint_session, restore_session
 from repro.service.engine import QueryEngine
+from repro.service.replication import ReplicaApplier, ReplicationHub
 from repro.service.wal import Checkpointer, DurableStore
 from repro.service.protocol import (
     MAX_BATCH,
@@ -83,6 +95,17 @@ class ReproService:
     is acknowledged, and -- with ``checkpoint_interval`` set -- a
     background :class:`Checkpointer` periodically rolls WALs into
     checkpoints.  Call :meth:`close` when done so the WALs flush.
+
+    Replication (:mod:`repro.service.replication`): every durable
+    server owns a :class:`ReplicationHub` and can serve
+    ``repl_subscribe`` as a primary.  ``replicate_from`` instead starts
+    the server as a read replica of that ``(host, port)`` primary --
+    client mutations are rejected until a ``promote`` flips the role
+    under a bumped fencing epoch.  ``repl_min_acks`` makes ingest
+    acknowledgements semi-synchronous: each waits until that many
+    replicas cover the batch's ship position, which is the zero-acked-
+    loss-under-promotion guarantee.  ``keep_generations`` retains old
+    checkpoint generations, the substrate of ``query --as-of``.
     """
 
     def __init__(
@@ -98,6 +121,11 @@ class ReproService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+        keep_generations: int = 1,
+        replicate_from: Optional[Tuple[str, int]] = None,
+        repl_peers: Sequence[Tuple[str, int]] = (),
+        repl_min_acks: int = 0,
+        replica_id: Optional[str] = None,
     ) -> None:
         self.manager = manager or SessionManager(shards=shards)
         self.metrics = metrics if metrics is not None else default_registry()
@@ -109,14 +137,44 @@ class ReproService:
         self.shutdown_requested = threading.Event()
         self.store: Optional[DurableStore] = None
         self.checkpointer: Optional[Checkpointer] = None
+        self.hub: Optional[ReplicationHub] = None
+        self.applier: Optional[ReplicaApplier] = None
+        self.read_only = False
+        self._repl_min_acks = max(0, int(repl_min_acks))
+        self._as_of_cache: "OrderedDict[Tuple[str, int], Any]" = (
+            OrderedDict()
+        )
+        self._as_of_lock = threading.Lock()
+        if replicate_from is not None and data_dir is None:
+            raise ServiceError(
+                "--replicate-from needs --data-dir: a replica applies "
+                "the shipped WAL into its own durable store"
+            )
         if data_dir is not None:
-            self.store = DurableStore(data_dir, fsync=fsync)
+            self.store = DurableStore(
+                data_dir, fsync=fsync, keep_generations=keep_generations
+            )
             self.store.recover(self.manager)
             if checkpoint_interval is not None:
                 self.checkpointer = Checkpointer(
                     self.store, interval=checkpoint_interval
                 )
                 self.checkpointer.start()
+            if replicate_from is None:
+                self.hub = ReplicationHub(
+                    self.manager, self.store, min_acks=self._repl_min_acks
+                )
+            else:
+                self.read_only = True
+                self.applier = ReplicaApplier(
+                    self.manager,
+                    self.store,
+                    primary=replicate_from,
+                    peers=repl_peers,
+                    replica_id=replica_id,
+                    on_close=self.engine.drop_session_entries,
+                )
+                self.applier.start()
         self._ops: Dict[str, Callable[[Request], Any]] = {
             "create_session": self._op_create_session,
             "ingest": self._op_ingest,
@@ -133,6 +191,9 @@ class ReproService:
             "ping": self._op_ping,
             "shutdown": self._op_shutdown,
             "cluster_info": self._op_cluster_info,
+            "repl_subscribe": self._op_repl_subscribe,
+            "repl_ack": self._op_repl_ack,
+            "promote": self._op_promote,
         }
         # per-op instruments, pre-bound so the hot path never touches
         # the registry's lock; "unknown" absorbs bad op names
@@ -149,7 +210,10 @@ class ReproService:
             )
 
     def close(self) -> None:
-        """Stop the checkpointer and flush/close every WAL."""
+        """Stop the applier/checkpointer and flush/close every WAL."""
+        if self.applier is not None:
+            self.applier.stop()
+            self.applier = None
         if self.checkpointer is not None:
             self.checkpointer.stop()
             self.checkpointer = None
@@ -202,6 +266,10 @@ class ReproService:
             (ok_total if status == "ok" else err_total).inc()
             self.tracer.finish(trace, status=status)
         response.trace_id = trace.trace_id
+        applier = self.applier
+        if applier is not None:
+            # every response from a replica carries its staleness
+            response.replica_lag = applier.lag()
         return response
 
     def handle_line(self, line: str) -> str:
@@ -215,7 +283,19 @@ class ReproService:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
+    def _check_writable(self, op: str) -> None:
+        if self.read_only:
+            primary = ""
+            if self.applier is not None:
+                host, port = self.applier.primary
+                primary = f"; write to the primary at {host}:{port}"
+            raise ServiceError(
+                f"op {op!r} rejected: this server is a read "
+                f"replica{primary}"
+            )
+
     def _op_create_session(self, request: Request) -> Dict[str, Any]:
+        self._check_writable("create_session")
         name = request.require("name")
         checkpoint = request.params.get("checkpoint")
         if checkpoint is not None:
@@ -251,6 +331,8 @@ class ReproService:
             except Exception:
                 self.manager.close(session.name)
                 raise
+        if self.hub is not None:
+            self.hub.publish_control("create", session)
         return {
             "session": session.name,
             "spec": session.spec.name,
@@ -260,12 +342,20 @@ class ReproService:
         }
 
     def _op_ingest(self, request: Request) -> Dict[str, Any]:
+        self._check_writable("ingest")
         name = request.require("session")
         events = request.require("insertions")
         if isinstance(events, list):
             check_batch_size(len(events), "ingest", self.max_batch)
         insertions = insertions_from_wire(events)
         count, version = self.engine.ingest(name, insertions)
+        hub = self.hub
+        if hub is not None and count:
+            # semi-sync: acknowledge only once enough replicas cover
+            # this batch's ship position (no-op with min_acks = 0).
+            # The session lock is NOT held here, so replicas keep
+            # bootstrapping/acking while we wait.
+            hub.wait_covered(hub.seq)
         return {"ingested": count, "version": version}
 
     def _op_query(self, request: Request) -> Dict[str, Any]:
@@ -273,6 +363,12 @@ class ReproService:
         target = request.require("target")
         if not isinstance(source, int) or not isinstance(target, int):
             raise ProtocolError("'source' and 'target' must be vertex ids")
+        as_of = request.params.get("as_of")
+        if as_of is not None:
+            answers = self._answer_as_of(
+                request.require("session"), as_of, [(source, target)]
+            )
+            return {"answer": answers[0], "as_of": as_of}
         answer = self.engine.query(request.require("session"), source, target)
         return {"answer": answer}
 
@@ -289,8 +385,59 @@ class ReproService:
             raise ProtocolError(
                 "'pairs' must be a list of [source, target] vertex ids"
             )
+        as_of = request.params.get("as_of")
+        if as_of is not None:
+            answers = self._answer_as_of(
+                request.require("session"), as_of, pairs
+            )
+            return {"answers": answers, "as_of": as_of}
         answers = self.engine.query_many(request.require("session"), pairs)
         return {"answers": answers}
+
+    # ------------------------------------------------------------------
+    # time travel: answer from a retained checkpoint generation
+    # ------------------------------------------------------------------
+    def _answer_as_of(
+        self, name: str, as_of: Any, pairs: List[Any]
+    ) -> List[bool]:
+        if not isinstance(as_of, int) or isinstance(as_of, bool):
+            raise ProtocolError(
+                "'as_of' must be a checkpoint generation version (int)"
+            )
+        session = self._historical_session(name, as_of)
+        return [session.query(source, target) for source, target in pairs]
+
+    def _historical_session(self, name: str, version: int):
+        """A read-only session restored from a retained generation.
+
+        Restores verify labels against a deterministic replay, so they
+        are not free; a tiny LRU keyed ``(name, version)`` makes
+        repeated time-travel queries against the same generation cheap.
+        """
+        if self.store is None:
+            raise ServiceError(
+                "time-travel queries need a durable server "
+                "(started without --data-dir)"
+            )
+        key = (name, version)
+        with self._as_of_lock:
+            cached = self._as_of_cache.get(key)
+            if cached is not None:
+                self._as_of_cache.move_to_end(key)
+                return cached
+        directory = self.store.generation_dir(name, version)
+        session = self._restore_historical(directory)
+        with self._as_of_lock:
+            self._as_of_cache[key] = session
+            while len(self._as_of_cache) > 4:
+                self._as_of_cache.popitem(last=False)
+        return session
+
+    @staticmethod
+    def _restore_historical(directory):
+        # a throwaway manager: the historical instance must never
+        # collide with (or be mutated through) the live session registry
+        return restore_session(SessionManager(shards=1), directory)
 
     def _op_snapshot(self, request: Request) -> Dict[str, Any]:
         session = self.manager.get(request.require("session"))
@@ -335,7 +482,29 @@ class ReproService:
         info = self.store.info()
         if self.checkpointer is not None:
             info["checkpoint_interval"] = self.checkpointer.interval
+        info["replication"] = self._replication_info()
         return info
+
+    def _replication_info(self) -> Dict[str, Any]:
+        """The ``replication`` block of ``recover_info``."""
+        applier = self.applier
+        if applier is not None:
+            block = applier.lag()
+            host, port = applier.primary
+            block["primary"] = f"{host}:{port}"
+            block["replica_id"] = applier.replica_id
+            if applier.errors:
+                block["errors"] = list(applier.errors)
+            block["fenced"] = self.store.fenced if self.store else False
+            return block
+        hub = self.hub
+        if hub is None:
+            return {"role": "none"}
+        block = hub.lag_table()
+        block["role"] = "primary"
+        block["epoch"] = hub.epoch
+        block["fenced"] = self.store.fenced if self.store else False
+        return block
 
     def _op_schemes(self, request: Request) -> Dict[str, Any]:
         from repro.schemes import registry as scheme_registry
@@ -356,6 +525,7 @@ class ReproService:
         return snapshot
 
     def _op_close(self, request: Request) -> Dict[str, Any]:
+        self._check_writable("close")
         name = request.require("session")
         session = self.manager.close(name)
         evicted = self.engine.drop_session_entries(session)
@@ -363,6 +533,8 @@ class ReproService:
             # final checkpoint + CLOSED marker: the directory stays as
             # the run's provenance record but recovery skips it
             self.store.finalize(session)
+        if self.hub is not None:
+            self.hub.publish_control("close", session)
         return {
             "closed": session.name,
             "vertices": len(session),
@@ -383,6 +555,100 @@ class ReproService:
         # a plain in-process server is not a cluster; the router
         # answers this op itself with the real topology
         return {"cluster": False, "workers": 0}
+
+    # ------------------------------------------------------------------
+    # replication ops
+    # ------------------------------------------------------------------
+    def _require_hub(self) -> ReplicationHub:
+        if self.store is None:
+            raise ServiceError(
+                "replication needs a durable server "
+                "(started without --data-dir)"
+            )
+        if self.hub is None:
+            primary = ""
+            if self.applier is not None:
+                host, port = self.applier.primary
+                primary = f" (a replica of {host}:{port})"
+            raise ServiceError(
+                f"this server is not a primary{primary}; "
+                "subscribe to the primary instead"
+            )
+        return self.hub
+
+    def _op_repl_subscribe(self, request: Request) -> Dict[str, Any]:
+        hub = self._require_hub()
+        from_seq = request.require("from_seq")
+        if not isinstance(from_seq, int) or isinstance(from_seq, bool):
+            raise ProtocolError("'from_seq' must be an integer position")
+        return hub.subscribe(
+            from_seq=from_seq,
+            epoch=int(request.params.get("epoch", 0)),
+            replica_id=request.params.get("replica_id"),
+            wait=float(request.params.get("wait", 1.0)),
+        )
+
+    def _op_repl_ack(self, request: Request) -> Dict[str, Any]:
+        hub = self._require_hub()
+        replica_id = request.require("replica_id")
+        if not isinstance(replica_id, str):
+            raise ProtocolError("'replica_id' must be a string")
+        seq = request.require("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            raise ProtocolError("'seq' must be an integer position")
+        return hub.ack(
+            replica_id, seq, epoch=int(request.params.get("epoch", 0))
+        )
+
+    def _op_promote(self, request: Request) -> Dict[str, Any]:
+        return self._promote(request.params.get("epoch"))
+
+    def _promote(self, epoch: Optional[Any]) -> Dict[str, Any]:
+        """Flip this replica into the primary under a bumped epoch."""
+        if self.store is None:
+            raise ServiceError(
+                "promote needs a durable server "
+                "(started without --data-dir)"
+            )
+        if self.applier is None:
+            raise ServiceError(
+                f"already a primary (epoch {self.store.epoch})"
+            )
+        if epoch is None:
+            target_epoch = self.store.epoch + 1
+        else:
+            if not isinstance(epoch, int) or isinstance(epoch, bool):
+                raise ProtocolError("'epoch' must be an integer")
+            target_epoch = epoch
+        if target_epoch <= self.store.epoch:
+            raise ServiceError(
+                f"promotion epoch {target_epoch} must exceed the "
+                f"current epoch {self.store.epoch}"
+            )
+        FAILPOINTS.hit("repl.pre_promote")
+        applier = self.applier
+        applier.stop()
+        applied = applier.position
+        # the epoch bump is durable BEFORE the first write is accepted:
+        # a crash right here leaves a fenced-off replica that can be
+        # promoted again, never two primaries on one epoch
+        self.store.set_epoch(target_epoch)
+        self.applier = None
+        self.read_only = False
+        self.hub = ReplicationHub(
+            self.manager, self.store, min_acks=self._repl_min_acks
+        )
+        log_event(
+            _server_logger, logging.INFO, "promoted",
+            epoch=target_epoch, applied=applied,
+            sessions=len(self.manager),
+        )
+        return {
+            "promoted": True,
+            "epoch": target_epoch,
+            "applied": applied,
+            "sessions": self.manager.names(),
+        }
 
 
 # ---------------------------------------------------------------------------

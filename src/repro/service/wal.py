@@ -57,6 +57,7 @@ from typing import Any, Dict, List, Optional
 from urllib.parse import quote, unquote
 
 from repro.errors import ServiceError
+from repro.faults import FAILPOINTS
 from repro.io.jsonio import insertion_from_json, insertion_to_json
 from repro.io.xmlio import FormatError
 from repro.obs.logs import log_event
@@ -101,6 +102,7 @@ _CLOSED = "CLOSED"
 _CKPT_PREFIX = "ckpt-"
 _CKPT_STAGING = "ckpt.staging"
 _DIR_PREFIX = "s-"
+_EPOCH = "EPOCH"
 
 
 class TornWalError(ServiceError):
@@ -150,10 +152,16 @@ class WalReplay:
     records: List[WalRecord] = field(default_factory=list)
     valid_bytes: int = 0
     dropped: Optional[str] = None  # why the tail was dropped, if it was
+    dropped_bytes: int = 0         # bytes past the valid prefix
 
     @property
     def next_seq(self) -> int:
         return self.records[-1].seq + 1 if self.records else 0
+
+    @property
+    def last_good_seq(self) -> Optional[int]:
+        """Seq of the last intact record (``None`` for an empty log)."""
+        return self.records[-1].seq if self.records else None
 
     @property
     def events(self) -> int:
@@ -235,6 +243,10 @@ def replay_wal(path) -> WalReplay:
             )
         )
         replay.valid_bytes += len(line)
+    if replay.dropped is not None:
+        replay.dropped_bytes = (
+            sum(len(line) for line in lines) - replay.valid_bytes
+        )
     return replay
 
 
@@ -291,8 +303,15 @@ class WriteAheadLog:
         base_vertices: int,
         policy: str = "always",
         batch_records: int = DEFAULT_BATCH_RECORDS,
+        epoch: int = 0,
     ) -> "WriteAheadLog":
-        """Start a fresh WAL on top of a just-written checkpoint."""
+        """Start a fresh WAL on top of a just-written checkpoint.
+
+        ``epoch`` is the replication fencing epoch stamped into the
+        header: a log written under a superseded epoch is recognizably
+        stale, so a zombie primary's directory cannot silently win a
+        recovery race against the promoted replica's.
+        """
         header = {
             "format": _WAL_FORMAT,
             "version": _WAL_VERSION,
@@ -301,6 +320,7 @@ class WriteAheadLog:
             "scheme": session.scheme_name,
             "base_version": base_version,
             "base_vertices": base_vertices,
+            "epoch": epoch,
         }
         return cls(path, header, policy=policy, batch_records=batch_records)
 
@@ -329,6 +349,16 @@ class WriteAheadLog:
     @property
     def base_vertices(self) -> int:
         return int(self.header.get("base_vertices", 0))
+
+    @property
+    def epoch(self) -> int:
+        """The replication epoch stamped into the header (0 = none)."""
+        return int(self.header.get("epoch", 0))
+
+    def stamp_epoch(self, epoch: int) -> None:
+        """Adopt a new fencing epoch; persisted at the next roll."""
+        with self.lock:
+            self.header["epoch"] = epoch
 
     @property
     def records(self) -> int:
@@ -374,6 +404,7 @@ class WriteAheadLog:
                 # (replay ignores unknown keys)
                 record["trace_id"] = trace.trace_id
             try:
+                FAILPOINTS.hit("wal.pre_append")
                 append_started = time.perf_counter()
                 self._handle.write(json.dumps(record) + "\n")
                 # always flush to the OS: process death never loses an
@@ -397,6 +428,7 @@ class WriteAheadLog:
                 else:
                     self._unsynced += 1
                 if synced:
+                    FAILPOINTS.hit("wal.pre_fsync")
                     fsync_started = time.perf_counter()
                     os.fsync(self._handle.fileno())  # repro: noqa[blocking-under-lock] -- the fsync-before-ack IS the durability contract: the session lock must stay held until the WAL entry is on disk, or an ack could precede persistence
                     fsync_ended = time.perf_counter()
@@ -411,6 +443,7 @@ class WriteAheadLog:
                     f"write-ahead log {self.path} append failed "
                     f"({exc}); the log is poisoned until recovery"
                 ) from exc
+            FAILPOINTS.hit("wal.post_append")
             self._next_seq += 1
             self._records += 1
             self._events += len(events)
@@ -478,6 +511,7 @@ class WriteAheadLog:
                 handle.flush()
                 os.fsync(handle.fileno())
             self._handle.close()
+            FAILPOINTS.hit("wal.pre_truncate")
             os.replace(staged, self.path)
             fsync_dir(self.path.parent)
             self._handle = open(self.path, "a")
@@ -540,6 +574,13 @@ class DurableStore:
 
     ``fsync`` is the WAL policy (``always`` | ``batch`` | ``never``);
     checkpoints themselves are always written durably.
+
+    ``keep_generations`` retains that many checkpoint generations per
+    session (newest first) instead of only the live one; the extras
+    feed ``query --as-of`` time travel.  ``EPOCH`` at the data-dir root
+    persists the replication fencing epoch; once :meth:`fence` is
+    called (a peer proved a higher epoch exists) every ingest is
+    rejected, so a zombie primary can no longer acknowledge writes.
     """
 
     def __init__(
@@ -547,15 +588,24 @@ class DurableStore:
         data_dir,
         fsync: str = "always",
         batch_records: int = DEFAULT_BATCH_RECORDS,
+        keep_generations: int = 1,
     ) -> None:
         self.root = Path(data_dir)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fsync = check_fsync_policy(fsync)
         self.batch_records = batch_records
+        self.keep_generations = max(1, int(keep_generations))
         self._lock = threading.Lock()
         self._entries: Dict[str, _Entry] = {}
         self.recovery: List[Dict[str, Any]] = []  # boot-time reports
         self.errors: List[str] = []  # background roll failures
+        self.epoch = self._read_epoch()
+        self.fenced = False
+        # replication publish hook: the primary's hub, when serving as
+        # one.  Called after (and only after) the WAL append succeeded,
+        # still under the session lock -- shipped records are always a
+        # prefix of the durable log.
+        self.on_append = None  # Optional[Callable]
         # exclude concurrent processes: two servers appending to the
         # same WALs would interleave seqs and shred both logs.  flock
         # (not an O_EXCL marker file) so the kernel releases it when a
@@ -578,6 +628,40 @@ class DurableStore:
             ) from None
         self._lock_handle.write(f"{os.getpid()}\n")  # repro: noqa[durability-fsync] -- the LOCK file's pid is advisory debug info; flock(2) is the actual mutual-exclusion mechanism and holds without fsync
         self._lock_handle.flush()
+
+    # ------------------------------------------------------------------
+    # fencing epochs
+    # ------------------------------------------------------------------
+    def _read_epoch(self) -> int:
+        try:
+            return int((self.root / _EPOCH).read_text().strip())
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Durably adopt a (higher) fencing epoch.
+
+        Stamped into every live WAL header so logs written under the
+        new epoch are distinguishable from a superseded primary's.
+        """
+        if epoch < self.epoch:
+            raise ServiceError(
+                f"epoch may only advance ({epoch} < {self.epoch})"
+            )
+        staged = self.root / (_EPOCH + ".tmp")
+        staged.write_text(f"{epoch}\n")
+        fsync_file(staged)
+        os.replace(staged, self.root / _EPOCH)
+        fsync_dir(self.root)
+        self.epoch = epoch
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.wal.stamp_epoch(epoch)
+
+    def fence(self) -> None:
+        """Reject all further ingests: a higher epoch exists elsewhere."""
+        self.fenced = True
 
     # ------------------------------------------------------------------
     def session_dir(self, name: str) -> Path:
@@ -641,6 +725,7 @@ class DurableStore:
                 base_vertices=vertices,
                 policy=self.fsync,
                 batch_records=self.batch_records,
+                epoch=self.epoch,
             )
         except Exception:
             # the create was never acknowledged: remove the half-armed
@@ -667,12 +752,19 @@ class DurableStore:
         version: int,
     ) -> None:
         """The :attr:`Session.on_ingest` hook: log before acknowledging."""
+        if self.fenced:
+            raise ServiceError(
+                "store is fenced: a higher replication epoch exists; "
+                "this node may no longer acknowledge writes"
+            )
         entry = self._entries.get(session.name)
         if entry is None or entry.session is not session:
             return  # stale hook on a superseded session instance
-        entry.wal.append(
-            start, version, [insertion_to_json(event) for event in events]
-        )
+        payload = [insertion_to_json(event) for event in events]
+        entry.wal.append(start, version, payload)
+        publish = self.on_append
+        if publish is not None:
+            publish(session, start, version, payload)
 
     # ------------------------------------------------------------------
     # checkpoint rolls
@@ -682,6 +774,7 @@ class DurableStore:
         staging = directory / _CKPT_STAGING
         if staging.exists():  # crash leftover; never pointed to
             shutil.rmtree(staging)
+        FAILPOINTS.hit("ckpt.pre_stage")
         checkpoint_session(session, staging, durable=True)
         manifest = load_manifest(staging)
         version = manifest["session_version"]
@@ -695,11 +788,13 @@ class DurableStore:
             shutil.rmtree(target)
         os.rename(staging, target)
         fsync_dir(directory)
+        FAILPOINTS.hit("ckpt.pre_flip")
         staged_pointer = directory / (_CURRENT + ".tmp")
         staged_pointer.write_text(target_name + "\n")
         fsync_file(staged_pointer)
         os.replace(staged_pointer, directory / _CURRENT)
         fsync_dir(directory)
+        FAILPOINTS.hit("ckpt.post_flip")
         return version, vertices, target
 
     @staticmethod
@@ -748,8 +843,18 @@ class DurableStore:
                 wal_records=kept,
                 seconds=round(roll_ended - roll_started, 6),
             )
-            for old in entry.directory.glob(_CKPT_PREFIX + "*"):
-                if old.name != target.name and old.is_dir():
+            FAILPOINTS.hit("ckpt.pre_gc")
+            generations = sorted(
+                old
+                for old in entry.directory.glob(_CKPT_PREFIX + "*")
+                if old.is_dir()
+            )
+            # zero-padded versions sort lexicographically; retain the
+            # newest keep_generations (always including the live one)
+            retained = set(generations[-self.keep_generations:])
+            retained.add(target)
+            for old in generations:
+                if old not in retained:
                     shutil.rmtree(old, ignore_errors=True)
             return {
                 "session": session.name,
@@ -907,6 +1012,7 @@ class DurableStore:
                 base_vertices=len(session),
                 policy=self.fsync,
                 batch_records=self.batch_records,
+                epoch=self.epoch,
             )
             self._arm(session, directory, wal)
             report["wal_records_replayed"] = 0
@@ -968,6 +1074,8 @@ class DurableStore:
         if replay.dropped is not None:
             report["torn_tail"] = replay.dropped
             report["resume_seq"] = replay.next_seq
+            report["torn_bytes_dropped"] = replay.dropped_bytes
+            report["torn_last_good_seq"] = replay.last_good_seq
         wal = WriteAheadLog.resume(
             wal_path,
             replay,
@@ -978,8 +1086,35 @@ class DurableStore:
         return report
 
     # ------------------------------------------------------------------
-    # introspection
+    # introspection / time travel
     # ------------------------------------------------------------------
+    def generations(self, name: str) -> List[int]:
+        """Retained checkpoint generation versions for a session."""
+        directory = self.session_dir(name)
+        versions: List[int] = []
+        if not directory.is_dir():
+            return versions
+        for child in directory.glob(_CKPT_PREFIX + "*"):
+            if not child.is_dir():
+                continue
+            try:
+                versions.append(int(child.name[len(_CKPT_PREFIX):]))
+            except ValueError:
+                continue
+        return sorted(versions)
+
+    def generation_dir(self, name: str, version: int) -> Path:
+        """The checkpoint directory of one retained generation."""
+        directory = self.session_dir(name)
+        target = directory / f"{_CKPT_PREFIX}{version:012d}"
+        if not target.is_dir():
+            raise ServiceError(
+                f"session {name!r} has no retained checkpoint generation "
+                f"{version}; available: {self.generations(name)} "
+                "(raise --keep-generations to retain more)"
+            )
+        return target
+
     def info(self) -> Dict[str, Any]:
         """The durability state the ``recover_info`` op reports."""
         with self._lock:
@@ -994,12 +1129,16 @@ class DurableStore:
                 "wal_unsynced": entry.wal.unsynced,
                 "version": entry.session.version,
                 "vertices": len(entry.session),
+                "generations": self.generations(name),
             }
         return {
             "durable": True,
             "data_dir": str(self.root),
             "fsync": self.fsync,
             "batch_records": self.batch_records,
+            "keep_generations": self.keep_generations,
+            "epoch": self.epoch,
+            "fenced": self.fenced,
             "sessions": sessions,
             "recovered": list(self.recovery),
             "errors": list(self.errors),

@@ -44,6 +44,7 @@ FROZEN_RULE_IDS = {
     "mutable-default",
     "broad-except",
     "metric-names",
+    "failpoint-names",
     "ops-surface",
     "ops-idempotent",
     "docs-drift",
@@ -393,6 +394,32 @@ def test_metric_names_clean_on_constants(tmp_path):
         def wire(registry, trace, start, end):
             registry.histogram(OP_LATENCY_SECONDS, op="query")
             trace.add_span(SPAN_WAL_FSYNC, start, end)
+    """)
+    assert findings == []
+
+
+def test_failpoint_names_flags_unregistered_and_computed(tmp_path):
+    findings = run_rule(tmp_path, "failpoint-names", """
+        from repro.faults import FAILPOINTS
+
+        def roll(name):
+            FAILPOINTS.hit("wal.no_such_point")
+            FAILPOINTS.hit(name)
+            FAILPOINTS.hit("wal." + name)
+    """)
+    assert len(findings) == 3
+    assert all(f.rule == "failpoint-names" for f in findings)
+    assert "not registered" in findings[0].message
+
+
+def test_failpoint_names_clean_on_catalog_literals(tmp_path):
+    findings = run_rule(tmp_path, "failpoint-names", """
+        from repro.faults import FAILPOINTS
+
+        def roll():
+            FAILPOINTS.hit("wal.pre_fsync")
+            FAILPOINTS.hit("ckpt.pre_flip")
+            other.hit("not-a-failpoint-registry")
     """)
     assert findings == []
 

@@ -407,6 +407,42 @@ class TestDurableCluster:
         finally:
             stop_cluster(supervisor, thread)
 
+    def test_recover_info_carries_torn_tails_per_worker(
+        self, tmp_path, running_spec
+    ):
+        data_dir = str(tmp_path / "cluster")
+        _, execution = make_execution(running_spec, size=60, seed=21)
+        owner = session_worker(ALPHA, 2)
+
+        supervisor, thread = start_cluster(
+            workers=2, shards=2, data_dir=data_dir, fsync="always")
+        try:
+            with ServiceClient("127.0.0.1", supervisor.port) as c:
+                c.create_session(ALPHA, "running-example")
+                c.ingest(ALPHA, execution.insertions[:20])
+                c.ingest(ALPHA, execution.insertions[20:40])
+        finally:
+            stop_cluster(supervisor, thread)
+
+        # tear the owning worker's WAL tail mid-record
+        wal_path = (tmp_path / "cluster" / f"worker-{owner}"
+                    / f"s-{ALPHA}" / "wal.jsonl")
+        wal_path.write_bytes(wal_path.read_bytes()[:-9])
+
+        supervisor, thread = start_cluster(
+            workers=2, shards=2, data_dir=data_dir, fsync="always")
+        try:
+            with ServiceClient("127.0.0.1", supervisor.port) as c:
+                info = c.recover_info()
+                assert info["torn_bytes_dropped"] > 0
+                (tail,) = info["torn_tails"]
+                assert tail["worker"] == owner
+                assert tail["session"] == ALPHA
+                assert tail["torn_bytes_dropped"] > 0
+                assert tail["torn_last_good_seq"] == 0
+        finally:
+            stop_cluster(supervisor, thread)
+
     def test_manifest_rejects_changed_worker_count(self, tmp_path):
         data_dir = str(tmp_path / "cluster")
         supervisor, thread = start_cluster(workers=2, data_dir=data_dir)
@@ -515,16 +551,60 @@ class TestClientFailover:
         finally:
             server.stop()
 
-    def test_two_consecutive_drops_surface(self):
+    def test_consecutive_drops_retried_under_backoff(self):
         server = _FlakyServer(drop_first=2)
         server.start()
         try:
             with ServiceClient("127.0.0.1", server.port,
                                timeout=5.0) as client:
-                with pytest.raises(ProtocolError):
-                    client.ping()
+                assert client.ping() is True
+            assert server.requests_seen == 3
         finally:
             server.stop()
+
+    def test_drops_outlasting_the_deadline_surface(self):
+        server = _FlakyServer(drop_first=10_000)  # never answers
+        server.start()
+        try:
+            with ServiceClient("127.0.0.1", server.port, timeout=5.0,
+                               retry_deadline=0.4) as client:
+                started = time.monotonic()
+                with pytest.raises(ProtocolError):
+                    client.ping()
+                # the deadline bounds the whole retry budget
+                assert time.monotonic() - started < 3.0
+        finally:
+            server.stop()
+
+    def test_constructor_connects_through_failover(self):
+        live = _FlakyServer(drop_first=0)
+        live.start()
+        try:
+            # port 1 refuses instantly; the constructor must rotate to
+            # the live failover endpoint instead of raising
+            with ServiceClient("127.0.0.1", 1, timeout=5.0,
+                               failover=[("127.0.0.1", live.port)]) as c:
+                assert c.endpoint == ("127.0.0.1", live.port)
+                assert c.ping() is True
+        finally:
+            live.stop()
+
+    def test_failover_rotates_to_a_live_endpoint(self):
+        dead = _FlakyServer(drop_first=10_000)
+        live = _FlakyServer(drop_first=0)
+        dead.start()
+        live.start()
+        try:
+            with ServiceClient(
+                "127.0.0.1", dead.port, timeout=5.0,
+                failover=[("127.0.0.1", live.port)],
+            ) as client:
+                assert client.ping() is True
+                assert client.endpoint == ("127.0.0.1", live.port)
+                assert live.requests_seen == 1
+        finally:
+            dead.stop()
+            live.stop()
 
     def test_mutation_never_retried(self):
         server = _FlakyServer(drop_first=1)

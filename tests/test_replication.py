@@ -1,0 +1,569 @@
+"""Tests for WAL-shipping replication (repro.service.replication).
+
+The contract under test, end to end:
+
+* a replica applies the primary's shipped WAL into its *own* durable
+  store and serves BFS-correct reads, with staleness wire-visible as
+  ``replica_lag`` on every response;
+* promotion bumps the epoch durably before the first write, and the
+  fenced old primary can never acknowledge a write again (no zombie
+  acks, no two primaries on one epoch);
+* ``--keep-generations`` retains checkpoint history and ``as_of``
+  answers against it; torn-tail recovery reports the bytes dropped;
+* the failpoint crash matrix: a real server crashed *at every
+  registered WAL/checkpoint failpoint* recovers every acknowledged
+  insertion.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceError
+from repro.graphs.reachability import reaches
+from repro.service import ServiceClient
+from repro.service.protocol import (
+    Request,
+    insertions_to_wire,
+    raise_for_response,
+)
+from repro.service.replication import (
+    ReplicationHub,
+    choose_promotion_target,
+    probe_replication,
+)
+from repro.service.server import ReproServer, ReproService
+from repro.workflow.derivation import sample_run
+from repro.workflow.execution import execution_from_derivation
+
+
+def make_execution(spec, size=120, seed=0):
+    run = sample_run(spec, size, random.Random(seed))
+    return run, execution_from_derivation(run)
+
+
+def call(service, op, **params):
+    """Drive one op through a ReproService in process."""
+    return raise_for_response(
+        service.handle(Request(op=op, params=params, id=1))
+    )
+
+
+def start_server(service):
+    server = ReproServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+def stop_server(server):
+    server.shutdown()
+    server.server_close()
+    server.service.close()
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def applied_position(port):
+    info = probe_replication(("127.0.0.1", port))
+    if info is None:
+        return -1
+    return int(info.get("applied", -1))
+
+
+@pytest.fixture()
+def pair(tmp_path):
+    """A durable primary and one live replica, both over TCP."""
+    primary = start_server(
+        ReproService(data_dir=str(tmp_path / "pri"), fsync="never")
+    )
+    replica = start_server(
+        ReproService(
+            data_dir=str(tmp_path / "rep"),
+            fsync="never",
+            replicate_from=("127.0.0.1", primary.port),
+            replica_id="r1",
+        )
+    )
+    yield primary, replica
+    stop_server(replica)
+    stop_server(primary)
+
+
+# ---------------------------------------------------------------------------
+# the hub: ring, long-poll, reset, acks
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationHub:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        service = ReproService(data_dir=str(tmp_path / "d"), fsync="never")
+        yield service
+        service.close()
+
+    def test_negative_from_seq_requests_reset(self, service):
+        result = call(service, "repl_subscribe", from_seq=-1)
+        assert result["reset"] is True
+        assert result["snapshot"] == []
+        assert result["seq"] == 0
+
+    def test_records_ship_past_the_subscriber_position(
+        self, service, running_spec
+    ):
+        _, execution = make_execution(running_spec, size=40, seed=1)
+        call(service, "create_session", name="s", spec="running-example")
+        call(
+            service,
+            "ingest",
+            session="s",
+            insertions=insertions_to_wire(execution.insertions[:10]),
+        )
+        result = call(service, "repl_subscribe", from_seq=0)
+        kinds = [record["kind"] for record in result["records"]]
+        assert kinds == ["create", "ingest"]
+        assert result["seq"] == 2
+        assert result["epoch"] == service.store.epoch
+        # a caught-up subscriber long-polls and times out empty
+        again = call(
+            service, "repl_subscribe", from_seq=result["seq"], wait=0.05
+        )
+        assert again["records"] == []
+
+    def test_fallen_off_the_ring_forces_reset_with_snapshot(
+        self, service, running_spec
+    ):
+        _, execution = make_execution(running_spec, size=60, seed=2)
+        call(service, "create_session", name="s", spec="running-example")
+        hub = ReplicationHub(
+            service.manager, service.store, ring_capacity=16
+        )
+        session = service.manager.get("s")
+        for event in execution.insertions[:20]:
+            hub.publish(session, 0, session.version,
+                        insertions_to_wire([event]))
+        result = hub.subscribe(from_seq=0)
+        assert result["reset"] is True
+        names = [entry["session"] for entry in result["snapshot"]]
+        assert names == ["s"]
+
+    def test_ack_and_wait_covered(self, service):
+        hub = ReplicationHub(
+            service.manager, service.store, min_acks=1, ack_timeout=0.1
+        )
+        with pytest.raises(ServiceError, match="replica"):
+            hub.wait_covered(0, timeout=0.05)
+        assert hub.ack("r1", 3)["acked"] == 3
+        hub.ack("r1", 1)  # acks are monotone: a stale ack never regresses
+        assert hub.lag_table()["replicas"]["r1"]["acked"] == 3
+        hub.wait_covered(3, timeout=0.05)  # returns, no raise
+        with pytest.raises(ServiceError):
+            hub.wait_covered(4, timeout=0.05)
+
+    def test_higher_epoch_ack_fences_the_node(self, service):
+        hub = ReplicationHub(service.manager, service.store)
+        with pytest.raises(ServiceError, match="fenced"):
+            hub.ack("r1", 0, epoch=service.store.epoch + 1)
+        assert service.store.fenced
+
+
+# ---------------------------------------------------------------------------
+# primary -> replica over TCP
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaServesReads:
+    def test_replica_answers_match_bfs_and_carry_lag(
+        self, pair, running_spec
+    ):
+        primary, replica = pair
+        run, execution = make_execution(running_spec, size=120, seed=3)
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("demo", "running-example")
+            writer.ingest("demo", execution.insertions)
+        assert wait_until(lambda: applied_position(replica.port) >= 2)
+
+        vids = sorted(run.graph.vertices())
+        rng = random.Random(7)
+        pairs = [(rng.choice(vids), rng.choice(vids)) for _ in range(150)]
+        with ServiceClient("127.0.0.1", replica.port) as reader:
+            assert reader.list_sessions() == ["demo"]
+            answers = reader.query_batch("demo", pairs)
+            assert reader.last_replica_lag is not None
+            assert reader.last_replica_lag["role"] == "replica"
+            assert reader.last_replica_lag["applied"] >= 2
+        assert answers == [reaches(run.graph, a, b) for a, b in pairs]
+
+    def test_replica_refuses_writes(self, pair, running_spec):
+        primary, replica = pair
+        _, execution = make_execution(running_spec, size=30, seed=4)
+        with ServiceClient("127.0.0.1", replica.port) as reader:
+            with pytest.raises(ServiceError, match="read replica"):
+                reader.create_session("x", "running-example")
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("demo", "running-example")
+            writer.ingest("demo", execution.insertions[:10])
+        assert wait_until(lambda: applied_position(replica.port) >= 2)
+        with ServiceClient("127.0.0.1", replica.port) as reader:
+            with pytest.raises(ServiceError, match="read replica"):
+                reader.ingest("demo", execution.insertions[10:12])
+            with pytest.raises(ServiceError, match="read replica"):
+                reader.close_session("demo")
+
+    def test_session_close_replicates(self, pair, running_spec):
+        primary, replica = pair
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("gone", "running-example")
+            assert wait_until(lambda: applied_position(replica.port) >= 1)
+            writer.close_session("gone")
+
+        def closed_everywhere():
+            with ServiceClient("127.0.0.1", replica.port) as reader:
+                return reader.list_sessions() == []
+
+        assert wait_until(closed_everywhere)
+
+    def test_late_replica_bootstraps_from_snapshot(
+        self, pair, running_spec, tmp_path
+    ):
+        # a replica started AFTER the primary ingested must reset onto
+        # a full snapshot (its from_seq=-1 never saw the ring)
+        primary, _ = pair
+        run, execution = make_execution(running_spec, size=80, seed=5)
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("old", "running-example")
+            writer.ingest("old", execution.insertions)
+        late = start_server(
+            ReproService(
+                data_dir=str(tmp_path / "late"),
+                fsync="never",
+                replicate_from=("127.0.0.1", primary.port),
+                replica_id="late",
+            )
+        )
+        try:
+            assert wait_until(lambda: applied_position(late.port) > 0)
+            vids = sorted(run.graph.vertices())
+            pairs = [(vids[0], v) for v in vids[:40]]
+            with ServiceClient("127.0.0.1", late.port) as reader:
+                answers = reader.query_batch("old", pairs)
+            assert answers == [reaches(run.graph, a, b) for a, b in pairs]
+        finally:
+            stop_server(late)
+
+
+# ---------------------------------------------------------------------------
+# promotion and epoch fencing
+# ---------------------------------------------------------------------------
+
+
+class TestPromotion:
+    def test_promote_accepts_writes_and_fences_the_zombie(
+        self, pair, running_spec
+    ):
+        primary, replica = pair
+        run, execution = make_execution(running_spec, size=100, seed=6)
+        events = execution.insertions
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("demo", "running-example")
+            writer.ingest("demo", events[:50])
+            primary_epoch = probe_replication(
+                ("127.0.0.1", primary.port)
+            )["epoch"]
+        assert wait_until(lambda: applied_position(replica.port) >= 2)
+
+        with ServiceClient("127.0.0.1", replica.port) as client:
+            result = client.promote()
+            assert result["promoted"] is True
+            assert result["epoch"] == primary_epoch + 1
+            assert "demo" in result["sessions"]
+            # the promoted node is now writable and finishes the run
+            client.ingest("demo", events[50:])
+            vids = sorted(run.graph.vertices())
+            rng = random.Random(11)
+            pairs = [
+                (rng.choice(vids), rng.choice(vids)) for _ in range(100)
+            ]
+            answers = client.query_batch("demo", pairs)
+            assert answers == [reaches(run.graph, a, b) for a, b in pairs]
+            info = probe_replication(("127.0.0.1", replica.port))
+            assert info["role"] == "primary"
+            assert info["epoch"] == primary_epoch + 1
+
+        # the old primary, once contacted at the higher epoch, fences
+        # itself: no further append can be acknowledged on its timeline
+        with ServiceClient("127.0.0.1", primary.port) as zombie:
+            with pytest.raises(ServiceError, match="fenced"):
+                zombie.repl_ack("r1", 0, epoch=primary_epoch + 1)
+            with pytest.raises(ServiceError, match="fenced"):
+                zombie.ingest("demo", events[50:52])
+
+    def test_promote_rejects_stale_epoch_and_plain_primary(self, pair):
+        primary, replica = pair
+        with ServiceClient("127.0.0.1", primary.port) as client:
+            with pytest.raises(ServiceError, match="already a primary"):
+                client.promote()
+        with ServiceClient("127.0.0.1", replica.port) as client:
+            current = probe_replication(
+                ("127.0.0.1", replica.port)
+            )["epoch"]
+            with pytest.raises(ServiceError, match="must exceed"):
+                client.promote(epoch=current)
+
+    def test_choose_promotion_target_prefers_most_applied(
+        self, pair, running_spec, tmp_path
+    ):
+        primary, replica = pair
+        _, execution = make_execution(running_spec, size=60, seed=8)
+        with ServiceClient("127.0.0.1", primary.port) as writer:
+            writer.create_session("demo", "running-example")
+            writer.ingest("demo", execution.insertions)
+        assert wait_until(lambda: applied_position(replica.port) >= 2)
+        endpoints = [
+            ("127.0.0.1", primary.port),   # not a replica: skipped
+            ("127.0.0.1", replica.port),
+            ("127.0.0.1", 1),              # unreachable: skipped
+        ]
+        assert choose_promotion_target(endpoints) == (
+            "127.0.0.1",
+            replica.port,
+        )
+
+
+# ---------------------------------------------------------------------------
+# time travel + retention
+# ---------------------------------------------------------------------------
+
+
+class TestTimeTravel:
+    def test_as_of_answers_from_a_retained_generation(
+        self, tmp_path, running_spec
+    ):
+        run, execution = make_execution(running_spec, size=80, seed=9)
+        events = execution.insertions
+        service = ReproService(
+            data_dir=str(tmp_path / "d"),
+            fsync="never",
+            keep_generations=4,
+        )
+        try:
+            call(service, "create_session", name="s",
+                 spec="running-example")
+            call(service, "ingest", session="s",
+                 insertions=insertions_to_wire(events[:30]))
+            first = call(service, "snapshot", session="s")["version"]
+            call(service, "ingest", session="s",
+                 insertions=insertions_to_wire(events[30:]))
+            call(service, "snapshot", session="s")
+
+            early = [e.vid for e in events[:30]]
+            late = [e.vid for e in events[30:]]
+            # vertices inserted after the retained generation are
+            # absent in the as-of view but present live
+            assert call(service, "query", session="s",
+                        source=late[0], target=late[0])["answer"] is True
+            with pytest.raises(Exception):
+                call(service, "query", session="s", source=late[0],
+                     target=late[0], as_of=first)
+            probe = [[early[0], v] for v in early]
+            got = call(service, "query_batch", session="s",
+                       pairs=probe, as_of=first)
+            live = call(service, "query_batch", session="s",
+                        pairs=probe)
+            # insertions only ever extend the graph downward, so the
+            # as-of view agrees with the live one on surviving pairs
+            assert got["answers"] == live["answers"]
+        finally:
+            service.close()
+
+    def test_keep_generations_bounds_retention(
+        self, tmp_path, running_spec
+    ):
+        _, execution = make_execution(running_spec, size=80, seed=10)
+        events = execution.insertions
+        service = ReproService(
+            data_dir=str(tmp_path / "d"),
+            fsync="never",
+            keep_generations=2,
+        )
+        try:
+            call(service, "create_session", name="s",
+                 spec="running-example")
+            versions = []
+            for lo in range(0, 80, 20):
+                call(service, "ingest", session="s",
+                     insertions=insertions_to_wire(events[lo:lo + 20]))
+                versions.append(
+                    call(service, "snapshot", session="s")["version"]
+                )
+            retained = service.store.generations("s")
+            assert retained == sorted(versions)[-2:]
+            # a collected generation is a structured error, not a crash
+            with pytest.raises(Exception):
+                call(service, "query", session="s",
+                     source=events[0].vid, target=events[0].vid,
+                     as_of=versions[0])
+        finally:
+            service.close()
+
+    def test_as_of_rejects_non_integers(self, tmp_path, running_spec):
+        _, execution = make_execution(running_spec, size=20, seed=11)
+        service = ReproService(
+            data_dir=str(tmp_path / "d"), fsync="never"
+        )
+        try:
+            call(service, "create_session", name="s",
+                 spec="running-example")
+            call(service, "ingest", session="s",
+                 insertions=insertions_to_wire(execution.insertions))
+            with pytest.raises(ProtocolError, match="as_of"):
+                call(service, "query", session="s",
+                     source=execution.insertions[0].vid,
+                     target=execution.insertions[0].vid,
+                     as_of="latest")
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# torn-tail detail reporting
+# ---------------------------------------------------------------------------
+
+
+class TestTornTailDetails:
+    def test_recover_info_reports_bytes_dropped_and_last_good_seq(
+        self, tmp_path, running_spec
+    ):
+        _, execution = make_execution(running_spec, size=60, seed=12)
+        events = execution.insertions
+        service = ReproService(data_dir=str(tmp_path / "data"))
+        call(service, "create_session", name="s1",
+             spec="running-example")
+        call(service, "ingest", session="s1",
+             insertions=insertions_to_wire(events[:20]))
+        call(service, "ingest", session="s1",
+             insertions=insertions_to_wire(events[20:40]))
+        service.close()
+        wal_path = next((tmp_path / "data").glob("s-*/wal.jsonl"))
+        intact = wal_path.read_bytes()
+        wal_path.write_bytes(intact[:-9])
+
+        revived = ReproService(data_dir=str(tmp_path / "data"))
+        try:
+            info = call(revived, "recover_info")
+            report = next(
+                r for r in info["recovered"] if r.get("torn_tail")
+            )
+            assert report["torn_bytes_dropped"] > 0
+            assert report["torn_last_good_seq"] == 0
+        finally:
+            revived.close()
+
+
+# ---------------------------------------------------------------------------
+# the failpoint crash matrix: crash a real server at every registered
+# WAL/checkpoint failpoint; recovery must hold every acknowledged write
+# ---------------------------------------------------------------------------
+
+
+CRASH_MATRIX = [
+    "wal.pre_append=crash@4",
+    "wal.pre_fsync=crash@4",
+    "wal.post_append=crash@4",
+    "wal.pre_truncate=crash",
+    "ckpt.pre_stage=crash",
+    "ckpt.pre_flip=crash",
+    "ckpt.post_flip=crash",
+    "ckpt.pre_gc=crash",
+]
+
+
+class TestFailpointCrashMatrix:
+    @pytest.mark.parametrize(
+        "spec", CRASH_MATRIX, ids=[s.split("=")[0] for s in CRASH_MATRIX]
+    )
+    def test_crash_at_failpoint_loses_no_acknowledged_write(
+        self, spec, tmp_path, running_spec
+    ):
+        from repro.loadgen.crash import (
+            _free_port,
+            _spawn_server,
+            _wait_ready,
+        )
+
+        run, execution = make_execution(running_spec, size=80, seed=13)
+        events = execution.insertions
+        data_dir = str(tmp_path / "data")
+        port = _free_port()
+        process = _spawn_server(
+            port, data_dir, "always", extra=["--failpoints", spec]
+        )
+        acked = []
+        session_acked = False
+        try:
+            _wait_ready(port, process)
+            try:
+                with ServiceClient("127.0.0.1", port, timeout=10.0,
+                                   reconnect=False) as client:
+                    client.create_session("s", "running-example")
+                    session_acked = True
+                    for lo in range(0, len(events), 4):
+                        batch = events[lo:lo + 4]
+                        client.ingest("s", batch)
+                        acked.extend(event.vid for event in batch)
+                        if lo == 16:
+                            # roll a checkpoint mid-stream so the
+                            # ckpt.*/wal.pre_truncate points get hit
+                            client.snapshot("s")
+            except (OSError, ProtocolError, ServiceError):
+                pass  # the armed crash severed the connection
+            assert wait_until(lambda: process.poll() is not None, 15.0), \
+                f"failpoint {spec} never crashed the server"
+            assert process.returncode == 170  # os._exit, not an error
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        # restart over the same data dir with nothing armed: every
+        # acknowledged write must have survived the crash
+        port = _free_port()
+        revived = _spawn_server(port, data_dir, "always")
+        try:
+            _wait_ready(port, revived)
+            with ServiceClient("127.0.0.1", port, timeout=10.0) as client:
+                if not session_acked:
+                    return
+                assert "s" in client.list_sessions()
+                if acked:
+                    present = client.query_batch(
+                        "s", [(vid, vid) for vid in acked]
+                    )
+                    lost = [
+                        vid for vid, ok in zip(acked, present) if not ok
+                    ]
+                    assert lost == [], f"acked writes lost: {lost}"
+                    # answers over the acked prefix stay BFS-correct
+                    rng = random.Random(14)
+                    probe = [
+                        (rng.choice(acked), rng.choice(acked))
+                        for _ in range(50)
+                    ]
+                    answers = client.query_batch("s", probe)
+                    assert answers == [
+                        reaches(run.graph, a, b) for a, b in probe
+                    ]
+        finally:
+            revived.terminate()
+            revived.wait(timeout=15)
